@@ -1,0 +1,140 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every claim table of the reproduction (E1..E18,
+   the "tables and figures" of this theory paper — see DESIGN.md and
+   EXPERIMENTS.md). Pass --full (or set BENCH_SCALE=full) for the
+   paper-scale sweeps recorded in EXPERIMENTS.md; the default quick
+   scale finishes in a few minutes.
+
+   Part 2 is a Bechamel micro-benchmark suite for the hot primitives
+   (one Test.make per primitive, grouped in one run): model stepping,
+   snapshot enumeration, flooding end-to-end, chain stepping, pair
+   decoding and spatial hashing. Skip with --no-micro. *)
+
+open Bechamel
+
+let scale () =
+  let env = try Sys.getenv "BENCH_SCALE" with Not_found -> "" in
+  let full = Array.exists (( = ) "--full") Sys.argv || String.lowercase_ascii env = "full" in
+  if full then Simulate.Runner.Full else Simulate.Runner.Quick
+
+let claim_tables () =
+  let rng = Prng.Rng.of_seed 42 in
+  Printf.printf "==== Claim-reproduction tables (%s scale, seed 42) ====\n\n"
+    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick");
+  let all_passed = Simulate.Registry.run_all ~rng ~scale:(scale ()) () in
+  if not all_passed then print_endline "WARNING: some reproduction checks failed"
+
+(* --- micro-benchmarks --- *)
+
+let prepared_edge_meg n =
+  let dyn = Edge_meg.Classic.make ~n ~p:(4. /. float_of_int n) ~q:0.5 () in
+  Core.Dynamic.reset dyn (Prng.Rng.of_seed 1);
+  dyn
+
+let prepared_waypoint n =
+  let geo =
+    Mobility.Waypoint.create ~n ~l:(sqrt (float_of_int n)) ~r:1.5 ~v_min:1. ~v_max:1.25 ()
+  in
+  Mobility.Geo.reset geo (Prng.Rng.of_seed 2);
+  geo
+
+let prepared_node_meg n =
+  let k = 16 in
+  let jump = 0.1 /. float_of_int k in
+  let chain =
+    Markov.Chain.of_rows
+      (Array.init k (fun s ->
+           Array.append [| ((s + 1) mod k, 0.9) |] (Array.init k (fun t -> (t, jump)))))
+  in
+  let connect x y =
+    let d = abs (x - y) in
+    min d (k - d) <= 1
+  in
+  let dyn = Node_meg.Model.make ~n ~chain ~connect () in
+  Core.Dynamic.reset dyn (Prng.Rng.of_seed 3);
+  dyn
+
+let prepared_rp n =
+  let family = Random_path.Family.grid_shortest ~rows:12 ~cols:12 in
+  let dyn = Random_path.Rp_model.make ~hold:0.5 ~n ~family () in
+  Core.Dynamic.reset dyn (Prng.Rng.of_seed 4);
+  dyn
+
+let micro_tests () =
+  let n = 256 in
+  let edge_meg = prepared_edge_meg n in
+  let waypoint = prepared_waypoint n in
+  let waypoint_dyn = Mobility.Geo.dynamic waypoint in
+  let node_meg = prepared_node_meg n in
+  let rp = prepared_rp 144 in
+  let chain =
+    Markov.Chain.of_rows
+      (Array.init 64 (fun s -> Array.init 8 (fun j -> ((s + j + 1) mod 64, 1.))))
+  in
+  let chain_rng = Prng.Rng.of_seed 5 in
+  let chain_state = ref 0 in
+  let flood_rng = Prng.Rng.of_seed 6 in
+  let flood_model = Edge_meg.Classic.make ~n:128 ~p:(4. /. 128.) ~q:0.5 () in
+  let pair_rng = Prng.Rng.of_seed 7 in
+  let space_rng = Prng.Rng.of_seed 8 in
+  let xs = Array.init 512 (fun _ -> Prng.Rng.float space_rng 16.) in
+  let ys = Array.init 512 (fun _ -> Prng.Rng.float space_rng 16.) in
+  [
+    Test.make ~name:"edge_meg.step n=256"
+      (Staged.stage (fun () -> Core.Dynamic.step edge_meg));
+    Test.make ~name:"edge_meg.snapshot n=256"
+      (Staged.stage (fun () -> ignore (Core.Dynamic.edge_count edge_meg)));
+    Test.make ~name:"waypoint.step n=256" (Staged.stage (fun () -> Mobility.Geo.step waypoint));
+    Test.make ~name:"waypoint.step+edges n=256"
+      (Staged.stage (fun () ->
+           Mobility.Geo.step waypoint;
+           ignore (Core.Dynamic.edge_count waypoint_dyn)));
+    Test.make ~name:"node_meg.step n=256 k=16"
+      (Staged.stage (fun () -> Core.Dynamic.step node_meg));
+    Test.make ~name:"node_meg.snapshot n=256"
+      (Staged.stage (fun () -> ignore (Core.Dynamic.edge_count node_meg)));
+    Test.make ~name:"rp_model.step n=144 grid 12x12"
+      (Staged.stage (fun () -> Core.Dynamic.step rp));
+    Test.make ~name:"flooding.end_to_end edge-MEG n=128"
+      (Staged.stage (fun () ->
+           ignore (Core.Flooding.time ~rng:flood_rng ~source:0 flood_model)));
+    Test.make ~name:"chain.step 64 states"
+      (Staged.stage (fun () -> chain_state := Markov.Chain.step chain chain_rng !chain_state));
+    Test.make ~name:"pairs.decode n=1024"
+      (Staged.stage (fun () ->
+           ignore (Graph.Pairs.decode 1024 (Prng.Rng.int pair_rng (Graph.Pairs.total 1024)))));
+    Test.make ~name:"space.close_pairs n=512 r=1.5"
+      (Staged.stage (fun () ->
+           Mobility.Space.iter_close_pairs ~l:16. ~r:1.5 ~xs ~ys (fun _ _ -> ())));
+  ]
+
+let run_micro () =
+  Printf.printf "\n==== Micro-benchmarks (Bechamel, OLS time per call) ====\n\n";
+  let tests = Test.make_grouped ~name:"dyngraph" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Stats.Table.create ~title:"time per call" ~columns:[ "benchmark"; "ns/run"; "r^2" ]
+  in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, result) ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+      Stats.Table.add_row table [ Text name; Fixed (ns, 1); Fixed (r2, 4) ])
+    rows;
+  print_string (Stats.Table.render table)
+
+let () =
+  claim_tables ();
+  if not (Array.exists (( = ) "--no-micro") Sys.argv) then run_micro ()

@@ -1,0 +1,166 @@
+(* Command-line driver for the claim-reproduction experiments.
+
+   dyngraph list                 enumerate experiments
+   dyngraph run E6 --seed 7      run one experiment
+   dyngraph run all --full       run everything at paper scale
+   dyngraph csv E1               emit the tables of one experiment as CSV *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed; runs are bit-reproducible per seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let full_arg =
+  let doc = "Run at paper scale (larger sweeps, more trials)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let id_arg =
+  let doc = "Experiment id (E1 .. E12) or 'all'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+
+let scale_of_full full = if full then Simulate.Runner.Full else Simulate.Runner.Quick
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Simulate.Registry.experiment) ->
+        Printf.printf "%-4s %s\n     %s\n" e.id e.title e.claim)
+      Simulate.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
+
+let resolve id =
+  match Simulate.Registry.find id with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "unknown experiment %S (try 'list')" id)
+
+let run_cmd =
+  let run id seed full =
+    let rng = Prng.Rng.of_seed seed in
+    let scale = scale_of_full full in
+    if String.lowercase_ascii id = "all" then begin
+      let ok = Simulate.Registry.run_all ~rng ~scale () in
+      if ok then Ok () else Error "some reproduction checks failed"
+    end
+    else
+      match resolve id with
+      | Ok e ->
+          let ok = Simulate.Registry.run_one ~rng ~scale e in
+          if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
+      | Error m -> Error m
+  in
+  let term = Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg)) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an experiment, print its tables and scorecard")
+    term
+
+let verify_cmd =
+  let run seed full =
+    let rng = Prng.Rng.of_seed seed in
+    let scale = scale_of_full full in
+    (* Run everything but only print the scorecards and the summary. *)
+    let results =
+      List.map
+        (fun (e : Simulate.Registry.experiment) ->
+          let tables = e.run ~rng:(Prng.Rng.split rng) ~scale in
+          let checks = e.assess tables in
+          print_string
+            (Stats.Table.render (Simulate.Assess.render ~title:(e.id ^ " scorecard") checks));
+          print_newline ();
+          Simulate.Assess.all_passed checks)
+        Simulate.Registry.all
+    in
+    let failed = List.length (List.filter not results) in
+    if failed = 0 then begin
+      print_endline "all reproduction checks passed";
+      Ok ()
+    end
+    else Error (Printf.sprintf "%d experiment(s) with failing checks" failed)
+  in
+  let term = Term.(term_result' (const run $ seed_arg $ full_arg)) in
+  Cmd.v (Cmd.info "verify" ~doc:"Run all experiments, print only the scorecards") term
+
+let outdir_arg =
+  let doc = "Write one CSV file per table into this directory instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "outdir" ] ~docv:"DIR" ~doc)
+
+let csv_cmd =
+  let run id seed full outdir =
+    let rng = Prng.Rng.of_seed seed in
+    let scale = scale_of_full full in
+    match (String.lowercase_ascii id, outdir) with
+    | "all", Some dir ->
+        let paths = Simulate.Export.export_all ~dir ~rng ~scale () in
+        List.iter print_endline paths;
+        Ok ()
+    | "all", None -> Error "csv all requires --outdir"
+    | _, _ -> (
+        match resolve id with
+        | Error m -> Error m
+        | Ok e -> (
+            match outdir with
+            | Some dir ->
+                let paths = Simulate.Export.export_experiment ~dir ~rng ~scale e in
+                List.iter print_endline paths;
+                Ok ()
+            | None ->
+                let tables = e.run ~rng ~scale in
+                List.iter (fun t -> print_string (Stats.Table.to_csv t)) tables;
+                Ok ()))
+  in
+  let term = Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg $ outdir_arg)) in
+  Cmd.v (Cmd.info "csv" ~doc:"Run experiments and emit CSV (stdout or --outdir)") term
+
+let bounds_cmd =
+  (* A closed-form calculator for the paper's bounds: plug in model
+     parameters, read off every applicable expression. *)
+  let n_arg = Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"number of nodes") in
+  let p_arg =
+    Arg.(value & opt (some float) None & info [ "p" ] ~doc:"edge-MEG birth probability")
+  in
+  let q_arg =
+    Arg.(value & opt float 0.5 & info [ "q" ] ~doc:"edge-MEG death probability")
+  in
+  let l_arg =
+    Arg.(value & opt (some float) None & info [ "L" ] ~doc:"side of the mobility square")
+  in
+  let r_arg = Arg.(value & opt float 1.0 & info [ "r" ] ~doc:"transmission radius") in
+  let v_arg = Arg.(value & opt float 1.0 & info [ "v" ] ~doc:"maximum node speed") in
+  let run n p l r v q =
+    let table =
+      Stats.Table.create ~title:(Printf.sprintf "closed-form bounds at n = %d" n)
+        ~columns:[ "bound"; "value"; "paper source" ]
+    in
+    let add name value source =
+      Stats.Table.add_row table [ Text name; Float value; Text source ]
+    in
+    (match p with
+    | Some p ->
+        add "edge-MEG log n / log(1+np)" (Theory.Bounds.edge_meg_eq2 ~n ~p) "Eq. 2 [10]";
+        add "edge-MEG Theorem 1 form" (Theory.Bounds.edge_meg_general ~n ~p ~q) "Appendix A";
+        let ts = Markov.Two_state.make ~p ~q in
+        add "per-edge stationary probability" (Markov.Two_state.stationary_on ts) "alpha";
+        add "per-edge mixing time" (float_of_int (Markov.Two_state.mixing_time ts)) "T_mix"
+    | None -> ());
+    (match l with
+    | Some l ->
+        add "waypoint flooding bound" (Theory.Bounds.waypoint ~l ~v_max:v ~r ~n) "Sec. 4.1";
+        add "waypoint mixing scale L/v" (l /. v) "[1, 29]";
+        add "propagation lower bound L/(r+v)"
+          (Theory.Bounds.lower_bound_propagation ~l ~r ~v)
+          "trivial"
+    | None -> ());
+    add "log^2 n" (Theory.Bounds.log2n n) "-";
+    add "log^3 n" (Theory.Bounds.log3n n) "-";
+    print_string (Stats.Table.render table)
+  in
+  let term = Term.(const run $ n_arg $ p_arg $ l_arg $ r_arg $ v_arg $ q_arg) in
+  Cmd.v (Cmd.info "bounds" ~doc:"Evaluate the paper's closed-form bounds") term
+
+let () =
+  let info =
+    Cmd.info "dyngraph" ~version:"1.0.0"
+      ~doc:"Flooding-time experiments on Markovian evolving graphs"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; csv_cmd; verify_cmd; bounds_cmd ]))

@@ -1,0 +1,1 @@
+examples/augmented_grid.ml: Core Graph List Markov Printf Prng Random_path Stats

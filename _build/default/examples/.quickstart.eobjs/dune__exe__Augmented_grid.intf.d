@@ -1,0 +1,1 @@
+examples/augmented_grid.mli:

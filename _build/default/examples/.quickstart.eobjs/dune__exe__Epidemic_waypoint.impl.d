@@ -1,0 +1,1 @@
+examples/epidemic_waypoint.ml: Array Core List Mobility Printf Prng Stats String

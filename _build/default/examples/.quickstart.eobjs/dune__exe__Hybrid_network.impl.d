@@ -1,0 +1,1 @@
+examples/hybrid_network.ml: Array Core Edge_meg Graph List Mobility Printf Prng Stats

@@ -1,0 +1,1 @@
+examples/hybrid_network.mli:

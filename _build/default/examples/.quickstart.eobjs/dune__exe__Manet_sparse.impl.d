@@ -1,0 +1,1 @@
+examples/manet_sparse.ml: Core Graph List Mobility Printf Prng Stats Theory

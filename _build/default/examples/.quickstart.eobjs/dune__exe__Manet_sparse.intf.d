@@ -1,0 +1,1 @@
+examples/manet_sparse.mli:

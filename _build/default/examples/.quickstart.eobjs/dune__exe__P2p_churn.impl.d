@@ -1,0 +1,1 @@
+examples/p2p_churn.ml: Array Core Edge_meg List Markov Printf Prng Stats Theory

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Edge_meg Markov Mobility Printf Prng Stats String Theory

@@ -1,0 +1,54 @@
+(* Random walkers on k-augmented grids: when does extra local
+   connectivity help information spread?
+
+     dune exec examples/augmented_grid.exe
+
+   The paper's Corollary 6 example: take an s-point grid, add an edge
+   between every pair of points within Manhattan distance k, and let n
+   walkers do lazy random walks, infecting co-located walkers. The
+   meeting-time baseline of [15] predicts no improvement with k (two
+   walks still need ~s log s steps to meet); the paper's mixing-time
+   bound improves by k^2 — and the measurement follows the mixing
+   time. *)
+
+let () =
+  let rng = Prng.Rng.of_seed 5 in
+  let side = 14 in
+  let s = side * side in
+  let n = s in
+  Printf.printf "%dx%d grid (%d points), %d lazy walkers, infect on co-location\n\n" side side
+    s n;
+  let table =
+    Stats.Table.create ~title:"augmentation radius k"
+      ~columns:
+        [ "k"; "degree"; "diameter"; "walk T_mix"; "meeting T*"; "flood mean"; "flood sd" ]
+  in
+  List.iter
+    (fun k ->
+      let h = Graph.Builders.augmented_grid ~rows:side ~cols:side ~k in
+      let t_mix =
+        match Markov.Chain.mixing_time ~max_t:3000 (Markov.Walk.lazy_chain h) with
+        | Some t -> Stats.Table.Int t
+        | None -> Stats.Table.Text ">3000"
+      in
+      let meeting =
+        Markov.Walk.mean_meeting_time ~rng:(Prng.Rng.split rng) ~trials:30 h
+      in
+      let walkers = Random_path.Rp_model.random_walk ~n h in
+      let flood = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials:10 walkers in
+      Stats.Table.add_row table
+        [
+          Int k;
+          Fixed (2. *. float_of_int (Graph.Static.m h) /. float_of_int s, 1);
+          Int (Graph.Traverse.diameter h);
+          t_mix;
+          Fixed (meeting, 0);
+          Fixed (Stats.Summary.mean flood, 1);
+          Fixed (Stats.Summary.stddev flood, 1);
+        ])
+    [ 1; 2; 3; 4 ];
+  print_string (Stats.Table.render table);
+  Printf.printf
+    "\nMeeting time barely moves with k (the [15] baseline bound is stuck), while\n\
+     mixing time and measured flooding both collapse — the paper's Corollary 6\n\
+     captures the real mechanism.\n"

@@ -1,0 +1,43 @@
+(* Where do mobile nodes actually spend their time?
+
+     dune exec examples/density_map.exe
+
+   Renders the stationary positional distribution of three mobility
+   models as ASCII heatmaps and extracts the (delta, lambda) uniformity
+   constants that Corollary 4 consumes. The waypoint's center bias —
+   the reason its analysis resisted random-walk techniques — is visible
+   at a glance; the random-direction control is flat; the disk-region
+   waypoint shows the same bias inside a round boundary. *)
+
+let profile_of geo rng = Mobility.Density.estimate ~geo ~rng ~bins:24 ~samples:400 ()
+
+let show name ?mask profile =
+  let u = Mobility.Density.uniformity ?mask profile in
+  Printf.printf "%s\n%s" name (Mobility.Density.render profile);
+  Printf.printf "  delta = %.2f   lambda = %.2f   center/edge density ratio = %.1f\n\n"
+    u.delta u.lambda u.center_to_corner
+
+let () =
+  let rng = Prng.Rng.of_seed 11 in
+  let n = 250 and l = 24. in
+  Printf.printf "Stationary occupancy heatmaps (%d nodes, %.0fx%.0f region, 24x24 cells)\n\n" n l l;
+
+  let waypoint = Mobility.Waypoint.create ~n ~l ~r:1. ~v_min:1. ~v_max:1.25 () in
+  show "random waypoint (square):" (profile_of waypoint (Prng.Rng.split rng));
+
+  let direction = Mobility.Direction.create ~n ~l ~r:1. ~v:1. ~turn_every:8. () in
+  show "random direction (square, control):" (profile_of direction (Prng.Rng.split rng));
+
+  let disk =
+    Mobility.Waypoint.create ~region:Mobility.Waypoint.Disk ~n ~l ~r:1. ~v_min:1.
+      ~v_max:1.25 ()
+  in
+  show "random waypoint (disk region):"
+    ~mask:(Mobility.Waypoint.region_contains Mobility.Waypoint.Disk ~l)
+    (profile_of disk (Prng.Rng.split rng));
+
+  Printf.printf
+    "The waypoint mass piles up in the middle (Corollary 4's delta stays a small\n\
+     constant anyway — that is the point of conditions (a) and (b)); the\n\
+     random-direction model is near-uniform; the disk shows the same physics\n\
+     inside a curved boundary, which the paper's general region statement covers.\n"

@@ -1,0 +1,75 @@
+(* Delay-tolerant MANET in the paper's headline regime.
+
+     dune exec examples/manet_sparse.exe
+
+   The setting the paper singles out as "the model setting that best
+   fits opportunistic delay-tolerant Mobile Ad-hoc Networks": a square
+   of side L ~ sqrt(n) with constant transmission radius and constant
+   node speed. Every snapshot is sparse and highly disconnected —
+   messages move because nodes move — yet flooding completes in
+   ~sqrt(n) polylog steps.
+
+   This example quantifies "highly disconnected": per-snapshot isolated
+   fraction, component count, largest component, then shows flooding
+   succeeding anyway and compares with the Omega(L/(r+v)) floor. *)
+
+let () =
+  let rng = Prng.Rng.of_seed 31 in
+  let r = 1.0 and v = 1.0 in
+
+  Printf.printf "Sparse delay-tolerant MANET: L = sqrt(n), r = %.1f, v = %.1f\n\n" r v;
+  let table =
+    Stats.Table.create ~title:"snapshot structure vs flooding"
+      ~columns:
+        [
+          "n";
+          "L";
+          "isolated %";
+          "components";
+          "largest comp %";
+          "flood mean";
+          "flood / (L/(r+v))";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let l = sqrt (float_of_int n) in
+      let manet = Mobility.Waypoint.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
+      (* Snapshot statistics in steady state, averaged over snapshots. *)
+      Core.Dynamic.reset manet (Prng.Rng.split rng);
+      let warmup = int_of_float (3. *. l) in
+      for _ = 1 to warmup do
+        Core.Dynamic.step manet
+      done;
+      let snaps = 30 in
+      let iso = Stats.Summary.create () in
+      let comps = Stats.Summary.create () in
+      let largest = Stats.Summary.create () in
+      for _ = 1 to snaps do
+        let g = Core.Dynamic.snapshot_graph manet in
+        Stats.Summary.add iso (100. *. Core.Dynamic.isolated_fraction manet);
+        Stats.Summary.add comps (float_of_int (Graph.Traverse.n_components g));
+        Stats.Summary.add largest
+          (100. *. float_of_int (Graph.Traverse.largest_component_size g) /. float_of_int n);
+        for _ = 1 to 5 do
+          Core.Dynamic.step manet
+        done
+      done;
+      let flood = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials:10 manet in
+      let floor = Theory.Bounds.lower_bound_propagation ~l ~r ~v:(1.25 *. v) in
+      Stats.Table.add_row table
+        [
+          Int n;
+          Fixed (l, 1);
+          Fixed (Stats.Summary.mean iso, 1);
+          Fixed (Stats.Summary.mean comps, 1);
+          Fixed (Stats.Summary.mean largest, 1);
+          Fixed (Stats.Summary.mean flood, 1);
+          Fixed (Stats.Summary.mean flood /. floor, 2);
+        ])
+    [ 64; 144; 256; 400 ];
+  print_string (Stats.Table.render table);
+  Printf.printf
+    "\nEvery snapshot is shattered into many components (most nodes see nobody),\n\
+     yet flooding finishes within a small factor of the mobility floor L/(r+v):\n\
+     store-carry-forward emerges from plain flooding on the dynamic graph.\n"

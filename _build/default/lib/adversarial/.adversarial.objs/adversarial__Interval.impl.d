@@ -1,0 +1,1 @@
+lib/adversarial/interval.ml: Array Core Graph List Set

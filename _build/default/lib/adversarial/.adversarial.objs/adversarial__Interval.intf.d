@@ -1,0 +1,1 @@
+lib/adversarial/interval.mli: Core Prng

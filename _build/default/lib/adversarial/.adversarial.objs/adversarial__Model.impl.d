@@ -1,0 +1,1 @@
+lib/adversarial/model.ml: Array Core Prng

@@ -1,0 +1,1 @@
+lib/adversarial/model.mli: Core

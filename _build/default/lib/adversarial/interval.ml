@@ -1,0 +1,41 @@
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let normalise edges =
+  List.fold_left (fun acc (u, v) -> Edge_set.add (min u v, max u v) acc) Edge_set.empty edges
+
+let connected ~n edge_set =
+  let graph = Graph.Static.of_edges ~n (Edge_set.elements edge_set) in
+  Graph.Traverse.is_connected graph
+
+let windows_connected ~n snapshots ~t =
+  let len = List.length snapshots in
+  if t < 1 then invalid_arg "Interval.windows_connected: t must be >= 1";
+  if t > len then invalid_arg "Interval.windows_connected: t exceeds sequence length";
+  let sets = Array.of_list (List.map normalise snapshots) in
+  let ok = ref true in
+  for start = 0 to len - t do
+    let inter = ref sets.(start) in
+    for i = start + 1 to start + t - 1 do
+      inter := Edge_set.inter !inter sets.(i)
+    done;
+    if not (connected ~n !inter) then ok := false
+  done;
+  !ok
+
+let record g ~rng ~steps =
+  Core.Dynamic.reset g rng;
+  let acc = ref [] in
+  for i = 0 to steps - 1 do
+    if i > 0 then Core.Dynamic.step g;
+    acc := Core.Dynamic.snapshot_edges g :: !acc
+  done;
+  List.rev !acc
+
+let max_interval ~n snapshots =
+  let len = List.length snapshots in
+  let rec search t = if t > len then len else if windows_connected ~n snapshots ~t then search (t + 1) else t - 1 in
+  search 1

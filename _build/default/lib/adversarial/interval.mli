@@ -1,0 +1,22 @@
+(** T-interval connectivity [21]: a dynamic graph is T-interval
+    connected if for every window of T consecutive snapshots there is a
+    single connected spanning subgraph present in all of them. T = 1 is
+    "every snapshot connected"; larger T is the stability assumption
+    under which [21] prove their dissemination bounds. The paper under
+    reproduction needs no such stability — its Markovian models are
+    typically not even 1-interval connected — and this checker makes
+    that contrast measurable. *)
+
+val windows_connected : n:int -> (int * int) list list -> t:int -> bool
+(** [windows_connected ~n snapshots ~t] checks T-interval connectivity
+    of the given finite snapshot sequence: for every [t] consecutive
+    snapshots, the intersection of their edge sets is connected on
+    [n] nodes. Requires [t >= 1] and [t <= length snapshots]. *)
+
+val record : Core.Dynamic.t -> rng:Prng.Rng.t -> steps:int -> (int * int) list list
+(** Reset the process and record [steps] consecutive snapshots as
+    normalised edge lists, for feeding {!windows_connected}. *)
+
+val max_interval : n:int -> (int * int) list list -> int
+(** The largest [t] for which the sequence is t-interval connected
+    (0 if even single snapshots are disconnected). *)

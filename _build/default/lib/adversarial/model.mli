@@ -1,0 +1,32 @@
+(** Worst-case (non-random) dynamic graphs, after Kuhn–Lynch–Oshman
+    [21] — the adversarial counterpoint to the paper's Markovian
+    models. The paper's bounds need stationarity; these models show
+    what they are protecting against: an always-connected,
+    constant-diameter dynamic graph on which flooding still needs
+    Ω(n) rounds.
+
+    All models here are deterministic (the adversary ignores the seed),
+    so they double as precise fixtures for the flooding machinery. *)
+
+val rotating_star : n:int -> Core.Dynamic.t
+(** At time t the snapshot is a star centred on node [(t + 1) mod n].
+    Every snapshot is connected with diameter 2, yet flooding from
+    source 0 takes exactly n - 1 steps: at each step the only new
+    informed node is the current centre (an uninformed centre relays
+    nothing to its leaves in the same round). The oblivious version of
+    [21]'s lower-bound construction, worst for source 0. *)
+
+val rotating_matching : n:int -> Core.Dynamic.t
+(** At time t the snapshot is the perfect matching pairing u with
+    u XOR (a rotating one-bit mask): the hypercube dimensions taken
+    round-robin. Requires [n] a power of two (>= 2). Every node has
+    degree exactly 1 per snapshot, and flooding from any source
+    completes in exactly log2 n steps — the fastest any degree-1
+    dynamic graph can go (|I| at most doubles per step). *)
+
+val random_matching : rng_hint:unit -> n:int -> Core.Dynamic.t
+(** At each step a fresh uniformly random (near-)perfect matching: the
+    memoryless Markovian cousin of {!rotating_matching} (odd [n] leaves
+    one node unmatched). Randomness comes from the generator passed at
+    [reset]; the [rng_hint] argument only documents that this model,
+    unlike the others in this module, is stochastic. *)

@@ -1,0 +1,1 @@
+lib/core/dyn_walk.ml: Array Dynamic List Prng

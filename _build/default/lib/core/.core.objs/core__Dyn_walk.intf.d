@@ -1,0 +1,1 @@
+lib/core/dyn_walk.mli: Dynamic Prng

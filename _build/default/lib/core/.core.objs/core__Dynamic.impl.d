@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Graph Hashtbl List Prng

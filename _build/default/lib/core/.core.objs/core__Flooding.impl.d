@@ -1,0 +1,1 @@
+lib/core/flooding.ml: Array Dynamic List Prng Stats

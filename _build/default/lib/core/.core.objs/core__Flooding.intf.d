@@ -1,0 +1,1 @@
+lib/core/flooding.mli: Dynamic Prng Stats

@@ -1,0 +1,1 @@
+lib/core/gossip.ml: Array Dynamic List Prng Stats

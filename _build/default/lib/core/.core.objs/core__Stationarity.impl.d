@@ -1,0 +1,1 @@
+lib/core/stationarity.ml: Array Dynamic Float List Prng

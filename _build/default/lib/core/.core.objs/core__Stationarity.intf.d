@@ -1,0 +1,1 @@
+lib/core/stationarity.mli: Dynamic Prng

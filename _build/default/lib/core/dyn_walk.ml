@@ -1,0 +1,74 @@
+let default_cap n = 10_000 + (500 * n)
+
+let step_walk ~hold rng adj u =
+  if hold > 0. && Prng.Rng.bernoulli rng hold then u
+  else
+    match adj.(u) with
+    | [] -> u
+    | neighbours -> List.nth neighbours (Prng.Rng.int rng (List.length neighbours))
+
+let walk_until ?cap ?(hold = 0.5) ~rng ~start ~stop g =
+  let n = Dynamic.n g in
+  if start < 0 || start >= n then invalid_arg "Dyn_walk: start out of range";
+  if not (hold >= 0. && hold < 1.) then invalid_arg "Dyn_walk: hold outside [0, 1)";
+  let cap = match cap with Some c -> c | None -> default_cap n in
+  Dynamic.reset g (Prng.Rng.split rng);
+  let position = ref start in
+  let t = ref 0 in
+  let finished = ref (stop ~position:!position ~time:0) in
+  while (not !finished) && !t < cap do
+    let adj = Dynamic.adjacency g in
+    position := step_walk ~hold rng adj !position;
+    Dynamic.step g;
+    incr t;
+    finished := stop ~position:!position ~time:!t
+  done;
+  if !finished then Some !t else None
+
+let hitting_time ?cap ?hold ~rng ~start ~target g =
+  let n = Dynamic.n g in
+  if target < 0 || target >= n then invalid_arg "Dyn_walk.hitting_time: target out of range";
+  walk_until ?cap ?hold ~rng ~start ~stop:(fun ~position ~time:_ -> position = target) g
+
+let cover_time ?cap ?hold ~rng ~start g =
+  let n = Dynamic.n g in
+  let visited = Array.make n false in
+  let n_visited = ref 0 in
+  let note u =
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      incr n_visited
+    end
+  in
+  walk_until ?cap ?hold ~rng ~start
+    ~stop:(fun ~position ~time:_ ->
+      note position;
+      !n_visited = n)
+    g
+
+let averaged ?cap ?hold ~rng ~trials g one =
+  if trials < 1 then invalid_arg "Dyn_walk: trials must be >= 1";
+  let n = Dynamic.n g in
+  let cap_value = match cap with Some c -> c | None -> default_cap n in
+  let acc = ref 0. in
+  for i = 0 to trials - 1 do
+    let trial_rng = Prng.Rng.substream rng i in
+    let t =
+      match one ~cap:cap_value ?hold ~rng:trial_rng g with
+      | Some t -> t
+      | None -> cap_value
+    in
+    acc := !acc +. float_of_int t
+  done;
+  !acc /. float_of_int trials
+
+let mean_hitting_time ?cap ?hold ~rng ~trials g =
+  let n = Dynamic.n g in
+  averaged ?cap ?hold ~rng ~trials g (fun ~cap ?hold ~rng g ->
+      let start = Prng.Rng.int rng n and target = Prng.Rng.int rng n in
+      hitting_time ~cap ?hold ~rng ~start ~target g)
+
+let mean_cover_time ?cap ?hold ~rng ~trials g =
+  let n = Dynamic.n g in
+  averaged ?cap ?hold ~rng ~trials g (fun ~cap ?hold ~rng g ->
+      cover_time ~cap ?hold ~rng ~start:(Prng.Rng.int rng n) g)

@@ -1,0 +1,127 @@
+type t = {
+  n : int;
+  reset : Prng.Rng.t -> unit;
+  step : unit -> unit;
+  iter_edges : (int -> int -> unit) -> unit;
+}
+
+let make ~n ~reset ~step ~iter_edges =
+  if n < 1 then invalid_arg "Dynamic.make: n must be >= 1";
+  { n; reset; step; iter_edges }
+
+let n t = t.n
+
+let reset t rng = t.reset rng
+
+let step t = t.step ()
+
+let iter_edges t f = t.iter_edges f
+
+let snapshot_edges t =
+  let acc = ref [] in
+  t.iter_edges (fun u v -> acc := (min u v, max u v) :: !acc);
+  List.sort_uniq compare !acc
+
+let snapshot_graph t = Graph.Static.of_edges ~n:t.n (snapshot_edges t)
+
+let adjacency t =
+  let adj = Array.make t.n [] in
+  t.iter_edges (fun u v ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v));
+  adj
+
+let edge_count t =
+  let c = ref 0 in
+  t.iter_edges (fun _ _ -> incr c);
+  !c
+
+let isolated_fraction t =
+  let touched = Array.make t.n false in
+  t.iter_edges (fun u v ->
+      touched.(u) <- true;
+      touched.(v) <- true);
+  let isolated = ref 0 in
+  Array.iter (fun b -> if not b then incr isolated) touched;
+  float_of_int !isolated /. float_of_int t.n
+
+let of_static g =
+  {
+    n = Graph.Static.n g;
+    reset = (fun _ -> ());
+    step = (fun () -> ());
+    iter_edges = (fun f -> Graph.Static.iter_edges g f);
+  }
+
+let of_snapshots ~n snapshots =
+  if Array.length snapshots = 0 then invalid_arg "Dynamic.of_snapshots: empty sequence";
+  let idx = ref 0 in
+  {
+    n;
+    reset = (fun _ -> idx := 0);
+    step = (fun () -> idx := (!idx + 1) mod Array.length snapshots);
+    iter_edges = (fun f -> List.iter (fun (u, v) -> f u v) snapshots.(!idx));
+  }
+
+let filter_edges ~p_keep inner =
+  if not (p_keep >= 0. && p_keep <= 1.) then
+    invalid_arg "Dynamic.filter_edges: p_keep outside [0, 1]";
+  let rng = ref (Prng.Rng.of_seed 0) in
+  (* The filter decision for an edge must be stable within one snapshot
+     (iter_edges may be called several times between steps), so decisions
+     are cached per step and invalidated on step/reset. *)
+  let cache = Hashtbl.create 256 in
+  let invalidate () = Hashtbl.reset cache in
+  let keep u v =
+    let key = (min u v, max u v) in
+    match Hashtbl.find_opt cache key with
+    | Some b -> b
+    | None ->
+        let b = Prng.Rng.bernoulli !rng p_keep in
+        Hashtbl.add cache key b;
+        b
+  in
+  {
+    n = inner.n;
+    reset =
+      (fun r ->
+        inner.reset (Prng.Rng.split r);
+        rng := Prng.Rng.split r;
+        invalidate ());
+    step =
+      (fun () ->
+        inner.step ();
+        invalidate ());
+    iter_edges = (fun f -> inner.iter_edges (fun u v -> if keep u v then f u v));
+  }
+
+let subsample ~every inner =
+  if every < 1 then invalid_arg "Dynamic.subsample: every must be >= 1";
+  {
+    n = inner.n;
+    reset = inner.reset;
+    step =
+      (fun () ->
+        for _ = 1 to every do
+          inner.step ()
+        done);
+    iter_edges = inner.iter_edges;
+  }
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Dynamic.union: node-count mismatch";
+  {
+    n = a.n;
+    reset =
+      (fun r ->
+        a.reset (Prng.Rng.split r);
+        b.reset (Prng.Rng.split r));
+    step =
+      (fun () ->
+        a.step ();
+        b.step ());
+    iter_edges =
+      (fun f ->
+        a.iter_edges f;
+        b.iter_edges f);
+  }

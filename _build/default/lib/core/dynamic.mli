@@ -1,0 +1,81 @@
+(** Dynamic graphs: stochastic processes G([n], {E_t}).
+
+    A value of type {!t} owns hidden mutable state (node positions, edge
+    chain states, ...). [reset rng] (re)initialises that state — drawing
+    the initial configuration from the model's initial distribution using
+    [rng] — and produces the snapshot E_0. Each [step ()] advances the
+    process one time unit to the next snapshot. [iter_edges f] visits
+    every edge of the *current* snapshot exactly once (in either
+    orientation).
+
+    All concrete models in this repository (edge-MEGs, node-MEGs,
+    mobility models, random-path models) are exposed through this one
+    interface, which is what lets the flooding analysis run unchanged
+    over all of them — the code-level counterpart of the paper's claim
+    of generality. *)
+
+type t
+
+val make :
+  n:int ->
+  reset:(Prng.Rng.t -> unit) ->
+  step:(unit -> unit) ->
+  iter_edges:((int -> int -> unit) -> unit) ->
+  t
+(** Wrap a model. [n] is the (fixed) number of nodes. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val reset : t -> Prng.Rng.t -> unit
+(** Draw a fresh initial configuration; the current snapshot becomes
+    E_0. The model must keep (a split of) [rng] for its own later use. *)
+
+val step : t -> unit
+(** Advance to the next snapshot. Undefined before the first {!reset}. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate the current snapshot's edges, each exactly once. *)
+
+val snapshot_edges : t -> (int * int) list
+(** Materialise the current snapshot as an edge list with [u < v]. *)
+
+val snapshot_graph : t -> Graph.Static.t
+(** Materialise the current snapshot as a static graph. *)
+
+val adjacency : t -> int list array
+(** Current snapshot as adjacency lists (both directions). *)
+
+val edge_count : t -> int
+(** Number of edges in the current snapshot. *)
+
+val isolated_fraction : t -> float
+(** Fraction of nodes with no incident edge in the current snapshot. *)
+
+val of_static : Graph.Static.t -> t
+(** The constant process: every snapshot is the given graph. *)
+
+val of_snapshots : n:int -> (int * int) list array -> t
+(** Deterministic process cycling through the given finite snapshot
+    sequence; mainly for tests. [reset] restarts at index 0. *)
+
+val filter_edges : p_keep:float -> t -> t
+(** [filter_edges ~p_keep g] is the "virtual dynamic graph" of the
+    paper's Section 5: each snapshot edge of [g] is kept independently
+    with probability [p_keep], fresh randomness each step. Resetting the
+    filtered process resets [g] with a split of the provided generator
+    and re-seeds the filter with another split. *)
+
+val union : t -> t -> t
+(** Superposition of two processes on the same node set: an edge is
+    present when present in either. Both advance in lock-step. Edges may
+    be reported twice (consumers tolerate duplicates). *)
+
+val subsample : every:int -> t -> t
+(** [subsample ~every:m g] observes only every m-th snapshot of [g]:
+    one [step] of the result advances [g] by [m] steps. This is the
+    epoch-granularity view used throughout the paper's analysis (its
+    lemmas only look at the graph at times τM); flooding on the
+    subsampled process, multiplied by [m], upper-bounds flooding on
+    [g], and the gap measures the slack the epoch argument gives
+    away. *)

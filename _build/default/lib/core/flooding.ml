@@ -1,0 +1,102 @@
+type protocol = Flood | Push of float | Parsimonious of int
+
+type result = { time : int option; trajectory : int array; arrivals : int array }
+
+let default_cap n = 10_000 + (200 * n)
+
+let run ?cap ?(protocol = Flood) ~rng ~source g =
+  let n = Dynamic.n g in
+  if source < 0 || source >= n then invalid_arg "Flooding.run: source out of range";
+  (match protocol with
+  | Push p when not (p > 0. && p <= 1.) ->
+      invalid_arg "Flooding.run: push probability outside (0, 1]"
+  | Parsimonious k when k < 1 -> invalid_arg "Flooding.run: parsimonious window must be >= 1"
+  | Flood | Push _ | Parsimonious _ -> ());
+  let cap = match cap with Some c -> c | None -> default_cap n in
+  Dynamic.reset g (Prng.Rng.split rng);
+  let informed = Array.make n false in
+  let informed_at = Array.make n max_int in
+  informed.(source) <- true;
+  informed_at.(source) <- 0;
+  let n_informed = ref 1 in
+  let trajectory = ref [ 1 ] in
+  let fresh = ref [] in
+  let t = ref 0 in
+  let active u =
+    match protocol with
+    | Flood | Push _ -> informed.(u)
+    | Parsimonious k -> informed.(u) && !t - informed_at.(u) < k
+  in
+  let transmits () =
+    match protocol with Push p -> Prng.Rng.bernoulli rng p | Flood | Parsimonious _ -> true
+  in
+  let consider sender receiver =
+    if active sender && (not informed.(receiver)) && transmits () then
+      fresh := receiver :: !fresh
+  in
+  while !n_informed < n && !t < cap do
+    (* Edges of E_t determine I_{t+1}. *)
+    fresh := [];
+    Dynamic.iter_edges g (fun u v ->
+        consider u v;
+        consider v u);
+    incr t;
+    List.iter
+      (fun v ->
+        if not informed.(v) then begin
+          informed.(v) <- true;
+          informed_at.(v) <- !t;
+          incr n_informed
+        end)
+      !fresh;
+    trajectory := !n_informed :: !trajectory;
+    Dynamic.step g
+  done;
+  {
+    time = (if !n_informed = n then Some !t else None);
+    trajectory = Array.of_list (List.rev !trajectory);
+    arrivals = Array.map (fun at -> if at = max_int then -1 else at) informed_at;
+  }
+
+let time ?cap ?protocol ~rng ~source g = (run ?cap ?protocol ~rng ~source g).time
+
+let mean_time ?cap ?protocol ~rng ~trials ?(source = 0) g =
+  if trials < 1 then invalid_arg "Flooding.mean_time: trials must be >= 1";
+  let n = Dynamic.n g in
+  let cap_value = match cap with Some c -> c | None -> default_cap n in
+  let summary = Stats.Summary.create () in
+  for i = 0 to trials - 1 do
+    let trial_rng = Prng.Rng.substream rng i in
+    let t =
+      match time ~cap:cap_value ?protocol ~rng:trial_rng ~source g with
+      | Some t -> t
+      | None -> cap_value
+    in
+    Stats.Summary.add summary (float_of_int t)
+  done;
+  summary
+
+let characteristic_time result =
+  let total = ref 0 and count = ref 0 in
+  Array.iter
+    (fun a ->
+      if a > 0 then begin
+        total := !total + a;
+        incr count
+      end)
+    result.arrivals;
+  if !count = 0 then nan else float_of_int !total /. float_of_int !count
+
+let worst_source_time ?cap ?protocol ~rng ?sources g =
+  let n = Dynamic.n g in
+  let cap_value = match cap with Some c -> c | None -> default_cap n in
+  let sources = match sources with Some l -> l | None -> List.init n (fun i -> i) in
+  List.fold_left
+    (fun acc s ->
+      let t =
+        match time ~cap:cap_value ?protocol ~rng:(Prng.Rng.substream rng s) ~source:s g with
+        | Some t -> t
+        | None -> cap_value
+      in
+      max acc t)
+    0 sources

@@ -1,0 +1,67 @@
+(** The flooding process of the paper (Section 2) and the protocol
+    variants discussed in its conclusions.
+
+    Flooding with source [s]: I_0 = {s}; a node joins I_{t+1} iff some
+    edge of E_t connects it to a node of I_t. The flooding time with
+    source [s] is min {t : I_t = [n]}, and the flooding time of the
+    process is the maximum over sources. *)
+
+type protocol =
+  | Flood
+      (** Deterministic flooding: every informed node transmits on every
+          incident edge, every step. *)
+  | Push of float
+      (** [Push p]: each informed node transmits over each incident edge
+          independently with probability [p] per step — equivalent to
+          flooding on the "virtual dynamic graph" of Section 5 in which
+          a random subset of edges is removed. *)
+  | Parsimonious of int
+      (** [Parsimonious k]: a node transmits only during the [k] steps
+          after it becomes informed (the model of Baumann et al. [4]). *)
+
+type result = {
+  time : int option;
+      (** Flooding time: steps until every node is informed; [None] if
+          the cap was reached first. *)
+  trajectory : int array;
+      (** [trajectory.(t)] = |I_t|, for t = 0 .. completion (or cap). *)
+  arrivals : int array;
+      (** [arrivals.(v)] = the step at which node [v] became informed
+          (0 for the source), or -1 if it never did. These are the
+          "temporal distances" from the source: on a static graph they
+          equal BFS distances. *)
+}
+
+val run :
+  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> result
+(** Run one flooding execution. Resets the process with a split of
+    [rng]; the remainder of [rng] drives the protocol's own coins (for
+    [Push]). [cap] defaults to [10_000 + 200 * n] steps. *)
+
+val time :
+  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> int option
+(** Flooding time only. *)
+
+val mean_time :
+  ?cap:int ->
+  ?protocol:protocol ->
+  rng:Prng.Rng.t ->
+  trials:int ->
+  ?source:int ->
+  Dynamic.t ->
+  Stats.Summary.t
+(** Flooding-time summary over [trials] independent runs (independent
+    substreams of [rng]). Capped runs are recorded at the cap value, so
+    means are conservative underestimates; check [max] against the cap.
+    [source] defaults to node 0 (models here are node-symmetric). *)
+
+val characteristic_time : result -> float
+(** Mean arrival time over the informed nodes (the average broadcast
+    latency, as opposed to [time], the worst-case one). [nan] when only
+    the source was informed. *)
+
+val worst_source_time :
+  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> ?sources:int list -> Dynamic.t -> int
+(** max over sources of one flooding run each (all nodes by default);
+    capped runs count as the cap. The F(G) = max_s F(G, s) of the
+    paper, estimated with one run per source. *)

@@ -1,0 +1,69 @@
+type variant = Push | Pull | Push_pull
+
+type result = { time : int option; trajectory : int array; contacts : int }
+
+let run ?cap ~variant ~rng ~source g =
+  let n = Dynamic.n g in
+  if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
+  let cap = match cap with Some c -> c | None -> 10_000 + (200 * n) in
+  Dynamic.reset g (Prng.Rng.split rng);
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let n_informed = ref 1 in
+  let trajectory = ref [ 1 ] in
+  let contacts = ref 0 in
+  let t = ref 0 in
+  while !n_informed < n && !t < cap do
+    let adj = Dynamic.adjacency g in
+    let fresh = ref [] in
+    for u = 0 to n - 1 do
+      match adj.(u) with
+      | [] -> ()
+      | neighbours ->
+          let pick () =
+            incr contacts;
+            List.nth neighbours (Prng.Rng.int rng (List.length neighbours))
+          in
+          (match variant with
+          | Push | Push_pull ->
+              if informed.(u) then begin
+                let v = pick () in
+                if not informed.(v) then fresh := v :: !fresh
+              end
+          | Pull -> ());
+          (match variant with
+          | Pull | Push_pull ->
+              if not informed.(u) then begin
+                let v = pick () in
+                if informed.(v) then fresh := u :: !fresh
+              end
+          | Push -> ())
+    done;
+    incr t;
+    List.iter
+      (fun v ->
+        if not informed.(v) then begin
+          informed.(v) <- true;
+          incr n_informed
+        end)
+      !fresh;
+    trajectory := !n_informed :: !trajectory;
+    Dynamic.step g
+  done;
+  {
+    time = (if !n_informed = n then Some !t else None);
+    trajectory = Array.of_list (List.rev !trajectory);
+    contacts = !contacts;
+  }
+
+let mean_time ?cap ~variant ~rng ~trials ?(source = 0) g =
+  if trials < 1 then invalid_arg "Gossip.mean_time: trials must be >= 1";
+  let n = Dynamic.n g in
+  let cap_value = match cap with Some c -> c | None -> 10_000 + (200 * n) in
+  let summary = Stats.Summary.create () in
+  for i = 0 to trials - 1 do
+    let r = run ~cap:cap_value ~variant ~rng:(Prng.Rng.substream rng i) ~source g in
+    let value = match r.time with Some t -> t | None -> cap_value in
+    Stats.Summary.add summary (float_of_int value)
+  done;
+  summary

@@ -1,0 +1,44 @@
+type analysis = {
+  spreading_time : int option;
+  saturation_time : int option;
+  doubling_times : (int * int) list;
+  max_doubling_gap : int option;
+}
+
+let time_to_reach trajectory k =
+  let n = Array.length trajectory in
+  let rec go t = if t >= n then None else if trajectory.(t) >= k then Some t else go (t + 1) in
+  go 0
+
+let analyze ~n trajectory =
+  if n < 1 then invalid_arg "Phases.analyze: n must be >= 1";
+  let half = (n + 1) / 2 in
+  let spreading_time = time_to_reach trajectory half in
+  let full_time = time_to_reach trajectory n in
+  let saturation_time =
+    match (spreading_time, full_time) with
+    | Some s, Some f -> Some (f - s)
+    | _ -> None
+  in
+  let rec targets k acc =
+    let target = 1 lsl k in
+    if target >= n then List.rev ((n, k) :: acc) else targets (k + 1) ((target, k) :: acc)
+  in
+  let doubling_times =
+    targets 0 []
+    |> List.filter_map (fun (target, _) ->
+           match time_to_reach trajectory target with
+           | Some t -> Some (target, t)
+           | None -> None)
+  in
+  let max_doubling_gap =
+    let spreading =
+      List.filter (fun (target, _) -> target <= half) doubling_times |> List.map snd
+    in
+    let rec gaps = function
+      | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+      | [ _ ] | [] -> []
+    in
+    match gaps spreading with [] -> None | gs -> Some (List.fold_left max 0 gs)
+  in
+  { spreading_time; saturation_time; doubling_times; max_doubling_gap }

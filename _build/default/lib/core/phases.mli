@@ -1,0 +1,23 @@
+(** Phase analysis of a flooding trajectory, mirroring the proof
+    structure of Theorem 1: a spreading phase in which |I| doubles every
+    O(T) epochs until n/2 (Lemma 13), then a saturation phase informing
+    the remaining nodes in O((1/(nα) + β) log n) epochs (Lemma 14). *)
+
+type analysis = {
+  spreading_time : int option;
+      (** First t with |I_t| >= n/2, or [None] if never reached. *)
+  saturation_time : int option;
+      (** Steps from n/2 informed to all informed, when both happened. *)
+  doubling_times : (int * int) list;
+      (** [(target, t)] pairs: first time |I_t| reached
+          min(2^k, n) for k = 0, 1, 2, ... *)
+  max_doubling_gap : int option;
+      (** Largest gap between consecutive doubling times during the
+          spreading phase — Lemma 13 predicts it stays O(T). *)
+}
+
+val analyze : n:int -> int array -> analysis
+(** [analyze ~n trajectory] where [trajectory.(t) = |I_t|]. *)
+
+val time_to_reach : int array -> int -> int option
+(** [time_to_reach trajectory k] is the first index with value >= k. *)

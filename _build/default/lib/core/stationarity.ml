@@ -1,0 +1,88 @@
+type estimate = {
+  alpha_hat : float;
+  alpha_mean : float;
+  beta_hat : float;
+  isolated_mean : float;
+  snapshots : int;
+}
+
+type triple = { i : int; j : int; a : int array }
+
+let sample_triple rng n set_size =
+  let chosen = Prng.Rng.sample_without_replacement rng (set_size + 2) n in
+  { i = chosen.(0); j = chosen.(1); a = Array.sub chosen 2 set_size }
+
+let estimate ~rng ?burn_in ?(snapshots = 300) ?gap ?(pairs = 50) ?(triples = 30) ?set_size g =
+  let n = Dynamic.n g in
+  let burn_in = match burn_in with Some b -> b | None -> 10 * n in
+  let gap = match gap with Some g -> g | None -> max 1 (n / 10) in
+  let set_size = match set_size with Some s -> s | None -> max 2 (n / 10) in
+  if set_size + 2 > n then invalid_arg "Stationarity.estimate: set_size too large for n";
+  Dynamic.reset g (Prng.Rng.split rng);
+  for _ = 1 to burn_in do
+    Dynamic.step g
+  done;
+  let sampled_pairs =
+    Array.init pairs (fun _ ->
+        let c = Prng.Rng.sample_without_replacement rng 2 n in
+        (c.(0), c.(1)))
+  in
+  let sampled_triples = Array.init triples (fun _ -> sample_triple rng n set_size) in
+  let pair_hits = Array.make pairs 0 in
+  let hit_i = Array.make triples 0 in
+  let hit_j = Array.make triples 0 in
+  let hit_both = Array.make triples 0 in
+  let isolated_acc = ref 0. in
+  let in_set = Array.make n (-1) in
+  for snap = 0 to snapshots - 1 do
+    let adj = Dynamic.adjacency g in
+    let connected u set_id =
+      List.exists (fun v -> in_set.(v) = set_id) adj.(u)
+    in
+    Array.iteri
+      (fun k (u, v) -> if List.mem v adj.(u) then pair_hits.(k) <- pair_hits.(k) + 1)
+      sampled_pairs;
+    Array.iteri
+      (fun k tr ->
+        Array.iter (fun v -> in_set.(v) <- k) tr.a;
+        let ei = connected tr.i k and ej = connected tr.j k in
+        if ei then hit_i.(k) <- hit_i.(k) + 1;
+        if ej then hit_j.(k) <- hit_j.(k) + 1;
+        if ei && ej then hit_both.(k) <- hit_both.(k) + 1;
+        Array.iter (fun v -> in_set.(v) <- -1) tr.a)
+      sampled_triples;
+    isolated_acc := !isolated_acc +. Dynamic.isolated_fraction g;
+    if snap < snapshots - 1 then
+      for _ = 1 to gap do
+        Dynamic.step g
+      done
+  done;
+  let fs = float_of_int snapshots in
+  let pair_probs = Array.map (fun h -> float_of_int h /. fs) pair_hits in
+  let alpha_hat = Array.fold_left Float.min infinity pair_probs in
+  let alpha_mean = Array.fold_left ( +. ) 0. pair_probs /. float_of_int pairs in
+  let beta_hat = ref 0. in
+  for k = 0 to triples - 1 do
+    let pi = float_of_int hit_i.(k) /. fs in
+    let pj = float_of_int hit_j.(k) /. fs in
+    let pb = float_of_int hit_both.(k) /. fs in
+    (* Triples whose marginals were never observed give no information
+       about the ratio; skip them rather than divide by zero. *)
+    if pi > 0. && pj > 0. && pb > 0. then begin
+      let ratio = pb /. (pi *. pj) in
+      if ratio > !beta_hat then beta_hat := ratio
+    end
+  done;
+  {
+    alpha_hat;
+    alpha_mean;
+    beta_hat = !beta_hat;
+    isolated_mean = !isolated_acc /. fs;
+    snapshots;
+  }
+
+let check_theorem1_bound ~measured ~m ~alpha ~beta ~n =
+  let fn = float_of_int n in
+  let logn = log fn in
+  let bound = float_of_int m *. ((1. /. (fn *. alpha)) +. beta) ** 2. *. logn *. logn in
+  measured /. bound

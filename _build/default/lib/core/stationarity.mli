@@ -1,0 +1,49 @@
+(** Empirical estimation of the paper's (M, α, β)-stationarity
+    parameters (Section 3).
+
+    The Density Condition asks that every edge appear with probability
+    at least α at every epoch boundary; the β-Independence Condition
+    bounds the positive correlation of two incident-edge events
+    e(i, A), e(j, A). Both are defined against the (near-)stationary
+    regime, so the estimator burns the process in first, then samples
+    snapshots spaced far enough apart to be nearly independent. *)
+
+type estimate = {
+  alpha_hat : float;
+      (** Minimum, over the sampled node pairs, of the empirical edge
+          probability. *)
+  alpha_mean : float;
+      (** Mean empirical edge probability over sampled pairs (the
+          density of the stationary graph). *)
+  beta_hat : float;
+      (** Maximum, over sampled (i, j, A) triples, of
+          P(e(i,A) and e(j,A)) / (P(e(i,A)) P(e(j,A))); triples whose
+          denominator cannot be resolved from the sample are skipped. *)
+  isolated_mean : float;
+      (** Mean fraction of isolated nodes per snapshot — the paper's
+          sparseness indicator. *)
+  snapshots : int;  (** Number of snapshots the estimates are based on. *)
+}
+
+val estimate :
+  rng:Prng.Rng.t ->
+  ?burn_in:int ->
+  ?snapshots:int ->
+  ?gap:int ->
+  ?pairs:int ->
+  ?triples:int ->
+  ?set_size:int ->
+  Dynamic.t ->
+  estimate
+(** [estimate ~rng g] resets [g], advances [burn_in] steps (default
+    [10 * n]), then observes [snapshots] snapshots (default 300) spaced
+    [gap] steps apart (default [max 1 (n / 10)]). It tracks [pairs]
+    random node pairs (default 50) for α and [triples] random (i, j, A)
+    triples with |A| = [set_size] (default [max 2 (n / 10)]) for β. *)
+
+val check_theorem1_bound :
+  measured:float -> m:int -> alpha:float -> beta:float -> n:int -> float
+(** [check_theorem1_bound ~measured ~m ~alpha ~beta ~n] is the ratio of
+    the measured flooding time to the Theorem 1 expression
+    [m * (1/(n*alpha) + beta)^2 * (log n)^2]; values O(1) mean the bound
+    holds with a small constant. *)

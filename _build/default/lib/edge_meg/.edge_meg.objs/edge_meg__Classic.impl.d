@@ -1,0 +1,1 @@
+lib/edge_meg/classic.ml: Core Graph Hashtbl List Markov Prng

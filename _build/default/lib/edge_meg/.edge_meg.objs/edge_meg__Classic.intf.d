@@ -1,0 +1,1 @@
+lib/edge_meg/classic.mli: Core Markov

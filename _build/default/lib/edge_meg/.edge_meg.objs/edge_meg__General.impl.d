@@ -1,0 +1,1 @@
+lib/edge_meg/general.ml: Array Core Graph Lazy Markov Prng

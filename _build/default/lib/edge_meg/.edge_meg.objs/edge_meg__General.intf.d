@@ -1,0 +1,1 @@
+lib/edge_meg/general.mli: Core Markov

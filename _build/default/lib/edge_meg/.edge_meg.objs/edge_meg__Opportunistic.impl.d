@@ -1,0 +1,1 @@
+lib/edge_meg/opportunistic.ml: Array General List Markov

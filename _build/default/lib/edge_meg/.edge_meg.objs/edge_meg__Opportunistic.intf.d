@@ -1,0 +1,1 @@
+lib/edge_meg/opportunistic.mli: Core Markov

@@ -1,0 +1,71 @@
+type init = Stationary | Empty | Full
+
+type state = {
+  mutable rng : Prng.Rng.t;
+  present : (int, unit) Hashtbl.t;   (* pair index -> () *)
+}
+
+let sample_pairs_bernoulli rng n prob f =
+  (* Visit each pair index independently with probability [prob], via
+     geometric jumps: O(total * prob) expected. *)
+  if prob > 0. then begin
+    let total = Graph.Pairs.total n in
+    let idx = ref (Prng.Rng.geometric rng prob) in
+    while !idx < total do
+      f !idx;
+      idx := !idx + 1 + Prng.Rng.geometric rng prob
+    done
+  end
+
+let make ?(init = Stationary) ~n ~p ~q () =
+  let chain = Markov.Two_state.make ~p ~q in
+  let st = { rng = Prng.Rng.of_seed 0; present = Hashtbl.create 1024 } in
+  let reset rng =
+    st.rng <- rng;
+    Hashtbl.reset st.present;
+    match init with
+    | Empty -> ()
+    | Full ->
+        for idx = 0 to Graph.Pairs.total n - 1 do
+          Hashtbl.replace st.present idx ()
+        done
+    | Stationary ->
+        let alpha = Markov.Two_state.stationary_on chain in
+        if alpha >= 1. then
+          for idx = 0 to Graph.Pairs.total n - 1 do
+            Hashtbl.replace st.present idx ()
+          done
+        else sample_pairs_bernoulli st.rng n alpha (fun idx -> Hashtbl.replace st.present idx ())
+  in
+  (* A step applies, to every edge simultaneously, one transition of its
+     two-state chain: absent edges are born with probability p, present
+     edges die with probability q. Birth hits are collected against the
+     pre-step edge set *before* deaths are applied, so an edge that dies
+     this step cannot also be resurrected by the birth scan. *)
+  let step () =
+    let births = ref [] in
+    sample_pairs_bernoulli st.rng n p (fun idx ->
+        if not (Hashtbl.mem st.present idx) then births := idx :: !births);
+    if q > 0. then begin
+      let deaths = ref [] in
+      Hashtbl.iter
+        (fun idx () -> if Prng.Rng.bernoulli st.rng q then deaths := idx :: !deaths)
+        st.present;
+      List.iter (Hashtbl.remove st.present) !deaths
+    end;
+    List.iter (fun idx -> Hashtbl.replace st.present idx ()) !births
+  in
+  let iter_edges f =
+    Hashtbl.iter
+      (fun idx () ->
+        let u, v = Graph.Pairs.decode n idx in
+        f u v)
+      st.present
+  in
+  Core.Dynamic.make ~n ~reset ~step ~iter_edges
+
+let params ~p ~q = Markov.Two_state.make ~p ~q
+
+let expected_stationary_edges ~n ~p ~q =
+  let chain = Markov.Two_state.make ~p ~q in
+  Markov.Two_state.stationary_on chain *. float_of_int (Graph.Pairs.total n)

@@ -1,0 +1,25 @@
+(** The classic edge-Markovian evolving graph of [10] (paper, Appendix
+    A): every potential edge runs an independent two-state chain — an
+    absent edge is born with probability [p] per step, a present edge
+    dies with probability [q].
+
+    The implementation is sparse: the current edge set is stored
+    explicitly and births are sampled with geometric jumps over the
+    n(n-1)/2 pair indices, so a step costs O(m + n² p) expected time
+    instead of O(n²). This is what makes the E1 sweep (n up to a few
+    thousand with p = Θ(1/n)) cheap. *)
+
+type init =
+  | Stationary  (** each edge present with probability p/(p+q) *)
+  | Empty       (** E_0 = ∅ — worst start for the density condition *)
+  | Full        (** E_0 = complete graph *)
+
+val make : ?init:init -> n:int -> p:float -> q:float -> unit -> Core.Dynamic.t
+(** Requires [p, q] in [\[0, 1\]], [p + q > 0]. Default init
+    [Stationary]. *)
+
+val params : p:float -> q:float -> Markov.Two_state.t
+(** The per-edge chain, for closed-form α and mixing time. *)
+
+val expected_stationary_edges : n:int -> p:float -> q:float -> float
+(** α · n(n-1)/2. *)

@@ -1,0 +1,51 @@
+let stationary_alpha ~chain ~chi =
+  let pi = Markov.Chain.stationary chain in
+  let acc = ref 0. in
+  Array.iteri (fun s mass -> if chi s then acc := !acc +. mass) pi;
+  !acc
+
+let make ?(init = `Stationary) ~n ~chain ~chi () =
+  let total = Graph.Pairs.total n in
+  let states = Array.make total 0 in
+  let rng = ref (Prng.Rng.of_seed 0) in
+  let stationary_sampler =
+    lazy (Prng.Discrete.of_weights (Markov.Chain.stationary chain))
+  in
+  let reset r =
+    rng := r;
+    match init with
+    | `State s ->
+        if s < 0 || s >= Markov.Chain.n_states chain then
+          invalid_arg "General.make: initial state out of range";
+        Array.fill states 0 total s
+    | `Stationary ->
+        let sampler = Lazy.force stationary_sampler in
+        for idx = 0 to total - 1 do
+          states.(idx) <- Prng.Discrete.draw sampler !rng
+        done
+  in
+  let step () =
+    for idx = 0 to total - 1 do
+      states.(idx) <- Markov.Chain.step chain !rng states.(idx)
+    done
+  in
+  let iter_edges f =
+    for idx = 0 to total - 1 do
+      if chi states.(idx) then begin
+        let u, v = Graph.Pairs.decode n idx in
+        f u v
+      end
+    done
+  in
+  Core.Dynamic.make ~n ~reset ~step ~iter_edges
+
+let bound ~chain ~chi ~n =
+  let alpha = stationary_alpha ~chain ~chi in
+  let t_mix =
+    match Markov.Chain.mixing_time chain with
+    | Some 0 | None -> 1.
+    | Some t -> float_of_int t
+  in
+  let fn = float_of_int n in
+  let logn = log fn in
+  t_mix *. (((1. /. (fn *. alpha)) +. 1.) ** 2.) *. logn *. logn

@@ -1,0 +1,54 @@
+type params = {
+  off_short : float;
+  off_long : float;
+  off_mix : float;
+  on_short : float;
+  on_long : float;
+  on_mix : float;
+}
+
+let validate p =
+  let mean_ok m = m >= 1. in
+  let prob_ok x = x >= 0. && x <= 1. in
+  if
+    not
+      (mean_ok p.off_short && mean_ok p.off_long && mean_ok p.on_short && mean_ok p.on_long
+      && prob_ok p.off_mix && prob_ok p.on_mix)
+  then invalid_arg "Opportunistic: means must be >= 1 and mixes in [0, 1]"
+
+let mean_off p = (p.off_mix *. p.off_short) +. ((1. -. p.off_mix) *. p.off_long)
+
+let mean_on p = (p.on_mix *. p.on_short) +. ((1. -. p.on_mix) *. p.on_long)
+
+(* A phase with mean duration m ends each step with probability 1/m.
+   On ending, an off phase enters a contact phase (short with
+   probability on_mix), and vice versa. *)
+let chain p =
+  validate p;
+  let leave m = 1. /. m in
+  let transition ~state ~mean ~mix_next ~short_next ~long_next =
+    let e = leave mean in
+    Array.of_list
+      (List.filter
+         (fun (_, w) -> w > 0.)
+         [
+           (state, 1. -. e);
+           (short_next, e *. mix_next);
+           (long_next, e *. (1. -. mix_next));
+         ])
+  in
+  Markov.Chain.of_rows
+    [|
+      transition ~state:0 ~mean:p.off_short ~mix_next:p.on_mix ~short_next:2 ~long_next:3;
+      transition ~state:1 ~mean:p.off_long ~mix_next:p.on_mix ~short_next:2 ~long_next:3;
+      transition ~state:2 ~mean:p.on_short ~mix_next:p.off_mix ~short_next:0 ~long_next:1;
+      transition ~state:3 ~mean:p.on_long ~mix_next:p.off_mix ~short_next:0 ~long_next:1;
+    |]
+
+let chi s = s >= 2
+
+let stationary_alpha p =
+  validate p;
+  mean_on p /. (mean_on p +. mean_off p)
+
+let make ?init ~n p = General.make ?init ~n ~chain:(chain p) ~chi ()

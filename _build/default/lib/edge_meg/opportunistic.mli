@@ -1,0 +1,42 @@
+(** A four-state per-edge contact model in the spirit of Becchetti et
+    al. [5] ("a more refined model with four states", as the paper's
+    appendix describes it) and of the measured inter-contact statistics
+    of Karagiannis et al. [19]: contact (on) and inter-contact (off)
+    durations are each hyperexponential — a mixture of a short and a
+    long geometric phase — which is the standard phase-type
+    approximation of the heavy-tailed inter-contact times observed in
+    real opportunistic networks.
+
+    States: 0 = short off, 1 = long off, 2 = short contact,
+    3 = long contact; the edge exists in states 2 and 3. All of
+    Appendix A's machinery applies: edges are independent, so β = 1 and
+    Theorem 1 gives O(T_mix (1/(nα) + 1)² log² n). *)
+
+type params = {
+  off_short : float;  (** mean duration of a short inter-contact (>= 1) *)
+  off_long : float;   (** mean duration of a long inter-contact (>= 1) *)
+  off_mix : float;    (** probability a new inter-contact is short *)
+  on_short : float;   (** mean duration of a short contact (>= 1) *)
+  on_long : float;    (** mean duration of a long contact (>= 1) *)
+  on_mix : float;     (** probability a new contact is short *)
+}
+
+val chain : params -> Markov.Chain.t
+(** The four-state hidden chain. *)
+
+val chi : int -> bool
+(** Edge-existence map: on in states 2 and 3. *)
+
+val make : ?init:[ `Stationary | `State of int ] -> n:int -> params -> Core.Dynamic.t
+(** The dynamic graph: every potential edge runs an independent copy of
+    {!chain}. *)
+
+val stationary_alpha : params -> float
+(** Stationary edge probability: mean contact duration over mean cycle
+    duration. *)
+
+val mean_off : params -> float
+(** Mean inter-contact duration, [off_mix * off_short + (1 - off_mix) * off_long]. *)
+
+val mean_on : params -> float
+(** Mean contact duration. *)

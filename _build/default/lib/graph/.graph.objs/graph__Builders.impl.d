@@ -1,0 +1,1 @@
+lib/graph/builders.ml: Array Float Hashtbl List Prng Static

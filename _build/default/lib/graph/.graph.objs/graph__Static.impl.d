@@ -1,0 +1,1 @@
+lib/graph/static.ml: Array List

@@ -1,0 +1,187 @@
+let grid_index ~cols r c = (r * cols) + c
+
+let grid_coords ~cols v = (v / cols, v mod cols)
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid: dimensions must be >= 1";
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = grid_index ~cols r c in
+      if c + 1 < cols then edges := (v, grid_index ~cols r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (v, grid_index ~cols (r + 1) c) :: !edges
+    done
+  done;
+  Static.of_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Builders.torus: dimensions must be >= 3";
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = grid_index ~cols r c in
+      edges := (v, grid_index ~cols r ((c + 1) mod cols)) :: !edges;
+      edges := (v, grid_index ~cols ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Static.of_edges ~n:(rows * cols) !edges
+
+let augmented_grid ~rows ~cols ~k =
+  if k < 1 then invalid_arg "Builders.augmented_grid: k must be >= 1";
+  if rows < 1 || cols < 1 then invalid_arg "Builders.augmented_grid: dimensions must be >= 1";
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = grid_index ~cols r c in
+      (* Enumerate each pair once: targets strictly after v in row-major
+         order within Manhattan distance k. *)
+      for dr = 0 to min k (rows - 1 - r) do
+        let dc_lo = if dr = 0 then 1 else -(k - dr) in
+        for dc = dc_lo to k - dr do
+          let r' = r + dr and c' = c + dc in
+          if c' >= 0 && c' < cols then edges := (v, grid_index ~cols r' c') :: !edges
+        done
+      done
+    done
+  done;
+  Static.of_edges ~n:(rows * cols) !edges
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: n must be >= 3";
+  Static.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path_graph n =
+  if n < 2 then invalid_arg "Builders.path_graph: n must be >= 2";
+  Static.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Static.of_edges ~n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Builders.star: n must be >= 2";
+  Static.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let hypercube d =
+  if d < 1 || d > 20 then invalid_arg "Builders.hypercube: d must be in [1, 20]";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let v = u lxor (1 lsl bit) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Static.of_edges ~n !edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Builders.complete_bipartite: sides must be >= 1";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Static.of_edges ~n:(a + b) !edges
+
+let binary_tree n =
+  if n < 1 then invalid_arg "Builders.binary_tree: n must be >= 1";
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := ((i - 1) / 2, i) :: !edges
+  done;
+  Static.of_edges ~n !edges
+
+let random_regular ~rng ~n ~d =
+  if d <= 0 || d >= n then invalid_arg "Builders.random_regular: need 0 < d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Builders.random_regular: n * d must be even";
+  (* Configuration model: pair up n*d half-edge stubs uniformly; restart
+     on self-loops or duplicates. Acceptance probability is bounded away
+     from 0 for fixed d, so the expected number of restarts is O(1). *)
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let rec attempt remaining =
+    if remaining = 0 then
+      invalid_arg "Builders.random_regular: too many rejections (d too close to n?)";
+    Prng.Rng.shuffle_in_place rng stubs;
+    let seen = Hashtbl.create (n * d) in
+    let edges = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i + 1 < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        edges := key :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Static.of_edges ~n !edges else attempt (remaining - 1)
+  in
+  attempt 10_000
+
+(* Pair index <-> (u, v) with u < v, enumerating pairs in lexicographic
+   order of (u, v). Used to sample G(n, p) with geometric jumps. *)
+let decode_pair n idx =
+  (* Find u such that pairs starting at u cover idx. Pairs with first
+     endpoint < u number: u*n - u*(u+1)/2. Solve by scanning from a good
+     initial guess; n is small enough that a simple loop is fine. *)
+  let rec find u base =
+    let row = n - 1 - u in
+    if idx < base + row then (u, u + 1 + (idx - base)) else find (u + 1) (base + row)
+  in
+  find 0 0
+
+let erdos_renyi ~rng ~n ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Builders.erdos_renyi: p outside [0, 1]";
+  let total = n * (n - 1) / 2 in
+  let edges = ref [] in
+  if p > 0. then begin
+    let idx = ref (Prng.Rng.geometric rng p) in
+    while !idx < total do
+      edges := decode_pair n !idx :: !edges;
+      idx := !idx + 1 + Prng.Rng.geometric rng p
+    done
+  end;
+  Static.of_edges ~n !edges
+
+let random_geometric ~rng ~n ~radius =
+  if radius < 0. then invalid_arg "Builders.random_geometric: negative radius";
+  let xs = Array.init n (fun _ -> Prng.Rng.unit_float rng) in
+  let ys = Array.init n (fun _ -> Prng.Rng.unit_float rng) in
+  let cell = Float.max radius 1e-9 in
+  let cells_per_side = max 1 (int_of_float (1. /. cell)) in
+  let cell_of i =
+    let cx = min (cells_per_side - 1) (int_of_float (xs.(i) /. cell)) in
+    let cy = min (cells_per_side - 1) (int_of_float (ys.(i) /. cell)) in
+    (cx, cy)
+  in
+  let buckets = Hashtbl.create (2 * n) in
+  for i = 0 to n - 1 do
+    let key = cell_of i in
+    Hashtbl.replace buckets key (i :: (try Hashtbl.find buckets key with Not_found -> []))
+  done;
+  let r2 = radius *. radius in
+  let edges = ref [] in
+  let close i j =
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+    (dx *. dx) +. (dy *. dy) <= r2
+  in
+  for i = 0 to n - 1 do
+    let cx, cy = cell_of i in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt buckets (cx + dx, cy + dy) with
+        | None -> ()
+        | Some members ->
+            List.iter (fun j -> if j > i && close i j then edges := (i, j) :: !edges) members
+      done
+    done
+  done;
+  Static.of_edges ~n !edges

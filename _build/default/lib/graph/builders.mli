@@ -1,0 +1,61 @@
+(** Constructors for the graph families used throughout the paper:
+    grids (mobility spaces), k-augmented grids (Corollary 6's example),
+    and the standard random / deterministic families used in tests. *)
+
+val grid : rows:int -> cols:int -> Static.t
+(** 4-neighbour grid; vertex [(r, c)] has index [r * cols + c]. *)
+
+val torus : rows:int -> cols:int -> Static.t
+(** Grid with wrap-around edges. Requires [rows, cols >= 3] so that wrap
+    edges are distinct from interior edges. *)
+
+val augmented_grid : rows:int -> cols:int -> k:int -> Static.t
+(** The k-augmented grid of the paper: a grid plus an edge between every
+    pair of points at grid hop-distance (Manhattan distance) at most [k].
+    [k = 1] is the plain grid. *)
+
+val cycle : int -> Static.t
+(** Cycle on [n >= 3] vertices. *)
+
+val path_graph : int -> Static.t
+(** Path on [n >= 2] vertices. *)
+
+val complete : int -> Static.t
+(** Complete graph K_n. *)
+
+val star : int -> Static.t
+(** Star with centre [0] and [n - 1] leaves; the extreme irregular case
+    for δ-regularity tests. *)
+
+val hypercube : int -> Static.t
+(** The [d]-dimensional hypercube on 2^d vertices (vertex = bit
+    pattern): d-regular with diameter d — the fast-mixing δ = 1 case of
+    Corollary 6. Requires [1 <= d <= 20]. *)
+
+val complete_bipartite : int -> int -> Static.t
+(** K_{a,b}: left vertices [0 .. a-1], right vertices [a .. a+b-1]. *)
+
+val binary_tree : int -> Static.t
+(** Complete binary tree with [n >= 1] vertices, heap-indexed (children
+    of [i] are [2i+1], [2i+2]). Maximally hierarchical: diameter
+    ~2 log n but poor expansion. *)
+
+val random_regular : rng:Prng.Rng.t -> n:int -> d:int -> Static.t
+(** A random [d]-regular simple graph by the configuration model with
+    restarts (retry on self-loops / parallel edges). Requires
+    [n * d] even, [0 < d < n]. Expected O(1) restarts for modest d;
+    used as the expander-like δ = 1 mobility graph. *)
+
+val erdos_renyi : rng:Prng.Rng.t -> n:int -> p:float -> Static.t
+(** G(n, p): each pair independently an edge with probability [p].
+    Sampled with geometric jumps, O(n + m) expected time. *)
+
+val random_geometric : rng:Prng.Rng.t -> n:int -> radius:float -> Static.t
+(** [n] points uniform in the unit square, edge iff Euclidean distance
+    at most [radius]. Uses a cell index; O(n + m) expected time. *)
+
+val grid_coords : cols:int -> int -> int * int
+(** Inverse of grid indexing: [grid_coords ~cols v] is [(row, col)]. *)
+
+val grid_index : cols:int -> int -> int -> int
+(** [grid_index ~cols r c] is the vertex index of [(r, c)]. *)

@@ -1,0 +1,27 @@
+let total n = n * (n - 1) / 2
+
+let encode n u v =
+  if u = v then invalid_arg "Pairs.encode: u = v";
+  if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Pairs.encode: out of range";
+  let u, v = if u < v then (u, v) else (v, u) in
+  (* Pairs with first coordinate < u number u*n - u*(u+1)/2. *)
+  (u * n) - (u * (u + 1) / 2) + (v - u - 1)
+
+let decode n idx =
+  if idx < 0 || idx >= total n then invalid_arg "Pairs.decode: index out of range";
+  (* Invert base(u) = u*n - u*(u+1)/2 <= idx via the quadratic formula,
+     then correct for floating-point rounding. *)
+  let fn = float_of_int n and fi = float_of_int idx in
+  let guess =
+    int_of_float (floor ((2. *. fn -. 1. -. sqrt ((((2. *. fn) -. 1.) ** 2.) -. (8. *. fi))) /. 2.))
+  in
+  let base u = (u * n) - (u * (u + 1) / 2) in
+  let u = ref (max 0 (min (n - 2) guess)) in
+  while base !u > idx do
+    decr u
+  done;
+  while base (!u + 1) <= idx && !u + 1 <= n - 2 do
+    incr u
+  done;
+  let u = !u in
+  (u, u + 1 + (idx - base u))

@@ -1,0 +1,15 @@
+(** Bijection between unordered vertex pairs {u, v} on [n] vertices and
+    indices [0 .. n(n-1)/2 - 1], enumerating pairs in lexicographic
+    order of (u, v) with u < v. Lets per-edge processes store one cell
+    per potential edge and sample sparse edge sets with geometric
+    jumps. *)
+
+val total : int -> int
+(** Number of unordered pairs: n(n-1)/2. *)
+
+val encode : int -> int -> int -> int
+(** [encode n u v] for [u <> v], both in [\[0, n)]. Order-insensitive. *)
+
+val decode : int -> int -> int * int
+(** [decode n idx] is the pair [(u, v)] with [u < v]. O(1) via the
+    quadratic formula (with a safety adjustment for rounding). *)

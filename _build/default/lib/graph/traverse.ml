@@ -1,0 +1,95 @@
+let bfs_distances g s =
+  let n = Static.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Static.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let eccentricity g s =
+  let dist = bfs_distances g s in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Traverse.eccentricity: graph is disconnected"
+      else max acc d)
+    0 dist
+
+let connected_components g =
+  let n = Static.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      let c = !next in
+      incr next;
+      let queue = Queue.create () in
+      label.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Static.iter_neighbors g u (fun v ->
+            if label.(v) < 0 then begin
+              label.(v) <- c;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  label
+
+let n_components g =
+  let label = connected_components g in
+  1 + Array.fold_left max (-1) label
+
+let is_connected g = Static.n g = 0 || n_components g = 1
+
+let largest_component_size g =
+  let label = connected_components g in
+  let k = 1 + Array.fold_left max (-1) label in
+  if k = 0 then 0
+  else begin
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) label;
+    Array.fold_left max 0 sizes
+  end
+
+let n_isolated g =
+  let count = ref 0 in
+  for u = 0 to Static.n g - 1 do
+    if Static.degree g u = 0 then incr count
+  done;
+  !count
+
+let diameter g =
+  let n = Static.n g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for s = 0 to n - 1 do
+      let e = eccentricity g s in
+      if e > !best then best := e
+    done;
+    !best
+  end
+
+let diameter_lower_bound g =
+  if Static.n g = 0 then 0
+  else begin
+    (* Double sweep: BFS from 0, then from a farthest vertex. *)
+    let d0 = bfs_distances g 0 in
+    let far = ref 0 in
+    Array.iteri
+      (fun v d ->
+        if d < 0 then invalid_arg "Traverse.diameter_lower_bound: graph is disconnected";
+        if d > d0.(!far) then far := v)
+      d0;
+    eccentricity g !far
+  end

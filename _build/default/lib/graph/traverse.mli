@@ -1,0 +1,31 @@
+(** Breadth-first traversal and the derived structural quantities
+    (components, distances, diameter) used by the theory bounds. *)
+
+val bfs_distances : Static.t -> int -> int array
+(** [bfs_distances g s] gives hop distances from [s]; unreachable
+    vertices get [-1]. *)
+
+val eccentricity : Static.t -> int -> int
+(** Maximum finite BFS distance from a vertex. Raises [Invalid_argument]
+    if some vertex is unreachable. *)
+
+val connected_components : Static.t -> int array
+(** Component label per vertex, labels in [0 .. k-1] by first occurrence. *)
+
+val n_components : Static.t -> int
+
+val is_connected : Static.t -> bool
+
+val largest_component_size : Static.t -> int
+
+val n_isolated : Static.t -> int
+(** Number of degree-0 vertices — the paper's measure of snapshot
+    sparseness ("a large subset of all nodes that are isolated"). *)
+
+val diameter : Static.t -> int
+(** Exact diameter via all-sources BFS. O(n·m); intended for the modest
+    mobility graphs of the experiments. Raises if disconnected. *)
+
+val diameter_lower_bound : Static.t -> int
+(** Two-sweep BFS lower bound on the diameter; cheap and usually tight
+    on grids. Requires a connected graph. *)

@@ -1,0 +1,1 @@
+lib/markov/chain.ml: Array List Printf Prng Stats

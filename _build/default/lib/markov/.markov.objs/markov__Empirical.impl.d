@@ -1,0 +1,1 @@
+lib/markov/empirical.ml: Array List Option Prng Stats

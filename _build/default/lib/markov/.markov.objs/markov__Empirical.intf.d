@@ -1,0 +1,1 @@
+lib/markov/empirical.mli: Prng

@@ -1,0 +1,1 @@
+lib/markov/hitting.ml: Array Chain Graph List

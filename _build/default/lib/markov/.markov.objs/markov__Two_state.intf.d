@@ -1,0 +1,1 @@
+lib/markov/two_state.mli: Chain

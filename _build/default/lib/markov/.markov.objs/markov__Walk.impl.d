@@ -1,0 +1,1 @@
+lib/markov/walk.ml: Array Chain Graph Prng

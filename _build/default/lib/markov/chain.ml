@@ -1,0 +1,132 @@
+type t = {
+  rows : (int * float) array array;        (* normalised *)
+  samplers : Prng.Discrete.t array;
+}
+
+let of_rows raw =
+  let n = Array.length raw in
+  if n = 0 then invalid_arg "Chain.of_rows: no states";
+  let rows =
+    Array.mapi
+      (fun s entries ->
+        if Array.length entries = 0 then
+          invalid_arg (Printf.sprintf "Chain.of_rows: state %d has no transitions" s);
+        let total =
+          Array.fold_left
+            (fun acc (tgt, w) ->
+              if tgt < 0 || tgt >= n then
+                invalid_arg (Printf.sprintf "Chain.of_rows: state %d targets %d" s tgt);
+              if w < 0. then invalid_arg "Chain.of_rows: negative weight";
+              acc +. w)
+            0. entries
+        in
+        if not (total > 0.) then
+          invalid_arg (Printf.sprintf "Chain.of_rows: state %d has zero total weight" s);
+        Array.map (fun (tgt, w) -> (tgt, w /. total)) entries)
+      raw
+  in
+  let samplers = Array.map (fun entries -> Prng.Discrete.of_weights (Array.map snd entries)) rows in
+  { rows; samplers }
+
+let of_dense matrix =
+  of_rows
+    (Array.map
+       (fun dense_row ->
+         let entries = ref [] in
+         Array.iteri (fun tgt w -> if w > 0. then entries := (tgt, w) :: !entries) dense_row;
+         Array.of_list (List.rev !entries))
+       matrix)
+
+let n_states t = Array.length t.rows
+
+let row t s = t.rows.(s)
+
+let prob t s s' =
+  Array.fold_left (fun acc (tgt, w) -> if tgt = s' then acc +. w else acc) 0. t.rows.(s)
+
+let step t rng s =
+  let k = Prng.Discrete.draw t.samplers.(s) rng in
+  fst t.rows.(s).(k)
+
+let walk t rng s k =
+  let state = ref s in
+  for _ = 1 to k do
+    state := step t rng !state
+  done;
+  !state
+
+let push t mu =
+  let n = n_states t in
+  if Array.length mu <> n then invalid_arg "Chain.push: distribution length mismatch";
+  let out = Array.make n 0. in
+  Array.iteri
+    (fun s mass ->
+      if mass > 0. then
+        Array.iter (fun (tgt, w) -> out.(tgt) <- out.(tgt) +. (mass *. w)) t.rows.(s))
+    mu;
+  out
+
+let push_n t mu k =
+  let cur = ref mu in
+  for _ = 1 to k do
+    cur := push t !cur
+  done;
+  !cur
+
+let tv p q = Stats.Distance.total_variation p q
+
+let stationary ?(tol = 1e-12) ?(max_iter = 100_000) t =
+  let n = n_states t in
+  let cur = ref (Array.make n (1. /. float_of_int n)) in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    let next = push t !cur in
+    (* Average consecutive iterates: converges even on 2-periodic chains. *)
+    let avg = Array.mapi (fun i x -> 0.5 *. (x +. next.(i))) !cur in
+    if tv avg !cur <= tol && tv next avg <= tol then result := Some avg;
+    cur := avg
+  done;
+  match !result with Some pi -> pi | None -> !cur
+
+let tv_from_start t ~pi s k =
+  let n = n_states t in
+  let delta = Array.make n 0. in
+  delta.(s) <- 1.;
+  tv (push_n t delta k) pi
+
+let mixing_time ?(eps = 0.25) ?(max_t = 10_000) t =
+  let n = n_states t in
+  let pi = stationary t in
+  (* Advance all point-mass starts in lock-step until all are eps-close. *)
+  let dists = Array.init n (fun s ->
+      let d = Array.make n 0. in
+      d.(s) <- 1.;
+      d)
+  in
+  let k = ref 0 and answer = ref None in
+  let all_close () = Array.for_all (fun d -> tv d pi <= eps) dists in
+  if all_close () then answer := Some 0;
+  while !answer = None && !k < max_t do
+    incr k;
+    Array.iteri (fun s d -> dists.(s) <- push t d) dists;
+    if all_close () then answer := Some !k
+  done;
+  !answer
+
+let is_stochastic t =
+  Array.for_all
+    (fun entries ->
+      let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. entries in
+      abs_float (total -. 1.) <= 1e-9)
+    t.rows
+
+let uniformize t h =
+  if not (h >= 0. && h < 1.) then invalid_arg "Chain.uniformize: h outside [0, 1)";
+  of_rows
+    (Array.mapi
+       (fun s entries ->
+         let scaled = Array.map (fun (tgt, w) -> (tgt, (1. -. h) *. w)) entries in
+         Array.append [| (s, h) |] scaled)
+       t.rows)

@@ -1,0 +1,63 @@
+(** Finite Markov chains over states [0 .. n-1], stored in sparse row
+    form. This is the "hidden chain" substrate of the paper: edge-MEGs
+    attach one chain per edge, node-MEGs one chain per node.
+
+    Rows are normalised at construction; each row also carries an alias
+    sampler, so stepping is O(1). Distribution-level operations (power
+    iteration, mixing time) are exact and intended for chains with up to
+    a few thousand states; larger processes (mobility models) implement
+    their dynamics directly and never materialise a chain. *)
+
+type t
+
+val of_rows : (int * float) array array -> t
+(** [of_rows rows] where [rows.(s)] lists [(target, weight)] pairs with
+    non-negative weights summing to a positive value (normalised
+    internally). Raises on empty rows or out-of-range targets. *)
+
+val of_dense : float array array -> t
+(** Build from a dense stochastic matrix. *)
+
+val n_states : t -> int
+
+val row : t -> int -> (int * float) array
+(** Normalised transition row of a state. Do not mutate. *)
+
+val prob : t -> int -> int -> float
+(** [prob t s s'] is P(s -> s'). O(row length). *)
+
+val step : t -> Prng.Rng.t -> int -> int
+(** Sample one transition. O(1). *)
+
+val walk : t -> Prng.Rng.t -> int -> int -> int
+(** [walk t rng s k] takes [k] steps from [s]. *)
+
+val push : t -> float array -> float array
+(** [push t mu] is the distribution after one step: [mu P]. *)
+
+val push_n : t -> float array -> int -> float array
+(** [push_n t mu k] is [mu P^k]. *)
+
+val stationary : ?tol:float -> ?max_iter:int -> t -> float array
+(** Stationary distribution by power iteration from uniform, iterating
+    until successive distributions are within [tol] in total variation
+    (default [1e-12], at most [max_iter] = 100_000 steps). For periodic
+    chains this averages two consecutive iterates, which converges for
+    the lazy-style chains used here. *)
+
+val mixing_time : ?eps:float -> ?max_t:int -> t -> int option
+(** [mixing_time t] is the smallest [k] such that from every
+    deterministic start, TV(delta_s P^k, pi) <= [eps] (default 1/4).
+    Exact but O(n^2) per step; [None] if not reached within [max_t]
+    (default 10_000). *)
+
+val tv_from_start : t -> pi:float array -> int -> int -> float
+(** [tv_from_start t ~pi s k] is TV(delta_s P^k, pi). *)
+
+val is_stochastic : t -> bool
+(** Rows sum to 1 within 1e-9 (always true post-construction; exposed
+    for property tests). *)
+
+val uniformize : t -> float -> t
+(** [uniformize t h] is the lazy chain [h I + (1 - h) P] — holds in
+    place with probability [h]. Removes periodicity for [h > 0]. *)

@@ -1,0 +1,27 @@
+let distribution ~n_outcomes samples =
+  if n_outcomes <= 0 then invalid_arg "Empirical.distribution: n_outcomes must be positive";
+  let counts = Array.make n_outcomes 0 in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n_outcomes then invalid_arg "Empirical.distribution: outcome out of range";
+      counts.(s) <- counts.(s) + 1)
+    samples;
+  let total = float_of_int (Array.length samples) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let estimate_mixing_time ~rng ~replicas ~checkpoints ~n_outcomes ~observe ~reference ~eps =
+  if replicas < 1 then invalid_arg "Empirical.estimate_mixing_time: replicas must be >= 1";
+  let slack = 0.5 *. sqrt (float_of_int n_outcomes /. float_of_int replicas) in
+  let curve =
+    List.map
+      (fun t ->
+        let samples =
+          Array.init replicas (fun i ->
+              observe (Prng.Rng.substream rng ((t * 1_000_003) + i)) t)
+        in
+        let dist = distribution ~n_outcomes samples in
+        (t, Stats.Distance.total_variation dist reference))
+      checkpoints
+  in
+  let hit = List.find_opt (fun (_, tv) -> tv <= eps +. slack) curve in
+  (curve, Option.map fst hit)

@@ -1,0 +1,31 @@
+(** Empirical distribution estimation for processes too large to
+    materialise as an explicit {!Chain.t} (e.g. the waypoint hidden
+    chain). The mixing-time estimator here is the measurement used for
+    claim E7 (waypoint mixing is Θ(L/v)). *)
+
+val distribution : n_outcomes:int -> int array -> float array
+(** Empirical probability vector from a sample of outcomes in
+    [\[0, n_outcomes)]. *)
+
+val estimate_mixing_time :
+  rng:Prng.Rng.t ->
+  replicas:int ->
+  checkpoints:int list ->
+  n_outcomes:int ->
+  observe:(Prng.Rng.t -> int -> int) ->
+  reference:float array ->
+  eps:float ->
+  (int * float) list * int option
+(** [estimate_mixing_time ~rng ~replicas ~checkpoints ~n_outcomes
+    ~observe ~reference ~eps] runs [replicas] independent copies of a
+    process, each on its own substream of [rng];
+    [observe rng t] must return the observed state of a fresh replica
+    after [t] steps. For each checkpoint [t] it computes the TV distance
+    between the empirical distribution of the [replicas] observations
+    and [reference]. Returns the (checkpoint, tv) curve and the first
+    checkpoint at which tv <= [eps] + sampling slack, if any.
+
+    The sampling slack is [0.5 * sqrt (n_outcomes / replicas)], a crude
+    bound on the expected TV distance between the empirical measure of
+    [replicas] samples and its own source distribution; without it the
+    estimator can never report mixing. *)

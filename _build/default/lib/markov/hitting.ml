@@ -1,0 +1,67 @@
+let expected_hitting ?(tol = 1e-10) ?(max_sweeps = 1_000_000) chain ~target =
+  let n = Chain.n_states chain in
+  let h = Array.make n 0. in
+  let is_target = Array.init n target in
+  (* Gauss-Seidel from 0: iterates increase monotonically toward the
+     minimal non-negative solution, which is the hitting time (finite
+     exactly where a target is reachable). *)
+  let sweep () =
+    let worst = ref 0. in
+    for s = 0 to n - 1 do
+      if not is_target.(s) then begin
+        let acc = ref 1. in
+        let self = ref 0. in
+        Array.iter
+          (fun (t, w) ->
+            if t = s then self := !self +. w
+            else if not is_target.(t) then acc := !acc +. (w *. h.(t)))
+          (Chain.row chain s);
+        let updated = if !self >= 1. then infinity else !acc /. (1. -. !self) in
+        let change = abs_float (updated -. h.(s)) in
+        if change > !worst then worst := change;
+        h.(s) <- updated
+      end
+    done;
+    !worst
+  in
+  (* Iterate until converged; iterates that blow past any plausible
+     scale signal unreachable targets (the minimal solution is +inf
+     there), so the sweep loop also stops on divergence. *)
+  let rec run k =
+    if k < max_sweeps then begin
+      let change = sweep () in
+      if change > tol && Array.for_all (fun x -> x < 1e15) h then run (k + 1)
+    end
+  in
+  run 0;
+  Array.mapi (fun s v -> if is_target.(s) then 0. else if v >= 1e15 then infinity else v) h
+
+let product_walk_chain ?(hold = 0.5) g =
+  let n = Graph.Static.n g in
+  if Graph.Static.min_degree g = 0 then invalid_arg "Hitting.product_walk_chain: isolated vertex";
+  let single u =
+    (* Lazy walk distribution from u as (state, weight) list. *)
+    let deg = float_of_int (Graph.Static.degree g u) in
+    (u, hold)
+    :: List.map
+         (fun v -> (v, (1. -. hold) /. deg))
+         (Array.to_list (Graph.Static.neighbors g u))
+  in
+  Chain.of_rows
+    (Array.init (n * n) (fun s ->
+         let u = s / n and v = s mod n in
+         let moves_u = single u and moves_v = single v in
+         Array.of_list
+           (List.concat_map
+              (fun (u', wu) -> List.map (fun (v', wv) -> ((u' * n) + v', wu *. wv)) moves_v)
+              moves_u)))
+
+let expected_meeting ?hold g =
+  let n = Graph.Static.n g in
+  let chain = product_walk_chain ?hold g in
+  expected_hitting chain ~target:(fun s -> s / n = s mod n)
+
+let mean_meeting ?hold g =
+  let n = Graph.Static.n g in
+  let h = expected_meeting ?hold g in
+  Array.fold_left ( +. ) 0. h /. float_of_int (n * n)

@@ -1,0 +1,32 @@
+(** Exact expected hitting times for finite chains, and exact two-walk
+    meeting times via the product chain — closed-form anchors for the
+    sampled estimators ({!Walk.meeting_time}) that drive the
+    baseline-of-[15] comparisons.
+
+    Expected hitting times h satisfy h(s) = 0 on targets and
+    h(s) = 1 + Σ_t P(s,t) h(t) elsewhere; the system is solved by
+    Gauss–Seidel sweeps (monotone convergence from 0 for absorbing
+    systems). States that cannot reach a target diverge — detected and
+    reported as [infinity]. *)
+
+val expected_hitting :
+  ?tol:float -> ?max_sweeps:int -> Chain.t -> target:(int -> bool) -> float array
+(** [expected_hitting chain ~target] gives, for every state, the
+    expected number of steps to first reach a target state ([0.] on
+    targets, [infinity] where unreachable). Defaults: [tol] 1e-10
+    (max change per sweep), [max_sweeps] 1_000_000. *)
+
+val product_walk_chain : ?hold:float -> Graph.Static.t -> Chain.t
+(** The chain of two independent lazy walks (default hold 1/2) on the
+    graph: state (u, v) encoded as [u * n + v]. Requires min degree
+    >= 1. *)
+
+val expected_meeting : ?hold:float -> Graph.Static.t -> float array
+(** Exact expected meeting time of two independent lazy walks from
+    every ordered start pair (u, v) (index [u * n + v]); 0 on the
+    diagonal. O(n²) states — intended for graphs up to a few hundred
+    vertices. *)
+
+val mean_meeting : ?hold:float -> Graph.Static.t -> float
+(** Expected meeting time from a uniformly random ordered start pair —
+    the exact counterpart of {!Walk.mean_meeting_time}. *)

@@ -1,0 +1,56 @@
+(* Power iteration on the right action of the transition matrix,
+   (P f)(s) = sum_t P(s, t) f(t), with the constant eigenfunction
+   deflated against pi: the growth rate of the deflated iterates is
+   |lambda_2|. *)
+let second_eigenvalue_magnitude ?(tol = 1e-10) ?(max_iter = 100_000) chain =
+  let n = Chain.n_states chain in
+  if n = 1 then 0.
+  else begin
+    let pi = Chain.stationary chain in
+    let apply f =
+      Array.init n (fun s ->
+          Array.fold_left (fun acc (t, w) -> acc +. (w *. f.(t))) 0. (Chain.row chain s))
+    in
+    let deflate f =
+      let mean = ref 0. in
+      Array.iteri (fun s fs -> mean := !mean +. (pi.(s) *. fs)) f;
+      Array.map (fun fs -> fs -. !mean) f
+    in
+    let norm f = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. f) in
+    (* A fixed, generic start vector (index ramp) deflated against pi. *)
+    let f = ref (deflate (Array.init n (fun i -> float_of_int (i + 1)))) in
+    let estimate = ref 0. in
+    let converged = ref false in
+    let iter = ref 0 in
+    (if norm !f <= 1e-300 then converged := true);
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      let before = norm !f in
+      if before <= 1e-300 then begin
+        estimate := 0.;
+        converged := true
+      end
+      else begin
+        let scaled = Array.map (fun x -> x /. before) !f in
+        let next = deflate (apply scaled) in
+        let rate = norm next in
+        if abs_float (rate -. !estimate) <= tol then converged := true;
+        estimate := rate;
+        f := next
+      end
+    done;
+    Float.min 1. !estimate
+  end
+
+let spectral_gap ?tol ?max_iter chain =
+  1. -. second_eigenvalue_magnitude ?tol ?max_iter chain
+
+let relaxation_time ?tol ?max_iter chain =
+  let gap = spectral_gap ?tol ?max_iter chain in
+  if gap <= 0. then infinity else 1. /. gap
+
+let mixing_time_upper ?(eps = 0.25) chain =
+  let pi = Chain.stationary chain in
+  let pi_min = Array.fold_left Float.min infinity pi in
+  let t_relax = relaxation_time chain in
+  t_relax *. log (1. /. (eps *. pi_min))

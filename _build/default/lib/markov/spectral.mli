@@ -1,0 +1,25 @@
+(** Spectral estimates for finite chains. The mixing time the paper
+    consumes (as the epoch length M) is controlled by the spectral gap:
+    for reversible chains, t_mix(ε) ≤ t_relax · ln(1/(ε π_min)) and
+    t_mix(ε) ≥ (t_relax − 1) · ln(1/2ε). These estimators give the gap
+    without the O(|S|²)-per-step exact mixing computation. *)
+
+val second_eigenvalue_magnitude : ?tol:float -> ?max_iter:int -> Chain.t -> float
+(** Magnitude of the second-largest eigenvalue |λ₂|, estimated by power
+    iteration on functions deflated against the stationary
+    distribution (f ← f − E_π f). Exact in the limit for chains with a
+    real dominant second eigenvalue (all reversible chains); for
+    complex spectra it returns the dominant non-unit magnitude.
+    Defaults: [tol] 1e-10 on successive Rayleigh estimates, [max_iter]
+    100_000. *)
+
+val spectral_gap : ?tol:float -> ?max_iter:int -> Chain.t -> float
+(** 1 − |λ₂|. *)
+
+val relaxation_time : ?tol:float -> ?max_iter:int -> Chain.t -> float
+(** 1 / gap; [infinity] when the gap is numerically zero. *)
+
+val mixing_time_upper : ?eps:float -> Chain.t -> float
+(** The reversible-chain bound t_relax · ln(1/(ε π_min)) with ε = 1/4
+    by default. An *upper* bound only for reversible chains; the test
+    suite checks it against exact mixing times. *)

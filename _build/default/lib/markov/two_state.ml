@@ -1,0 +1,33 @@
+type t = { p : float; q : float }
+
+let make ~p ~q =
+  if not (p >= 0. && p <= 1. && q >= 0. && q <= 1.) then
+    invalid_arg "Two_state.make: probabilities outside [0, 1]";
+  if not (p +. q > 0.) then invalid_arg "Two_state.make: p + q must be positive";
+  { p; q }
+
+let chain t =
+  Chain.of_rows
+    [|
+      [| (0, 1. -. t.p); (1, t.p) |];   (* off: born with prob p *)
+      [| (0, t.q); (1, 1. -. t.q) |];   (* on: dies with prob q *)
+    |]
+
+let stationary_on t = t.p /. (t.p +. t.q)
+
+let second_eigenvalue t = 1. -. t.p -. t.q
+
+let tv_after t ~start_on k =
+  (* The on-probability after k steps from a point start is
+     pi_on + (start_on - pi_on) * lambda^k; TV is its distance to pi_on. *)
+  let pi_on = stationary_on t in
+  let lambda = second_eigenvalue t in
+  let start = if start_on then 1. else 0. in
+  abs_float ((start -. pi_on) *. (lambda ** float_of_int k))
+
+let mixing_time ?(eps = 0.25) t =
+  let lambda = abs_float (second_eigenvalue t) in
+  let worst = Float.max (stationary_on t) (1. -. stationary_on t) in
+  if worst <= eps || lambda = 0. then 0
+  else if lambda >= 1. then max_int
+  else int_of_float (ceil (log (eps /. worst) /. log lambda))

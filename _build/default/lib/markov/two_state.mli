@@ -1,0 +1,28 @@
+(** The two-state on/off chain that drives each edge of the classic
+    edge-MEG of [10]: an absent edge is born with probability [p], a
+    present edge dies with probability [q]. Everything about this chain
+    is closed-form; these formulas calibrate the generalised machinery. *)
+
+type t = private { p : float; q : float }
+
+val make : p:float -> q:float -> t
+(** Requires [p, q] in [\[0, 1\]] with [p + q > 0]. *)
+
+val chain : t -> Chain.t
+(** The chain as a generic {!Chain.t}: state 0 = off, state 1 = on. *)
+
+val stationary_on : t -> float
+(** P(edge exists) in the stationary regime: [p / (p + q)] — the α of
+    Theorem 1 applied to edge-MEGs. *)
+
+val second_eigenvalue : t -> float
+(** [1 - p - q]; TV distance from stationarity contracts by its absolute
+    value each step. *)
+
+val mixing_time : ?eps:float -> t -> int
+(** Smallest [k] with [|1 - p - q|^k * max(pi_on, pi_off) <= eps]
+    (default eps = 1/4). [0] when the chain mixes instantly. *)
+
+val tv_after : t -> start_on:bool -> int -> float
+(** Exact TV distance to stationarity after [k] steps from a
+    deterministic start. *)

@@ -1,0 +1,41 @@
+let chain g =
+  let n = Graph.Static.n g in
+  Chain.of_rows
+    (Array.init n (fun u ->
+         let deg = Graph.Static.degree g u in
+         if deg = 0 then invalid_arg "Walk.chain: isolated vertex";
+         Array.map (fun v -> (v, 1.)) (Graph.Static.neighbors g u)))
+
+let lazy_chain ?(hold = 0.5) g = Chain.uniformize (chain g) hold
+
+let stationary g =
+  let two_m = float_of_int (2 * Graph.Static.m g) in
+  Array.init (Graph.Static.n g) (fun v -> float_of_int (Graph.Static.degree g v) /. two_m)
+
+let step g rng u =
+  let deg = Graph.Static.degree g u in
+  if deg = 0 then u
+  else Graph.Static.neighbors g u |> fun nbrs -> nbrs.(Prng.Rng.int rng deg)
+
+let lazy_step g rng u = if Prng.Rng.bool rng then u else step g rng u
+
+let meeting_time ~rng ?(cap = 1_000_000) g u v =
+  let a = ref u and b = ref v in
+  let t = ref 0 in
+  while !a <> !b && !t < cap do
+    a := lazy_step g rng !a;
+    b := lazy_step g rng !b;
+    incr t
+  done;
+  if !a = !b then Some !t else None
+
+let mean_meeting_time ~rng ?(cap = 1_000_000) ~trials g =
+  if trials < 1 then invalid_arg "Walk.mean_meeting_time: trials must be >= 1";
+  let n = Graph.Static.n g in
+  let acc = ref 0. in
+  for _ = 1 to trials do
+    let u = Prng.Rng.int rng n and v = Prng.Rng.int rng n in
+    let t = match meeting_time ~rng ~cap g u v with Some t -> t | None -> cap in
+    acc := !acc +. float_of_int t
+  done;
+  !acc /. float_of_int trials

@@ -1,0 +1,32 @@
+(** Random walks on a static graph, as explicit chains and as direct
+    samplers. The walk chain is the hidden node chain of the random-walk
+    mobility model (Corollary 6) when states are grid points. *)
+
+val chain : Graph.Static.t -> Chain.t
+(** Simple random walk: uniform over neighbours. Requires minimum
+    degree >= 1. Periodic on bipartite graphs — combine with
+    {!Chain.uniformize} when a unique limit is needed. *)
+
+val lazy_chain : ?hold:float -> Graph.Static.t -> Chain.t
+(** Lazy walk: hold in place with probability [hold] (default 1/2),
+    otherwise move to a uniform neighbour. Aperiodic for [hold > 0]. *)
+
+val stationary : Graph.Static.t -> float array
+(** Closed-form stationary distribution of the (lazy) walk:
+    [deg(v) / 2m]. *)
+
+val step : Graph.Static.t -> Prng.Rng.t -> int -> int
+(** One step of the simple walk without building a chain. *)
+
+val meeting_time :
+  rng:Prng.Rng.t -> ?cap:int -> Graph.Static.t -> int -> int -> int option
+(** [meeting_time ~rng g u v] runs two independent lazy walks (hold 1/2)
+    from [u] and [v] until they occupy the same vertex, returning the
+    number of steps, or [None] if [cap] (default 1_000_000) is exceeded.
+    This is the T* of the baseline bound of Dimitriou et al. [15]. *)
+
+val mean_meeting_time :
+  rng:Prng.Rng.t -> ?cap:int -> trials:int -> Graph.Static.t -> float
+(** Average meeting time over [trials] uniform random starting pairs;
+    capped trials count as [cap] (an underestimate, flagged by the
+    caller if it matters). *)

@@ -1,0 +1,1 @@
+lib/mobility/density.ml: Array Buffer Float Geo Space Stats String

@@ -1,0 +1,1 @@
+lib/mobility/density.mli: Geo Prng

@@ -1,0 +1,1 @@
+lib/mobility/direction.ml: Array Float Geo Prng

@@ -1,0 +1,1 @@
+lib/mobility/direction.mli: Core Geo

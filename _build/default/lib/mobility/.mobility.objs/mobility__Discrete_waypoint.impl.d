@@ -1,0 +1,1 @@
+lib/mobility/discrete_waypoint.ml: Array Float Markov Node_meg

@@ -1,0 +1,1 @@
+lib/mobility/discrete_waypoint.mli: Core Markov Node_meg

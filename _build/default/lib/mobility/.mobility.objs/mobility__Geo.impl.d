@@ -1,0 +1,1 @@
+lib/mobility/geo.ml: Array Core List Prng Space

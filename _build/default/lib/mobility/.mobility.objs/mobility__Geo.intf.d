@@ -1,0 +1,1 @@
+lib/mobility/geo.mli: Core Prng

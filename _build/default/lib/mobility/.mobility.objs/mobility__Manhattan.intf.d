@@ -1,0 +1,1 @@
+lib/mobility/manhattan.mli: Core Geo

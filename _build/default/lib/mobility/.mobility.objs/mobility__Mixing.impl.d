@@ -1,0 +1,1 @@
+lib/mobility/mixing.ml: Array Density Geo List Option Prng Space Stats

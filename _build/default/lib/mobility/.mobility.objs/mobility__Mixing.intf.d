@@ -1,0 +1,1 @@
+lib/mobility/mixing.mli: Geo Prng

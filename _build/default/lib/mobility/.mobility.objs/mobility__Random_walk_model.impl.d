@@ -1,0 +1,1 @@
+lib/mobility/random_walk_model.ml: Array Geo Prng

@@ -1,0 +1,1 @@
+lib/mobility/space.ml: Array Float Hashtbl List Option

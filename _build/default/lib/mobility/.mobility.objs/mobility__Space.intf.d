@@ -1,0 +1,1 @@
+lib/mobility/space.mli:

@@ -1,0 +1,108 @@
+type profile = {
+  bins : int;
+  occupancy : float array;
+  density : float array;
+  l : float;
+}
+
+let profile_of_mass ~l ~bins mass =
+  let total = Array.fold_left ( +. ) 0. mass in
+  if not (total > 0.) then invalid_arg "Density: zero total mass";
+  let occupancy = Array.map (fun m -> m /. total) mass in
+  let cell_area = (l /. float_of_int bins) ** 2. in
+  let density = Array.map (fun p -> p /. cell_area) occupancy in
+  { bins; occupancy; density; l }
+
+let estimate ~geo ~rng ?(bins = 16) ?burn_in ?(samples = 500) ?(gap = 7) () =
+  let l = Geo.l geo in
+  let burn_in =
+    match burn_in with Some b -> b | None -> int_of_float (20. *. l) + 1
+  in
+  Geo.reset geo rng;
+  for _ = 1 to burn_in do
+    Geo.step geo
+  done;
+  let mass = Array.make (bins * bins) 0. in
+  for s = 0 to samples - 1 do
+    for i = 0 to Geo.n geo - 1 do
+      let x, y = Geo.position geo i in
+      let c = Space.cell_index ~l ~bins x y in
+      mass.(c) <- mass.(c) +. 1.
+    done;
+    if s < samples - 1 then
+      for _ = 1 to gap do
+        Geo.step geo
+      done
+  done;
+  profile_of_mass ~l ~bins mass
+
+let of_function ~l ~bins f =
+  let cell = l /. float_of_int bins in
+  let mass = Array.make (bins * bins) 0. in
+  for ix = 0 to bins - 1 do
+    for iy = 0 to bins - 1 do
+      let x = (float_of_int ix +. 0.5) *. cell in
+      let y = (float_of_int iy +. 0.5) *. cell in
+      mass.((ix * bins) + iy) <- Float.max 0. (f x y)
+    done
+  done;
+  profile_of_mass ~l ~bins mass
+
+type uniformity = { delta : float; lambda : float; center_to_corner : float }
+
+let cell_center p ix iy =
+  let cell = p.l /. float_of_int p.bins in
+  ((float_of_int ix +. 0.5) *. cell, (float_of_int iy +. 0.5) *. cell)
+
+let uniformity ?(mask = fun _ _ -> true) p =
+  let cell_area = (p.l /. float_of_int p.bins) ** 2. in
+  let in_region = Array.make (p.bins * p.bins) false in
+  let masked_cells = ref 0 in
+  for ix = 0 to p.bins - 1 do
+    for iy = 0 to p.bins - 1 do
+      let x, y = cell_center p ix iy in
+      if mask x y then begin
+        in_region.((ix * p.bins) + iy) <- true;
+        incr masked_cells
+      end
+    done
+  done;
+  if !masked_cells = 0 then invalid_arg "Density.uniformity: mask rejects every cell";
+  let vol = float_of_int !masked_cells *. cell_area in
+  let max_density = ref 0. in
+  Array.iteri (fun i d -> if in_region.(i) && d > !max_density then max_density := d) p.density;
+  let delta = !max_density *. vol in
+  let threshold = 1. /. (delta *. vol) in
+  let good = ref 0 in
+  Array.iteri (fun i d -> if in_region.(i) && d >= threshold then incr good) p.density;
+  let lambda = float_of_int !good /. float_of_int !masked_cells in
+  let mid = p.bins / 2 in
+  let center = p.density.((mid * p.bins) + mid) in
+  let first_masked =
+    let rec find i = if in_region.(i) then i else find (i + 1) in
+    find 0
+  in
+  let corner = p.density.(first_masked) in
+  let center_to_corner = if corner > 0. then center /. corner else infinity in
+  { delta; lambda; center_to_corner }
+
+let render ?(shades = " .:-=+*#%@") p =
+  let n_shades = String.length shades in
+  let max_mass = Array.fold_left Float.max 0. p.occupancy in
+  let buf = Buffer.create (p.bins * (p.bins + 1)) in
+  for iy = p.bins - 1 downto 0 do
+    for ix = 0 to p.bins - 1 do
+      let mass = p.occupancy.((ix * p.bins) + iy) in
+      let level =
+        if max_mass <= 0. then 0
+        else min (n_shades - 1) (int_of_float (mass /. max_mass *. float_of_int (n_shades - 1)))
+      in
+      Buffer.add_char buf shades.[level]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let tv_between a b =
+  if a.bins <> b.bins then invalid_arg "Density.tv_between: bin mismatch";
+  Stats.Distance.total_variation a.occupancy b.occupancy

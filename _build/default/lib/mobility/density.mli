@@ -1,0 +1,57 @@
+(** Estimation of the stationary positional distribution of a mobility
+    model, and extraction of the uniformity constants δ and λ consumed
+    by Corollary 4.
+
+    The corollary needs: (a) F(u) ≤ δ / vol(R) everywhere, and (b) a
+    region B with vol(B_r) ≥ λ vol(R) on which F(u) ≥ 1/(δ vol(R)).
+    From an occupancy histogram we report the smallest δ satisfying
+    both and the corresponding λ. *)
+
+type profile = {
+  bins : int;             (** grid is bins×bins cells *)
+  occupancy : float array;(** probability mass per cell, row-major *)
+  density : float array;  (** per-cell density, mass / cell-area *)
+  l : float;
+}
+
+val estimate :
+  geo:Geo.t ->
+  rng:Prng.Rng.t ->
+  ?bins:int ->
+  ?burn_in:int ->
+  ?samples:int ->
+  ?gap:int ->
+  unit ->
+  profile
+(** Reset the model, burn in (default [20 * l] steps, enough trips to
+    forget the start), then record all node positions every [gap]
+    steps (default 7, coprime with typical trip lengths) for [samples]
+    snapshots (default 500). [bins] defaults to 16. *)
+
+val of_function : l:float -> bins:int -> (float -> float -> float) -> profile
+(** Discretise an analytic density (e.g. {!Waypoint.product_density})
+    onto the same grid, by midpoint evaluation, renormalised. *)
+
+type uniformity = {
+  delta : float;  (** sup-density ratio: max(F) · vol(R) *)
+  lambda : float; (** fraction of cells with F ≥ 1/(δ vol(R)) *)
+  center_to_corner : float;
+      (** density at the central cell / density at the first in-region
+          cell in row-major order (the square's corner, a disk's
+          boundary); > 1 exhibits the waypoint center bias. *)
+}
+
+val uniformity : ?mask:(float -> float -> bool) -> profile -> uniformity
+(** [mask] restricts the analysed region: cells whose centre it rejects
+    contribute neither to vol(R) nor to the extrema (defaults to the
+    whole square). Pass [Waypoint.region_contains Disk ~l] to analyse a
+    disk profile — without the mask the zero-density cells outside the
+    disk would drive λ down artificially. *)
+
+val render : ?shades:string -> profile -> string
+(** ASCII heatmap of the occupancy (row 0 at the top = high y),
+    one character per cell scaled to the maximum cell mass. *)
+
+val tv_between : profile -> profile -> float
+(** Total-variation distance between the cell-occupancy distributions
+    (profiles must share [bins]). *)

@@ -1,0 +1,68 @@
+type t = {
+  n : int;
+  l : float;
+  r : float;
+  xs : float array;
+  ys : float array;
+  reset_node : Prng.Rng.t -> int -> unit;
+  move_node : Prng.Rng.t -> int -> unit;
+  mutable node_rngs : Prng.Rng.t array;
+  mutable edges : (int * int) list;
+  mutable edges_valid : bool;
+}
+
+let make ~n ~l ~r ~xs ~ys ~reset_node ~move_node =
+  if n < 1 then invalid_arg "Geo.make: n must be >= 1";
+  if Array.length xs <> n || Array.length ys <> n then
+    invalid_arg "Geo.make: position array length mismatch";
+  if l <= 0. || r < 0. then invalid_arg "Geo.make: bad dimensions";
+  {
+    n;
+    l;
+    r;
+    xs;
+    ys;
+    reset_node;
+    move_node;
+    node_rngs = Array.init n (fun i -> Prng.Rng.of_seed i);
+    edges = [];
+    edges_valid = false;
+  }
+
+let n t = t.n
+
+let l t = t.l
+
+let r t = t.r
+
+let position t i = (t.xs.(i), t.ys.(i))
+
+let positions t = Array.init t.n (fun i -> (t.xs.(i), t.ys.(i)))
+
+let reset t rng =
+  t.node_rngs <- Array.init t.n (fun i -> Prng.Rng.substream rng i);
+  for i = 0 to t.n - 1 do
+    t.reset_node t.node_rngs.(i) i
+  done;
+  t.edges_valid <- false
+
+let step t =
+  for i = 0 to t.n - 1 do
+    t.move_node t.node_rngs.(i) i
+  done;
+  t.edges_valid <- false
+
+let current_edges t =
+  if not t.edges_valid then begin
+    let acc = ref [] in
+    Space.iter_close_pairs ~l:t.l ~r:t.r ~xs:t.xs ~ys:t.ys (fun i j -> acc := (i, j) :: !acc);
+    t.edges <- !acc;
+    t.edges_valid <- true
+  end;
+  t.edges
+
+let dynamic t =
+  Core.Dynamic.make ~n:t.n
+    ~reset:(fun rng -> reset t rng)
+    ~step:(fun () -> step t)
+    ~iter_edges:(fun f -> List.iter (fun (u, v) -> f u v) (current_edges t))

@@ -1,0 +1,41 @@
+type init = Uniform | Corner
+
+let create ?(init = Uniform) ~n ~l ~r ~v_min ~v_max () =
+  if not (v_min > 0. && v_min <= v_max) then
+    invalid_arg "Manhattan.create: need 0 < v_min <= v_max";
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  let dest_x = Array.make n 0. and dest_y = Array.make n 0. in
+  let speed = Array.make n v_min in
+  let new_trip rng i =
+    dest_x.(i) <- Prng.Rng.float rng l;
+    dest_y.(i) <- Prng.Rng.float rng l;
+    speed.(i) <- Prng.Rng.float_range rng v_min v_max
+  in
+  let reset_node rng i =
+    (match init with
+    | Corner ->
+        xs.(i) <- 0.;
+        ys.(i) <- 0.
+    | Uniform ->
+        xs.(i) <- Prng.Rng.float rng l;
+        ys.(i) <- Prng.Rng.float rng l);
+    new_trip rng i
+  in
+  let move_node rng i =
+    (* Spend the step's speed budget along x first, then along y. *)
+    let budget = ref speed.(i) in
+    let dx = dest_x.(i) -. xs.(i) in
+    let step_x = Float.min !budget (abs_float dx) in
+    xs.(i) <- xs.(i) +. (if dx >= 0. then step_x else -.step_x);
+    budget := !budget -. step_x;
+    if !budget > 0. then begin
+      let dy = dest_y.(i) -. ys.(i) in
+      let step_y = Float.min !budget (abs_float dy) in
+      ys.(i) <- ys.(i) +. (if dy >= 0. then step_y else -.step_y)
+    end;
+    if xs.(i) = dest_x.(i) && ys.(i) = dest_y.(i) then new_trip rng i
+  in
+  Geo.make ~n ~l ~r ~xs ~ys ~reset_node ~move_node
+
+let dynamic ?init ~n ~l ~r ~v_min ~v_max () =
+  Geo.dynamic (create ?init ~n ~l ~r ~v_min ~v_max ())

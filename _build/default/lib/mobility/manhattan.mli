@@ -1,0 +1,15 @@
+(** The Manhattan-waypoint variant analysed in [13] ("Flooding over
+    Manhattan"): like the random waypoint, but a node travels to its
+    destination along an axis-aligned L¹ path — first horizontally,
+    then vertically. The paper cites this model as the one previous
+    waypoint-style analysis; it serves as a trajectory-shape ablation
+    against {!Waypoint}. *)
+
+type init = Uniform | Corner
+
+val create :
+  ?init:init -> n:int -> l:float -> r:float -> v_min:float -> v_max:float -> unit -> Geo.t
+
+val dynamic :
+  ?init:init -> n:int -> l:float -> r:float -> v_min:float -> v_max:float -> unit ->
+  Core.Dynamic.t

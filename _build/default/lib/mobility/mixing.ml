@@ -1,0 +1,45 @@
+type curve = {
+  checkpoints : (int * float) list;
+  t_mix : int option;
+  slack : float;
+}
+
+let measure ~make ~rng ?(bins = 8) ?(replicas = 2000) ?(eps = 0.25) ~checkpoints () =
+  let reference_geo = make () in
+  let reference =
+    (Density.estimate ~geo:reference_geo ~rng:(Prng.Rng.split rng) ~bins ()).Density.occupancy
+  in
+  let sorted = List.sort_uniq compare checkpoints in
+  (* Advance each replica once through all checkpoints rather than
+     restarting per checkpoint: O(replicas * max_t) total. *)
+  let geos = Array.init replicas (fun i ->
+      let g = make () in
+      Geo.reset g (Prng.Rng.substream rng i);
+      g)
+  in
+  let n_cells = bins * bins in
+  let slack = 0.5 *. sqrt (float_of_int n_cells /. float_of_int replicas) in
+  let now = ref 0 in
+  let curve =
+    List.map
+      (fun t ->
+        while !now < t do
+          Array.iter Geo.step geos;
+          incr now
+        done;
+        let counts = Array.make n_cells 0. in
+        Array.iter
+          (fun g ->
+            for i = 0 to Geo.n g - 1 do
+              let x, y = Geo.position g i in
+              let c = Space.cell_index ~l:(Geo.l g) ~bins x y in
+              counts.(c) <- counts.(c) +. 1.
+            done)
+          geos;
+        let total = Array.fold_left ( +. ) 0. counts in
+        let dist = Array.map (fun c -> c /. total) counts in
+        (t, Stats.Distance.total_variation dist reference))
+      sorted
+  in
+  let t_mix = List.find_opt (fun (_, tv) -> tv <= eps +. slack) curve |> Option.map fst in
+  { checkpoints = curve; t_mix; slack }

@@ -1,0 +1,30 @@
+(** Empirical positional mixing time of a mobility model — the
+    measurement behind claim E7 (waypoint mixing is Θ(L/v_max)).
+
+    The hidden node chain of a geometric node-MEG projects onto the
+    node's position; TV convergence of the positional distribution
+    lower-bounds chain convergence and is the quantity the paper's
+    mixing citation [1, 29] refers to. We start replicas from the
+    worst-case corner configuration and track the TV distance between
+    their empirical cell occupancy and a long-run reference. *)
+
+type curve = {
+  checkpoints : (int * float) list;  (** (t, TV distance at t) *)
+  t_mix : int option;                (** first checkpoint within eps + slack *)
+  slack : float;                     (** sampling-noise allowance *)
+}
+
+val measure :
+  make:(unit -> Geo.t) ->
+  rng:Prng.Rng.t ->
+  ?bins:int ->
+  ?replicas:int ->
+  ?eps:float ->
+  checkpoints:int list ->
+  unit ->
+  curve
+(** [make ()] must build a fresh model whose [reset] realises the
+    worst-case initial configuration (e.g. [Waypoint.create
+    ~init:Corner]). Defaults: 8×8 cells, 2000 replicas, eps = 1/4. The
+    reference distribution is estimated from the same model via
+    {!Density.estimate} with default burn-in. *)

@@ -1,0 +1,38 @@
+type init = Uniform | Corner
+
+let create ?(init = Uniform) ?(hold = 0.) ~n ~m ~r () =
+  if m < 2 then invalid_arg "Random_walk_model.create: m must be >= 2";
+  if not (hold >= 0. && hold < 1.) then
+    invalid_arg "Random_walk_model.create: hold outside [0, 1)";
+  let l = float_of_int (m - 1) in
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  let reset_node rng i =
+    match init with
+    | Corner ->
+        xs.(i) <- 0.;
+        ys.(i) <- 0.
+    | Uniform ->
+        xs.(i) <- float_of_int (Prng.Rng.int rng m);
+        ys.(i) <- float_of_int (Prng.Rng.int rng m)
+  in
+  let move_node rng i =
+    if hold = 0. || not (Prng.Rng.bernoulli rng hold) then begin
+      let x = int_of_float xs.(i) and y = int_of_float ys.(i) in
+      (* Neighbours inside the grid; corner nodes have 2, edges 3, interior 4. *)
+      let candidates = ref [] in
+      if x > 0 then candidates := (x - 1, y) :: !candidates;
+      if x < m - 1 then candidates := (x + 1, y) :: !candidates;
+      if y > 0 then candidates := (x, y - 1) :: !candidates;
+      if y < m - 1 then candidates := (x, y + 1) :: !candidates;
+      let nx, ny = Prng.Rng.choice rng (Array.of_list !candidates) in
+      xs.(i) <- float_of_int nx;
+      ys.(i) <- float_of_int ny
+    end
+  in
+  Geo.make ~n ~l ~r ~xs ~ys ~reset_node ~move_node
+
+let dynamic ?init ?hold ~n ~m ~r () = Geo.dynamic (create ?init ?hold ~n ~m ~r ())
+
+let grid_point geo i =
+  let x, y = Geo.position geo i in
+  (int_of_float x, int_of_float y)

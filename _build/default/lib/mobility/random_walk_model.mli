@@ -1,0 +1,22 @@
+(** The random walk mobility model (paper, Section 1): n nodes on an
+    m×m grid; at every step each node moves to a uniformly random grid
+    point adjacent to its current one (optionally holding in place with
+    probability [hold], which removes parity effects); nodes within
+    Euclidean distance r (in grid units) are connected. *)
+
+type init =
+  | Uniform   (** positions uniform over grid points *)
+  | Corner    (** all nodes at grid point (0, 0) *)
+
+val create :
+  ?init:init -> ?hold:float -> n:int -> m:int -> r:float -> unit -> Geo.t
+(** [m] is the grid side (m×m points at integer coordinates
+    [0 .. m-1]); the region side is [l = m - 1]. [hold] defaults to 0
+    (the paper's pure adjacent move). *)
+
+val dynamic :
+  ?init:init -> ?hold:float -> n:int -> m:int -> r:float -> unit -> Core.Dynamic.t
+
+val grid_point : Geo.t -> int -> int * int
+(** Current integer grid coordinates of a node (positions of this model
+    are always integral). *)

@@ -1,0 +1,57 @@
+let clamp l x = if x < 0. then 0. else if x > l then l else x
+
+let dist2 x1 y1 x2 y2 =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  (dx *. dx) +. (dy *. dy)
+
+let iter_close_pairs ~l ~r ~xs ~ys f =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Space.iter_close_pairs: length mismatch";
+  if r < 0. then invalid_arg "Space.iter_close_pairs: negative radius";
+  let cell = Float.max r (Float.max (l /. 1024.) 1e-9) in
+  let side = max 1 (int_of_float (ceil (l /. cell))) in
+  let cell_of i =
+    let cx = min (side - 1) (int_of_float (xs.(i) /. cell)) in
+    let cy = min (side - 1) (int_of_float (ys.(i) /. cell)) in
+    (cx * side) + cy
+  in
+  let buckets = Hashtbl.create (2 * n) in
+  for i = n - 1 downto 0 do
+    let key = cell_of i in
+    Hashtbl.replace buckets key (i :: (Option.value ~default:[] (Hashtbl.find_opt buckets key)))
+  done;
+  let r2 = r *. r in
+  let close i j = dist2 xs.(i) ys.(i) xs.(j) ys.(j) <= r2 in
+  Hashtbl.iter
+    (fun key members ->
+      let cx = key / side and cy = key mod side in
+      (* Within-cell pairs. *)
+      let rec within = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter (fun j -> if close i j then f (min i j) (max i j)) rest;
+            within rest
+      in
+      within members;
+      (* Cross-cell pairs: scan half the neighbourhood so each unordered
+         cell pair is visited once. *)
+      let half_neighbours = [ (1, -1); (1, 0); (1, 1); (0, 1) ] in
+      List.iter
+        (fun (dx, dy) ->
+          let cx' = cx + dx and cy' = cy + dy in
+          if cx' >= 0 && cx' < side && cy' >= 0 && cy' < side then
+            match Hashtbl.find_opt buckets ((cx' * side) + cy') with
+            | None -> ()
+            | Some others ->
+                List.iter
+                  (fun i -> List.iter (fun j -> if close i j then f (min i j) (max i j)) others)
+                  members)
+        half_neighbours)
+    buckets
+
+let cell_index ~l ~bins x y =
+  let at v =
+    let i = int_of_float (float_of_int bins *. v /. l) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+  in
+  (at x * bins) + at y

@@ -1,0 +1,20 @@
+(** Geometry of the mobility region: an L×L square with a uniform-cell
+    spatial index for enumerating all node pairs within the
+    transmission radius in expected O(n + #pairs) time. *)
+
+val clamp : float -> float -> float
+(** [clamp l x] clips [x] into [\[0, l\]]. *)
+
+val dist2 : float -> float -> float -> float -> float
+(** Squared Euclidean distance between (x1, y1) and (x2, y2). *)
+
+val iter_close_pairs :
+  l:float -> r:float -> xs:float array -> ys:float array -> (int -> int -> unit) -> unit
+(** Call [f i j] (with [i < j]) for every pair of points at Euclidean
+    distance at most [r]. Positions must lie in [\[0, l\]²]. Correct for
+    any [r >= 0] (cells are at least [r] wide, neighbours ±1 cell are
+    scanned, and the exact distance test filters candidates). *)
+
+val cell_index : l:float -> bins:int -> float -> float -> int
+(** Index of the [bins]×[bins] coarse cell containing a point; used for
+    occupancy histograms. Row-major, in [\[0, bins²)]. *)

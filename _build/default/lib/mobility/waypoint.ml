@@ -1,0 +1,164 @@
+type init = Uniform | Corner | Steady
+
+type region = Square | Disk
+
+let region_contains region ~l x y =
+  match region with
+  | Square -> x >= 0. && x <= l && y >= 0. && y <= l
+  | Disk ->
+      let c = l /. 2. in
+      Space.dist2 x y c c <= c *. c
+
+let create ?(init = Uniform) ?(region = Square) ?(pause = 0) ~n ~l ~r ~v_min ~v_max () =
+  if not (v_min > 0. && v_min <= v_max) then
+    invalid_arg "Waypoint.create: need 0 < v_min <= v_max";
+  if pause < 0 then invalid_arg "Waypoint.create: pause must be >= 0";
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  let dest_x = Array.make n 0. and dest_y = Array.make n 0. in
+  let speed = Array.make n v_min in
+  let resting = Array.make n 0 in
+  let sample_point rng =
+    match region with
+    | Square -> (Prng.Rng.float rng l, Prng.Rng.float rng l)
+    | Disk ->
+        (* Rejection from the bounding square; acceptance pi/4. *)
+        let rec draw () =
+          let x = Prng.Rng.float rng l and y = Prng.Rng.float rng l in
+          if region_contains Disk ~l x y then (x, y) else draw ()
+        in
+        draw ()
+  in
+  let corner_point = match region with Square -> (0., 0.) | Disk -> (0., l /. 2.) in
+  let new_trip rng i =
+    let x, y = sample_point rng in
+    dest_x.(i) <- x;
+    dest_y.(i) <- y;
+    speed.(i) <- Prng.Rng.float_range rng v_min v_max
+  in
+  (* Steady-state sampling: a trip observed "at a random instant" is
+     length-biased (probability ∝ trip duration = length / speed), so
+     draw endpoints by rejection against |P1P2|/diag and the speed by
+     inverting the 1/v density: v = v_min (v_max/v_min)^U. *)
+  let steady_trip rng i =
+    let diag = l *. sqrt 2. in
+    let rec draw () =
+      let x1, y1 = sample_point rng in
+      let x2, y2 = sample_point rng in
+      let d = sqrt (Space.dist2 x1 y1 x2 y2) in
+      if Prng.Rng.unit_float rng < d /. diag then (x1, y1, x2, y2) else draw ()
+    in
+    let x1, y1, x2, y2 = draw () in
+    let u = Prng.Rng.unit_float rng in
+    xs.(i) <- x1 +. (u *. (x2 -. x1));
+    ys.(i) <- y1 +. (u *. (y2 -. y1));
+    dest_x.(i) <- x2;
+    dest_y.(i) <- y2;
+    speed.(i) <-
+      (if v_max = v_min then v_min
+       else v_min *. ((v_max /. v_min) ** Prng.Rng.unit_float rng))
+  in
+  let reset_node rng i =
+    resting.(i) <- 0;
+    match init with
+    | Corner ->
+        let x, y = corner_point in
+        xs.(i) <- x;
+        ys.(i) <- y;
+        new_trip rng i
+    | Uniform ->
+        let x, y = sample_point rng in
+        xs.(i) <- x;
+        ys.(i) <- y;
+        new_trip rng i
+    | Steady -> steady_trip rng i
+  in
+  let move_node rng i =
+    if resting.(i) > 0 then resting.(i) <- resting.(i) - 1
+    else begin
+      let dx = dest_x.(i) -. xs.(i) and dy = dest_y.(i) -. ys.(i) in
+      let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if dist <= speed.(i) then begin
+        xs.(i) <- dest_x.(i);
+        ys.(i) <- dest_y.(i);
+        if pause > 0 then resting.(i) <- Prng.Rng.int_incl rng 0 pause;
+        new_trip rng i
+      end
+      else begin
+        let scale = speed.(i) /. dist in
+        xs.(i) <- xs.(i) +. (dx *. scale);
+        ys.(i) <- ys.(i) +. (dy *. scale)
+      end
+    end
+  in
+  Geo.make ~n ~l ~r ~xs ~ys ~reset_node ~move_node
+
+let dynamic ?init ?region ?pause ~n ~l ~r ~v_min ~v_max () =
+  Geo.dynamic (create ?init ?region ?pause ~n ~l ~r ~v_min ~v_max ())
+
+let marginal_density ~l x =
+  if x < 0. || x > l then 0. else 6. *. x *. (l -. x) /. (l ** 3.)
+
+let product_density ~l x y = marginal_density ~l x *. marginal_density ~l y
+
+let mixing_time_formula ~l ~v_max = l /. v_max
+
+(* Distance from (x, y) to the region boundary along direction theta. *)
+let boundary_distance region ~l x y theta =
+  let c = cos theta and s = sin theta in
+  match region with
+  | Square ->
+      let along delta rate =
+        if rate > 1e-12 then delta /. rate
+        else if rate < -1e-12 then (delta -. l) /. rate
+        else infinity
+      in
+      (* Positive travel distances to the x = l / x = 0 and y = l / y = 0
+         walls, whichever the ray hits. *)
+      Float.min (along (l -. x) c) (along (l -. y) s)
+  | Disk ->
+      let r = l /. 2. in
+      let px = x -. r and py = y -. r in
+      let b = (px *. c) +. (py *. s) in
+      let disc = (b *. b) -. ((px *. px) +. (py *. py) -. (r *. r)) in
+      if disc <= 0. then 0. else -.b +. sqrt disc
+
+let unnormalised_density ~angular_steps ~region ~l x y =
+  if not (region_contains region ~l x y) then 0.
+  else begin
+    let dt = Float.pi /. float_of_int angular_steps in
+    let acc = ref 0. in
+    for k = 0 to angular_steps - 1 do
+      let theta = (float_of_int k +. 0.5) *. dt in
+      let a1 = boundary_distance region ~l x y theta in
+      let a2 = boundary_distance region ~l x y (theta +. Float.pi) in
+      acc := !acc +. (a1 *. a2 *. (a1 +. a2) *. dt)
+    done;
+    !acc
+  end
+
+(* Normalisation constants are memoised per (region, l, steps): the 2-D
+   quadrature is ~4k density evaluations. *)
+let normalisation_cache : (bool * float * int, float) Hashtbl.t = Hashtbl.create 8
+
+let normalisation ~angular_steps ~region ~l =
+  let key = ((match region with Square -> true | Disk -> false), l, angular_steps) in
+  match Hashtbl.find_opt normalisation_cache key with
+  | Some z -> z
+  | None ->
+      let grid = 64 in
+      let cell = l /. float_of_int grid in
+      let total = ref 0. in
+      for ix = 0 to grid - 1 do
+        for iy = 0 to grid - 1 do
+          let x = (float_of_int ix +. 0.5) *. cell in
+          let y = (float_of_int iy +. 0.5) *. cell in
+          total := !total +. (unnormalised_density ~angular_steps ~region ~l x y *. cell *. cell)
+        done
+      done;
+      Hashtbl.replace normalisation_cache key !total;
+      !total
+
+let exact_density ?(angular_steps = 180) ?(region = Square) ~l x y =
+  if angular_steps < 8 then invalid_arg "Waypoint.exact_density: angular_steps too small";
+  let z = normalisation ~angular_steps ~region ~l in
+  unnormalised_density ~angular_steps ~region ~l x y /. z

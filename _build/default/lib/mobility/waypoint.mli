@@ -1,0 +1,89 @@
+(** The random waypoint model (paper, Section 4.1): every node picks a
+    uniform destination in the L×L square and a speed uniform in
+    [v_min, v_max], travels in a straight line to the destination, then
+    repeats. Two nodes are connected when within the transmission
+    radius r.
+
+    Discrete time: a node moves exactly [speed] per step (landing on
+    the destination when closer than one step). The paper's node-MEG
+    discretisation replaces the continuum by an m×m grid; simulating
+    continuous positions under discrete time is the resolution-limit of
+    that construction (footnote 3: the resolution does not affect the
+    bounds). *)
+
+type init =
+  | Uniform   (** positions uniform in the square (fresh trip begins) *)
+  | Corner    (** all nodes at the origin — an adversarial start *)
+  | Steady
+      (** steady-state initialisation (Camp–Navidi–Bauer [8], Le
+          Boudec–Vojnović [24]): the trip (P1, P2) is drawn with
+          density proportional to |P1P2| (long trips are
+          over-represented at a random time instant), the position
+          uniform along the trip, and the speed with density ∝ 1/v on
+          [v_min, v_max] (slow trips last longer). Sampling starts the
+          process (near) its stationary regime, removing the burn-in
+          that [Uniform] needs. *)
+
+type region =
+  | Square  (** the full [0, L]² square *)
+  | Disk
+      (** the disk inscribed in the square (centre (L/2, L/2), radius
+          L/2). Corollary 4 covers any bounded connected region; the
+          disk exercises that generality — trips between points of a
+          convex region stay inside it, so the straight-line dynamics
+          need no changes. *)
+
+val region_contains : region -> l:float -> float -> float -> bool
+(** Membership test for a region of scale [l] (also the mask to pass to
+    {!Density.uniformity}). *)
+
+val create :
+  ?init:init -> ?region:region -> ?pause:int ->
+  n:int -> l:float -> r:float -> v_min:float -> v_max:float -> unit -> Geo.t
+(** Requires [0 < v_min <= v_max] and [l > 0]. [region] defaults to
+    [Square]. For [Disk], [Corner] starts all nodes at the boundary
+    point (0, L/2). [pause] (default 0) is the classic think-time of
+    the waypoint literature: on reaching its destination a node rests
+    for a uniform number of steps in [\[0, pause\]] before starting the
+    next trip — one of the random-trip generalisations Corollary 4
+    covers (it scales the mixing time by (1 + E[pause]·v/L̄) and mixes
+    extra destination-point mass into the stationary density). The
+    paper assumes [v_max = Θ(v_min)]; nothing here enforces it, but the
+    mixing-time formula Θ(L/v_max) quoted in the experiments does. *)
+
+val dynamic :
+  ?init:init -> ?region:region -> ?pause:int ->
+  n:int -> l:float -> r:float -> v_min:float -> v_max:float -> unit -> Core.Dynamic.t
+(** Convenience: [Geo.dynamic (create ...)]. *)
+
+val marginal_density : l:float -> float -> float
+(** The classic one-dimensional waypoint stationary density
+    f(x) = 6 x (L - x) / L³ on [\[0, L\]] (Bettstetter et al. [6]);
+    integrates to 1. *)
+
+val product_density : l:float -> float -> float -> float
+(** Separable approximation F(x, y) ≈ f(x) f(y) to the 2-D stationary
+    positional density. Exact enough to exhibit the center bias and the
+    δ / λ constants of Corollary 4; the experiments compare it against
+    the measured occupancy. *)
+
+val exact_density : ?angular_steps:int -> ?region:region -> l:float -> float -> float -> float
+(** The exact (up to numeric quadrature) stationary positional density
+    of the waypoint process with uniform destinations, via the
+    line-integral formula of Bettstetter–Resta–Santi [6]: the
+    unnormalised density at p is
+
+      ∫₀^π a₁(θ) a₂(θ) (a₁(θ) + a₂(θ)) dθ
+
+    where a₁, a₂ are the distances from p to the region boundary in
+    directions θ and θ+π (a chord through p is travelled with
+    probability proportional to the measure of endpoint pairs whose
+    segment covers p). Normalised numerically so that it integrates to
+    1 over the region. Valid for constant speed (speed mixing changes
+    only the time scale, not the positional density). Default 180
+    angular steps; points outside the region return 0. Works for both
+    regions — for [Disk] the boundary distances use the circle. *)
+
+val mixing_time_formula : l:float -> v_max:float -> float
+(** The Θ(L/v_max) mixing-time scale quoted by the paper ([1, 29]),
+    with constant 1. *)

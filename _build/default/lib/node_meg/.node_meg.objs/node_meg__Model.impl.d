@@ -1,0 +1,1 @@
+lib/node_meg/model.ml: Array Core Lazy List Markov Prng Theory

@@ -1,0 +1,1 @@
+lib/node_meg/model.mli: Core Markov

@@ -1,0 +1,111 @@
+type init = Stationary | All_in of int | Uniform_states
+
+let connection_table chain connect =
+  let s = Markov.Chain.n_states chain in
+  let table = Array.make (s * s) false in
+  for x = 0 to s - 1 do
+    for y = 0 to s - 1 do
+      let c = connect x y in
+      if c <> connect y x then invalid_arg "Node_meg.make: connection map is not symmetric";
+      table.((x * s) + y) <- c
+    done
+  done;
+  table
+
+let make_observable ?(init = Stationary) ~n ~chain ~connect () =
+  let s = Markov.Chain.n_states chain in
+  let table = connection_table chain connect in
+  let states = Array.make n 0 in
+  let rng = ref (Prng.Rng.of_seed 0) in
+  let stationary_sampler = lazy (Prng.Discrete.of_weights (Markov.Chain.stationary chain)) in
+  let reset r =
+    rng := r;
+    match init with
+    | All_in x ->
+        if x < 0 || x >= s then invalid_arg "Node_meg.make: initial state out of range";
+        Array.fill states 0 n x
+    | Uniform_states ->
+        for i = 0 to n - 1 do
+          states.(i) <- Prng.Rng.int !rng s
+        done
+    | Stationary ->
+        let sampler = Lazy.force stationary_sampler in
+        for i = 0 to n - 1 do
+          states.(i) <- Prng.Discrete.draw sampler !rng
+        done
+  in
+  let step () =
+    for i = 0 to n - 1 do
+      states.(i) <- Markov.Chain.step chain !rng states.(i)
+    done
+  in
+  let iter_edges f =
+    (* Bucket nodes by state, then emit cross products for connected
+       state pairs (and within-bucket pairs for self-connected states). *)
+    let buckets = Array.make s [] in
+    for i = n - 1 downto 0 do
+      buckets.(states.(i)) <- i :: buckets.(states.(i))
+    done;
+    for x = 0 to s - 1 do
+      match buckets.(x) with
+      | [] -> ()
+      | bx ->
+          if table.((x * s) + x) then begin
+            let rec within = function
+              | [] -> ()
+              | u :: rest ->
+                  List.iter (fun v -> f u v) rest;
+                  within rest
+            in
+            within bx
+          end;
+          for y = x + 1 to s - 1 do
+            if table.((x * s) + y) then
+              List.iter (fun u -> List.iter (fun v -> f u v) buckets.(y)) bx
+          done
+    done
+  in
+  let dyn = Core.Dynamic.make ~n ~reset ~step ~iter_edges in
+  (dyn, fun () -> Array.copy states)
+
+let make ?init ~n ~chain ~connect () = fst (make_observable ?init ~n ~chain ~connect ())
+
+let q_of_state ~chain ~connect =
+  let s = Markov.Chain.n_states chain in
+  let pi = Markov.Chain.stationary chain in
+  Array.init s (fun x ->
+      let acc = ref 0. in
+      for y = 0 to s - 1 do
+        if connect x y then acc := !acc +. pi.(y)
+      done;
+      !acc)
+
+let p_nm ~chain ~connect =
+  let pi = Markov.Chain.stationary chain in
+  let q = q_of_state ~chain ~connect in
+  let acc = ref 0. in
+  Array.iteri (fun x px -> acc := !acc +. (px *. q.(x))) pi;
+  !acc
+
+let p_nm2 ~chain ~connect =
+  let pi = Markov.Chain.stationary chain in
+  let q = q_of_state ~chain ~connect in
+  let acc = ref 0. in
+  Array.iteri (fun x px -> acc := !acc +. (px *. q.(x) *. q.(x))) pi;
+  !acc
+
+let eta ~chain ~connect =
+  let p = p_nm ~chain ~connect in
+  if p <= 0. then invalid_arg "Node_meg.eta: P_NM is zero";
+  p_nm2 ~chain ~connect /. (p *. p)
+
+let theorem3_bound ~chain ~connect ~n ?t_mix () =
+  let t_mix =
+    match t_mix with
+    | Some t -> t
+    | None -> (
+        match Markov.Chain.mixing_time chain with
+        | Some 0 | None -> 1.
+        | Some t -> float_of_int t)
+  in
+  Theory.Bounds.theorem3 ~t_mix ~p_nm:(p_nm ~chain ~connect) ~eta:(eta ~chain ~connect) ~n

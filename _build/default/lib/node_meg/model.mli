@@ -1,0 +1,52 @@
+(** Node-Markovian evolving graphs NM(n, M, C) (paper, Section 4).
+
+    Every node runs an independent copy of a finite Markov chain [M];
+    a symmetric connection map [C] over chain states decides, at every
+    step, which pairs of nodes are joined by an edge.
+
+    Because nodes are exchangeable (Fact 2), the quantities P_NM (two
+    fixed nodes connected) and P_NM2 (two fixed nodes both connected to
+    a third) are functions of the stationary distribution π and [C]
+    alone; they are computed exactly here and feed Theorem 3. *)
+
+type init =
+  | Stationary            (** states i.i.d. from π *)
+  | All_in of int         (** every node starts in the given state *)
+  | Uniform_states        (** states i.i.d. uniform over S *)
+
+val make :
+  ?init:init -> n:int -> chain:Markov.Chain.t -> connect:(int -> int -> bool) -> unit ->
+  Core.Dynamic.t
+(** Build the process. [connect] must be symmetric; it is evaluated once
+    per ordered state pair at construction time into a |S|×|S| table
+    (|S|² memory), which makes edge enumeration output-sensitive:
+    nodes are bucketed by state and only state pairs with C = 1 produce
+    work. *)
+
+val make_observable :
+  ?init:init -> n:int -> chain:Markov.Chain.t -> connect:(int -> int -> bool) -> unit ->
+  Core.Dynamic.t * (unit -> int array)
+(** Like {!make} but also returns an observer of the current per-node
+    chain states (a copy, safe to keep). *)
+
+val q_of_state : chain:Markov.Chain.t -> connect:(int -> int -> bool) -> float array
+(** [q_of_state ~chain ~connect] gives q(x) = π(Γ(x)): the stationary
+    probability that a fixed node is connected to another fixed node
+    known to be in state [x]. *)
+
+val p_nm : chain:Markov.Chain.t -> connect:(int -> int -> bool) -> float
+(** P_NM = Σ_x π(x) q(x): stationary probability that two fixed nodes
+    are connected. *)
+
+val p_nm2 : chain:Markov.Chain.t -> connect:(int -> int -> bool) -> float
+(** P_NM2 = Σ_x π(x) q(x)²: stationary probability that two fixed nodes
+    are both connected to a third fixed node. *)
+
+val eta : chain:Markov.Chain.t -> connect:(int -> int -> bool) -> float
+(** The η of Theorem 3: P_NM2 / P_NM². *)
+
+val theorem3_bound :
+  chain:Markov.Chain.t -> connect:(int -> int -> bool) -> n:int -> ?t_mix:float -> unit -> float
+(** Theorem 3's expression with exact P_NM and η. [t_mix] defaults to
+    the chain's exact mixing time (1 if it mixes instantly or the exact
+    computation does not converge). *)

@@ -1,0 +1,1 @@
+lib/prng/discrete.ml: Array Queue Rng

@@ -1,0 +1,1 @@
+lib/prng/discrete.mli: Rng

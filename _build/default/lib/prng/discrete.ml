@@ -1,0 +1,64 @@
+type t = {
+  probs : float array;          (* normalised probabilities *)
+  alias_prob : float array;     (* alias-table acceptance thresholds *)
+  alias : int array;            (* alias-table redirect targets *)
+}
+
+let n_outcomes t = Array.length t.probs
+
+let prob t i = t.probs.(i)
+
+let of_weights w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Discrete.of_weights: empty";
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Discrete.of_weights: weights must sum to > 0";
+  Array.iter (fun x -> if x < 0. then invalid_arg "Discrete.of_weights: negative weight") w;
+  let probs = Array.map (fun x -> x /. total) w in
+  (* Walker's alias construction: scale to mean 1, then pair underfull
+     buckets with overfull ones. *)
+  let scaled = Array.map (fun p -> p *. float_of_int n) probs in
+  let alias_prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri (fun i s -> if s < 1. then Queue.add i small else Queue.add i large) scaled;
+  while not (Queue.is_empty small) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    alias_prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Queue.add l small else Queue.add l large
+  done;
+  (* Remaining buckets are full up to floating-point error. *)
+  Queue.iter (fun i -> alias_prob.(i) <- 1.) small;
+  Queue.iter (fun i -> alias_prob.(i) <- 1.) large;
+  { probs; alias_prob; alias }
+
+let draw t rng =
+  let n = Array.length t.probs in
+  let i = Rng.int rng n in
+  if Rng.unit_float rng < t.alias_prob.(i) then i else t.alias.(i)
+
+let cumulative_of_weights w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Discrete.cumulative_of_weights: empty";
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Discrete.cumulative_of_weights: zero total";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (w.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.;
+  cdf
+
+let draw_cumulative cdf rng =
+  let u = Rng.unit_float rng in
+  (* Smallest index with cdf.(i) > u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,26 @@
+(** Sampling from a fixed discrete distribution in O(1) per draw
+    (Walker's alias method). *)
+
+type t
+(** A prepared sampler over outcomes [0 .. n-1]. *)
+
+val of_weights : float array -> t
+(** [of_weights w] builds a sampler with P(i) proportional to [w.(i)].
+    Weights must be non-negative with a positive sum. O(n) setup. *)
+
+val n_outcomes : t -> int
+(** Number of outcomes. *)
+
+val prob : t -> int -> float
+(** [prob t i] is the normalised probability of outcome [i]. *)
+
+val draw : t -> Rng.t -> int
+(** Sample one outcome. O(1). *)
+
+val cumulative_of_weights : float array -> float array
+(** [cumulative_of_weights w] is the normalised CDF of [w]; mostly useful
+    for testing inversion-based sampling against the alias method. *)
+
+val draw_cumulative : float array -> Rng.t -> int
+(** Inversion sampling (binary search) from a CDF produced by
+    {!cumulative_of_weights}. O(log n). *)

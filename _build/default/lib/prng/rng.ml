@@ -1,0 +1,142 @@
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Stafford's Mix13 finaliser: avalanches all 64 bits of [z]. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Mix used to derive a new gamma when splitting; must yield an odd value. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  (* Reject gammas too close to a sparse bit pattern, as in the SplitMix paper. *)
+  let bit_diff = Int64.logxor z (Int64.shift_right_logical z 1) in
+  let popcount v =
+    let rec go v acc = if Int64.equal v 0L then acc else go (Int64.logand v (Int64.sub v 1L)) (acc + 1) in
+    go v 0
+  in
+  if popcount bit_diff < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = seed; gamma = golden_gamma }
+
+let of_seed s = { state = mix64 (Int64.of_int s); gamma = golden_gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let next_raw t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let int64 t = mix64 (next_raw t)
+
+let split t =
+  let s = next_raw t in
+  let s' = next_raw t in
+  { state = mix64 s; gamma = mix_gamma s' }
+
+let substream t i =
+  let s = mix64 (Int64.logxor t.state (mix64 (Int64.of_int i))) in
+  { state = s; gamma = mix_gamma (Int64.add s golden_gamma) }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling on 30 bits to avoid modulo bias. *)
+    let mask_bits = 1 lsl 30 in
+    let limit = mask_bits - (mask_bits mod bound) in
+    let rec draw () =
+      let v = bits30 t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end else begin
+    let bits62 () = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    let range = 1 lsl 62 in
+    let limit = range - (range mod bound) in
+    let rec draw () =
+      let v = bits62 () in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let int_incl t lo hi =
+  if lo > hi then invalid_arg "Rng.int_incl: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let float t b = unit_float t *. b
+
+let float_range t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let geometric t p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p out of (0, 1]";
+  if p >= 1. then 0
+  else
+    let u = 1. -. unit_float t in
+    (* u is uniform in (0, 1]; inversion of the geometric CDF. *)
+    int_of_float (floor (log u /. log (1. -. p)))
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1. -. unit_float t) /. rate
+
+let gaussian t =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let perm t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if 3 * k >= n then begin
+    let a = perm t n in
+    Array.sub a 0 k
+  end else begin
+    (* Rejection with a hash set: fast when k << n. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

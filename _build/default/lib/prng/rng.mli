@@ -1,0 +1,79 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is a SplitMix64 stream: a 64-bit counter advanced by a
+    fixed odd constant, whose output is finalised by an avalanche function.
+    Splitting derives statistically independent substreams, which gives
+    every node / edge / trial of a simulation its own reproducible source
+    of randomness, independent of scheduling order. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val of_seed : int -> t
+(** [of_seed s] is [create] applied to a mixed version of [s]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+
+val substream : t -> int -> t
+(** [substream t i] is the [i]-th derived stream of [t]'s current state.
+    Unlike {!split} it does not advance [t]: calling it twice with the
+    same [i] yields identical streams. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl t lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success in
+    Bernoulli([p]) trials, i.e. supported on [0, 1, 2, ...]. Requires
+    [0 < p <= 1]. Sampled by inversion, O(1). *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp([rate]). *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val perm : t -> int -> int array
+(** [perm t n] is a uniform permutation of [0 .. n-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [\[0, n)], in uniform random order. Requires [0 <= k <= n]. *)

@@ -1,0 +1,1 @@
+lib/random_path/family.ml: Array Graph Hashtbl List Printf Prng Queue

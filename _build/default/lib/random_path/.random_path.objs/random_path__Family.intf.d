@@ -1,0 +1,1 @@
+lib/random_path/family.mli: Graph Prng

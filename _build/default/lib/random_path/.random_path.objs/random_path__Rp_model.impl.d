@@ -1,0 +1,1 @@
+lib/random_path/rp_model.ml: Array Core Family Graph Lazy List Prng

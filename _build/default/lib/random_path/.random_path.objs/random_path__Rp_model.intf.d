@@ -1,0 +1,1 @@
+lib/random_path/rp_model.mli: Core Family Graph

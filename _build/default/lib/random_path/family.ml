@@ -1,0 +1,281 @@
+type t = {
+  graph : Graph.Static.t;
+  n_paths : int;
+  length : int -> int;
+  point_at : int -> int -> int;
+  paths_from : int -> int array;
+  sample_path_from : Prng.Rng.t -> int -> int;
+}
+
+let graph t = t.graph
+
+let n_paths t = t.n_paths
+
+let length t h =
+  if h < 0 || h >= t.n_paths then invalid_arg "Family.length: bad path id";
+  t.length h
+
+let point_at t h i =
+  if i < 0 || i >= length t h then invalid_arg "Family.point_at: position out of range";
+  t.point_at h i
+
+let start_point t h = point_at t h 0
+
+let end_point t h = point_at t h (length t h - 1)
+
+let paths_from t u = t.paths_from u
+
+let sample_path_from t rng u = t.sample_path_from rng u
+
+let of_explicit g paths =
+  let n_points = Graph.Static.n g in
+  Array.iteri
+    (fun h path ->
+      if Array.length path < 2 then
+        invalid_arg (Printf.sprintf "Family.of_explicit: path %d has < 2 points" h);
+      Array.iteri
+        (fun i p ->
+          if p < 0 || p >= n_points then invalid_arg "Family.of_explicit: point out of range";
+          if i > 0 && not (Graph.Static.mem_edge g path.(i - 1) p) then
+            invalid_arg
+              (Printf.sprintf "Family.of_explicit: path %d uses a non-edge %d-%d" h path.(i - 1) p))
+        path)
+    paths;
+  let from = Array.make n_points [] in
+  Array.iteri (fun h path -> from.(path.(0)) <- h :: from.(path.(0))) paths;
+  let from = Array.map (fun l -> Array.of_list (List.rev l)) from in
+  Array.iteri
+    (fun h path ->
+      let last = path.(Array.length path - 1) in
+      if Array.length from.(last) = 0 then
+        invalid_arg
+          (Printf.sprintf "Family.of_explicit: path %d ends at %d where no path starts" h last))
+    paths;
+  {
+    graph = g;
+    n_paths = Array.length paths;
+    length = (fun h -> Array.length paths.(h));
+    point_at = (fun h i -> paths.(h).(i));
+    paths_from = (fun u -> Array.copy from.(u));
+    sample_path_from =
+      (fun rng u ->
+        let options = from.(u) in
+        if Array.length options = 0 then
+          invalid_arg (Printf.sprintf "Family: no path starts at point %d" u);
+        options.(Prng.Rng.int rng (Array.length options)));
+  }
+
+let edges_family g =
+  if Graph.Static.n g = 0 then invalid_arg "Family.edges_family: empty graph";
+  if Graph.Static.min_degree g = 0 then invalid_arg "Family.edges_family: isolated vertex";
+  (* Directed edge h identified by (u, k): the k-th neighbour of u.
+     Ids are offsets.(u) + k where offsets mirror the CSR layout. *)
+  let n_points = Graph.Static.n g in
+  let offsets = Array.make (n_points + 1) 0 in
+  for u = 0 to n_points - 1 do
+    offsets.(u + 1) <- offsets.(u) + Graph.Static.degree g u
+  done;
+  let source_of h =
+    (* Binary search for the u whose range contains h. *)
+    let lo = ref 0 and hi = ref (n_points - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if offsets.(mid) <= h then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  {
+    graph = g;
+    n_paths = offsets.(n_points);
+    length = (fun _ -> 2);
+    point_at =
+      (fun h i ->
+        let u = source_of h in
+        if i = 0 then u else (Graph.Static.neighbors g u).(h - offsets.(u)));
+    paths_from =
+      (fun u -> Array.init (Graph.Static.degree g u) (fun k -> offsets.(u) + k));
+    sample_path_from =
+      (fun rng u -> offsets.(u) + Prng.Rng.int rng (Graph.Static.degree g u));
+  }
+
+let shortest_paths g =
+  let s = Graph.Static.n g in
+  if s < 2 then invalid_arg "Family.shortest_paths: need >= 2 points";
+  if not (Graph.Traverse.is_connected g) then
+    invalid_arg "Family.shortest_paths: graph must be connected";
+  (* BFS parent tree from every source; parent.(src).(v) is v's
+     predecessor on the canonical shortest src -> v path. *)
+  let parents =
+    Array.init s (fun src ->
+        let parent = Array.make s (-1) in
+        let dist = Array.make s (-1) in
+        let queue = Queue.create () in
+        dist.(src) <- 0;
+        Queue.add src queue;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          Graph.Static.iter_neighbors g u (fun v ->
+              if dist.(v) < 0 then begin
+                dist.(v) <- dist.(u) + 1;
+                parent.(v) <- u;
+                Queue.add v queue
+              end)
+        done;
+        parent)
+  in
+  (* The canonical path for {u, v} is the BFS path from min u v; path
+     ids: ((min * s + max) * 2 + orientation), valid only for min < max.
+     To give every id a dense range we enumerate unordered pairs via
+     Graph.Pairs. *)
+  let n_pairs = Graph.Pairs.total s in
+  let n_paths = 2 * n_pairs in
+  let pair_points idx =
+    let u, v = Graph.Pairs.decode s idx in
+    (* Reconstruct the canonical u -> v point list (u < v). *)
+    let rec walk acc node = if node = u then u :: acc else walk (node :: acc) parents.(u).(node) in
+    walk [] v
+  in
+  (* Cache the most recently used pair: the mobility process asks for
+     point_at repeatedly along one path. *)
+  let cache_idx = ref (-1) in
+  let cache_pts = ref [||] in
+  let points_of idx =
+    if !cache_idx <> idx then begin
+      cache_idx := idx;
+      cache_pts := Array.of_list (pair_points idx)
+    end;
+    !cache_pts
+  in
+  let decode h = (h lsr 1, h land 1) in
+  let length h =
+    let idx, _ = decode h in
+    Array.length (points_of idx)
+  in
+  let point_at h i =
+    let idx, orient = decode h in
+    let pts = points_of idx in
+    if orient = 0 then pts.(i) else pts.(Array.length pts - 1 - i)
+  in
+  let paths_from u =
+    (* Paths starting at u: for every other point w, the orientation of
+       pair {u, w} that starts at u. *)
+    Array.init (s - 1) (fun k ->
+        let w = if k >= u then k + 1 else k in
+        let idx = Graph.Pairs.encode s u w in
+        let orient = if u < w then 0 else 1 in
+        (idx lsl 1) lor orient)
+  in
+  {
+    graph = g;
+    n_paths;
+    length;
+    point_at;
+    paths_from;
+    sample_path_from =
+      (fun rng u ->
+        let k = Prng.Rng.int rng (s - 1) in
+        let w = if k >= u then k + 1 else k in
+        let idx = Graph.Pairs.encode s u w in
+        let orient = if u < w then 0 else 1 in
+        (idx lsl 1) lor orient);
+  }
+
+let grid_shortest ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Family.grid_shortest: grid must be >= 2x2";
+  let g = Graph.Builders.grid ~rows ~cols in
+  let s = rows * cols in
+  (* Path id encodes (src, dst, order) with dst enumerated over the s-1
+     points != src: id = (src * (s-1) + dst') * 2 + order, where dst' is
+     dst skipping src. order 0 = column-first, 1 = row-first. *)
+  let n_paths = s * (s - 1) * 2 in
+  let decode h =
+    let order = h land 1 in
+    let rest = h lsr 1 in
+    let src = rest / (s - 1) in
+    let dst' = rest mod (s - 1) in
+    let dst = if dst' >= src then dst' + 1 else dst' in
+    (src, dst, order)
+  in
+  let coords v = Graph.Builders.grid_coords ~cols v in
+  let index r c = Graph.Builders.grid_index ~cols r c in
+  let length h =
+    let src, dst, _ = decode h in
+    let r1, c1 = coords src and r2, c2 = coords dst in
+    abs (r1 - r2) + abs (c1 - c2) + 1
+  in
+  let point_at h i =
+    let src, dst, order = decode h in
+    let r1, c1 = coords src and r2, c2 = coords dst in
+    let step_toward a b k = if b >= a then a + k else a - k in
+    let dc = abs (c1 - c2) and dr = abs (r1 - r2) in
+    if order = 0 then
+      (* Column-first: walk columns, then rows. *)
+      if i <= dc then index r1 (step_toward c1 c2 i)
+      else index (step_toward r1 r2 (i - dc)) c2
+    else if i <= dr then index (step_toward r1 r2 i) c1
+    else index r2 (step_toward c1 c2 (i - dr))
+  in
+  {
+    graph = g;
+    n_paths;
+    length;
+    point_at;
+    paths_from =
+      (fun u ->
+        Array.init (2 * (s - 1)) (fun k ->
+            let dst' = k / 2 and order = k land 1 in
+            (((u * (s - 1)) + dst') * 2) + order));
+    sample_path_from =
+      (fun rng u ->
+        let dst' = Prng.Rng.int rng (s - 1) and order = Prng.Rng.int rng 2 in
+        (((u * (s - 1)) + dst') * 2) + order);
+  }
+
+let is_simple t =
+  let seen = Hashtbl.create 64 in
+  let simple_path h =
+    Hashtbl.reset seen;
+    let len = t.length h in
+    let ok = ref true in
+    for i = 0 to len - 1 do
+      let p = t.point_at h i in
+      (* start = end is allowed (closed trips); any other repeat is not. *)
+      if Hashtbl.mem seen p && not (i = len - 1 && p = t.point_at h 0) then ok := false
+      else Hashtbl.replace seen p ()
+    done;
+    !ok
+  in
+  let rec go h = h >= t.n_paths || (simple_path h && go (h + 1)) in
+  go 0
+
+let path_points t h = Array.init (t.length h) (t.point_at h)
+
+let is_reversible t =
+  let table = Hashtbl.create (2 * t.n_paths) in
+  for h = 0 to t.n_paths - 1 do
+    Hashtbl.replace table (path_points t h) ()
+  done;
+  let reversed h =
+    let pts = path_points t h in
+    let len = Array.length pts in
+    Array.init len (fun i -> pts.(len - 1 - i))
+  in
+  let rec go h = h >= t.n_paths || (Hashtbl.mem table (reversed h) && go (h + 1)) in
+  go 0
+
+let congestion t =
+  let counts = Array.make (Graph.Static.n t.graph) 0 in
+  for h = 0 to t.n_paths - 1 do
+    for i = 1 to t.length h - 1 do
+      let p = t.point_at h i in
+      counts.(p) <- counts.(p) + 1
+    done
+  done;
+  counts
+
+let delta_regularity t =
+  let counts = congestion t in
+  let total = Array.fold_left ( + ) 0 counts in
+  let avg = float_of_int total /. float_of_int (Array.length counts) in
+  let worst = Array.fold_left max 0 counts in
+  float_of_int worst /. avg

@@ -1,0 +1,75 @@
+(** Families of feasible paths over a mobility graph — the 𝒫 of the
+    random-path model RP = (H, 𝒫) (paper, Section 4.1, "Graph Mobility
+    Models").
+
+    A family is represented implicitly (paths addressed by integer id,
+    points computed on demand), which keeps the canonical families on
+    large grids cheap: the shortest-path family on an s-point grid has
+    Θ(s²) paths and is never materialised. *)
+
+type t
+
+val graph : t -> Graph.Static.t
+(** The mobility graph H. Its vertices are the "points". *)
+
+val n_paths : t -> int
+
+val length : t -> int -> int
+(** ℓ(h): number of points of path [h] (>= 2). *)
+
+val point_at : t -> int -> int -> int
+(** [point_at t h i] is the [i]-th point of path [h], 0-based
+    ([0 .. length - 1]). *)
+
+val start_point : t -> int -> int
+val end_point : t -> int -> int
+
+val paths_from : t -> int -> int array
+(** 𝒫(u): ids of the paths starting at point [u]. Never empty (the
+    family property: every endpoint continues). Freshly allocated. *)
+
+val sample_path_from : t -> Prng.Rng.t -> int -> int
+(** Uniform element of 𝒫(u) without materialising it. *)
+
+val of_explicit : Graph.Static.t -> int array array -> t
+(** Explicit family: [paths.(h)] is the point sequence of path [h].
+    Checks: every path has >= 2 points, consecutive points adjacent in
+    H, and every path's end point starts some path. *)
+
+val edges_family : Graph.Static.t -> t
+(** 𝒫 = both orientations of every edge of H: the random-path model of
+    this family is exactly the random walk on H (paper: "if 𝒫 is the
+    set of edges of H then the mobility model is equivalent to the
+    random walk over H"). Requires min degree >= 1. *)
+
+val shortest_paths : Graph.Static.t -> t
+(** A simple, reversible shortest-path family on an arbitrary connected
+    graph H: for every unordered pair {u, v} one canonical BFS shortest
+    path is chosen (computed from the smaller endpoint, deterministic
+    tie-breaking by neighbour order), and the family contains both its
+    orientations. O(|V|²) memory for the BFS parent trees; intended for
+    mobility graphs up to a few thousand points. Raises on disconnected
+    or single-vertex graphs. *)
+
+val grid_shortest : rows:int -> cols:int -> t
+(** The paper's basic instance: H is a grid and the feasible paths are
+    shortest ones. For every ordered pair (u, w), u ≠ w, the family
+    contains the two monotone L-shaped shortest paths (column-first and
+    row-first). Simple and reversible by construction; δ-regular with
+    small δ. *)
+
+val is_simple : t -> bool
+(** No path visits a point twice, except possibly start = end. For
+    implicit families this enumerates all paths — O(Σ ℓ(h)). *)
+
+val is_reversible : t -> bool
+(** Every path's reverse is in the family. O(Σ ℓ(h)) time and memory —
+    use on small instances. *)
+
+val congestion : t -> int array
+(** #𝒫(u): number of paths passing through [u], i.e. having [u] at one
+    of positions 1 .. ℓ-1 (0-based) — every position but the start, as
+    in the paper. O(Σ ℓ(h)). *)
+
+val delta_regularity : t -> float
+(** The δ-regularity of the family: max_u #𝒫(u) / (Σ_v #𝒫(v) / |V|). *)

@@ -1,0 +1,66 @@
+type init = Stationary | Point of int
+
+let stationary_sampler family =
+  (* Path h carries ℓ(h) - 1 states. *)
+  lazy
+    (Prng.Discrete.of_weights
+       (Array.init (Family.n_paths family) (fun h ->
+            float_of_int (Family.length family h - 1))))
+
+let make_observable ?(init = Stationary) ?(hold = 0.) ~n ~family () =
+  if not (hold >= 0. && hold < 1.) then invalid_arg "Rp_model: hold outside [0, 1)";
+  let n_points = Graph.Static.n (Family.graph family) in
+  let path = Array.make n 0 in
+  let pos = Array.make n 1 in
+  let rng = ref (Prng.Rng.of_seed 0) in
+  let sampler = stationary_sampler family in
+  let reset r =
+    rng := r;
+    for i = 0 to n - 1 do
+      match init with
+      | Point p ->
+          path.(i) <- Family.sample_path_from family !rng p;
+          pos.(i) <- 1
+      | Stationary ->
+          let h = Prng.Discrete.draw (Lazy.force sampler) !rng in
+          path.(i) <- h;
+          pos.(i) <- 1 + Prng.Rng.int !rng (Family.length family h - 1)
+    done
+  in
+  let step () =
+    for i = 0 to n - 1 do
+      if hold = 0. || not (Prng.Rng.bernoulli !rng hold) then
+        if pos.(i) < Family.length family path.(i) - 1 then pos.(i) <- pos.(i) + 1
+        else begin
+          let endpoint = Family.point_at family path.(i) pos.(i) in
+          path.(i) <- Family.sample_path_from family !rng endpoint;
+          pos.(i) <- 1
+        end
+    done
+  in
+  let current_point i = Family.point_at family path.(i) pos.(i) in
+  let iter_edges f =
+    (* Co-located nodes form a clique. *)
+    let buckets = Array.make n_points [] in
+    for i = n - 1 downto 0 do
+      let p = current_point i in
+      buckets.(p) <- i :: buckets.(p)
+    done;
+    Array.iter
+      (fun members ->
+        let rec within = function
+          | [] -> ()
+          | u :: rest ->
+              List.iter (fun v -> f u v) rest;
+              within rest
+        in
+        within members)
+      buckets
+  in
+  let dyn = Core.Dynamic.make ~n ~reset ~step ~iter_edges in
+  (dyn, fun () -> Array.init n current_point)
+
+let make ?init ?hold ~n ~family () = fst (make_observable ?init ?hold ~n ~family ())
+
+let random_walk ?init ?(hold = 0.5) ~n g =
+  make ?init ~hold ~n ~family:(Family.edges_family g) ()

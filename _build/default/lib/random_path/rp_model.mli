@@ -1,0 +1,41 @@
+(** The random-path mobility process over a path family: each node
+    travels along its current path one edge per step; on arriving at
+    the end point it picks a uniformly random feasible continuation.
+    Two nodes are connected exactly when they occupy the same point
+    (the paper's r = 0 connection rule).
+
+    The hidden node chain M_RP has states (h, i) for 2 ≤ i ≤ ℓ(h); for
+    simple reversible families its stationary distribution is uniform
+    over these states (Theorem 11 of [14], used in the proof of
+    Corollary 5), which is how [Stationary] initialisation samples. *)
+
+type init =
+  | Stationary
+      (** (path, position) uniform over the chain's state space:
+          path h weighted by ℓ(h) - 1, position uniform in 1..ℓ-1. *)
+  | Point of int
+      (** every node enters a fresh uniformly-chosen path from the given
+          point — an adversarial clustered start. *)
+
+val make :
+  ?init:init -> ?hold:float -> n:int -> family:Family.t -> unit -> Core.Dynamic.t
+(** [hold] (default 0) is a per-node per-step pause probability: with
+    probability [hold] a node does not advance along its path this
+    step. [hold = 0] is the paper's literal model, but on bipartite
+    mobility graphs (e.g. grids) the literal model is periodic: every
+    node changes bipartition class every step, so nodes starting in
+    different classes never co-locate and flooding cannot complete.
+    The paper's own random-walk citation uses the "within ρ hops" move
+    (which includes staying put); [hold > 0] is the corresponding
+    laziness for path families. Experiments use [hold = 0.5]. *)
+
+val make_observable :
+  ?init:init -> ?hold:float -> n:int -> family:Family.t -> unit ->
+  Core.Dynamic.t * (unit -> int array)
+(** Also returns an observer of the nodes' current points. *)
+
+val random_walk : ?init:init -> ?hold:float -> n:int -> Graph.Static.t -> Core.Dynamic.t
+(** The random walk mobility model on H: the random-path process of
+    {!Family.edges_family}. The special case studied by Corollary 6 and
+    by the baseline [15]. [hold] defaults to 1/2 (the standard lazy
+    walk, matching {!Markov.Walk.lazy_chain}). *)

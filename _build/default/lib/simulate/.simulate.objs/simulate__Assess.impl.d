@@ -1,0 +1,1 @@
+lib/simulate/assess.ml: Array Float List Printf Stats String

@@ -1,0 +1,1 @@
+lib/simulate/e01_edge_meg_scaling.ml: Array Assess Edge_meg List Prng Runner Stats Theory

@@ -1,0 +1,1 @@
+lib/simulate/e01_edge_meg_scaling.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e02_edge_meg_crossover.ml: Array Assess Edge_meg List Markov Printf Prng Runner Stats Theory

@@ -1,0 +1,1 @@
+lib/simulate/e02_edge_meg_crossover.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e03_stationarity_conditions.ml: Assess Core Edge_meg Float List Markov Mobility Prng Runner Stats Theory

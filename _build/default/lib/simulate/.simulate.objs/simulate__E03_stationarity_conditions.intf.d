@@ -1,0 +1,1 @@
+lib/simulate/e03_stationarity_conditions.mli: Assess Prng Runner Stats

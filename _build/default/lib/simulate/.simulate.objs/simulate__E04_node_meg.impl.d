@@ -1,0 +1,1 @@
+lib/simulate/e04_node_meg.ml: Array Assess List Markov Node_meg Prng Runner Stats Theory

@@ -1,0 +1,1 @@
+lib/simulate/e04_node_meg.mli: Assess Prng Runner Stats

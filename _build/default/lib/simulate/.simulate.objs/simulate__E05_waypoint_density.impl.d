@@ -1,0 +1,1 @@
+lib/simulate/e05_waypoint_density.ml: Array Assess Mobility Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e05_waypoint_density.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e06_waypoint_flooding.ml: Array Assess List Mobility Printf Prng Runner Stats Theory

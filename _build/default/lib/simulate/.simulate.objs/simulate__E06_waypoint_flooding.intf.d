@@ -1,0 +1,1 @@
+lib/simulate/e06_waypoint_flooding.mli: Assess Prng Runner Stats

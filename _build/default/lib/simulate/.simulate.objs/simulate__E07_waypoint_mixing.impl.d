@@ -1,0 +1,1 @@
+lib/simulate/e07_waypoint_mixing.ml: Assess List Mobility Prng Runner Stats

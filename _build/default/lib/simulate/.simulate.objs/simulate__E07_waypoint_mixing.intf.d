@@ -1,0 +1,1 @@
+lib/simulate/e07_waypoint_mixing.mli: Assess Prng Runner Stats

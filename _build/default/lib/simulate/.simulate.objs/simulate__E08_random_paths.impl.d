@@ -1,0 +1,1 @@
+lib/simulate/e08_random_paths.ml: Array Assess List Printf Prng Random_path Runner Stats

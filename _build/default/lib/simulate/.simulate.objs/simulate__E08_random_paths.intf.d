@@ -1,0 +1,1 @@
+lib/simulate/e08_random_paths.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e09_augmented_grid.ml: Array Assess Graph List Markov Printf Prng Random_path Runner Stats Theory

@@ -1,0 +1,1 @@
+lib/simulate/e09_augmented_grid.mli: Assess Prng Runner Stats

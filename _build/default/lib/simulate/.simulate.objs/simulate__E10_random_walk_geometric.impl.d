@@ -1,0 +1,1 @@
+lib/simulate/e10_random_walk_geometric.ml: Array Assess Core Graph List Mobility Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e10_random_walk_geometric.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e11_push_protocol.ml: Array Assess Core Edge_meg Float List Mobility Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e11_push_protocol.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e12_phases.ml: Assess Core Edge_meg Float List Mobility Option Prng Random_path Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e12_phases.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e13_gossip.ml: Array Assess Core Edge_meg Float List Mobility Printf Prng Runner Stats

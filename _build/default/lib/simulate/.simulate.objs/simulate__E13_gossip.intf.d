@@ -1,0 +1,1 @@
+lib/simulate/e13_gossip.mli: Assess Prng Runner Stats

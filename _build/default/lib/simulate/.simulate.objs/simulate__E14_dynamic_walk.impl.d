@@ -1,0 +1,1 @@
+lib/simulate/e14_dynamic_walk.ml: Array Assess Core Edge_meg Graph List Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e14_dynamic_walk.mli: Assess Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e15_worst_case.ml: Adversarial Array Assess Edge_meg Graph List Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e15_worst_case.mli: Assess Prng Runner Stats

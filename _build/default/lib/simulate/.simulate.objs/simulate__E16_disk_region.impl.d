@@ -1,0 +1,1 @@
+lib/simulate/e16_disk_region.ml: Array Assess Float Mobility Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e16_disk_region.mli: Assess Prng Runner Stats

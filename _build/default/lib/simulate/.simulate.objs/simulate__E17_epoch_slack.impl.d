@@ -1,0 +1,1 @@
+lib/simulate/e17_epoch_slack.ml: Array Assess Core Edge_meg List Markov Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/simulate/e17_epoch_slack.mli: Assess Prng Runner Stats

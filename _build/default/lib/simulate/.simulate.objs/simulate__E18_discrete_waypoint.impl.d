@@ -1,0 +1,1 @@
+lib/simulate/e18_discrete_waypoint.ml: Array Assess List Markov Mobility Printf Prng Runner Stats Theory

@@ -1,0 +1,1 @@
+lib/simulate/e18_discrete_waypoint.mli: Assess Prng Runner Stats

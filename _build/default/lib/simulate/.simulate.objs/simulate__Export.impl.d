@@ -1,0 +1,1 @@
+lib/simulate/export.ml: Buffer Char Filename List Printf Prng Registry Stats String Sys

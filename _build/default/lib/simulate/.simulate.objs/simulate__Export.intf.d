@@ -1,0 +1,1 @@
+lib/simulate/export.mli: Prng Registry Runner

@@ -1,0 +1,1 @@
+lib/simulate/registry.mli: Assess Prng Runner Stats

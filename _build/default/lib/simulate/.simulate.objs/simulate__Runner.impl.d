@@ -1,0 +1,1 @@
+lib/simulate/runner.ml: Core Float Stats

@@ -1,0 +1,1 @@
+lib/simulate/runner.mli: Core Prng Stats

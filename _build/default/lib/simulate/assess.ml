@@ -1,0 +1,51 @@
+type check = { label : string; passed : bool; detail : string }
+
+let check ~label ?(detail = "") passed = { label; passed; detail }
+
+let all_column table ~column ~label predicate =
+  match Stats.Table.column_floats table column with
+  | exception Not_found ->
+      { label; passed = false; detail = Printf.sprintf "column %S not found" column }
+  | [||] -> { label; passed = false; detail = Printf.sprintf "column %S empty" column }
+  | values ->
+      let mn = Array.fold_left Float.min infinity values in
+      let mx = Array.fold_left Float.max neg_infinity values in
+      {
+        label;
+        passed = Array.for_all predicate values;
+        detail = Printf.sprintf "range [%.4g, %.4g]" mn mx;
+      }
+
+let column_range table ~column ~label ~lo ~hi =
+  all_column table ~column ~label (fun v -> v >= lo && v <= hi)
+
+let value_in ~label ~lo ~hi v =
+  {
+    label;
+    passed = Float.is_finite v && v >= lo && v <= hi;
+    detail = Printf.sprintf "value %.4g, band [%.4g, %.4g]" v lo hi;
+  }
+
+let ordered ~label ?(strict = false) values =
+  let rec ok = function
+    | a :: (b :: _ as rest) -> (if strict then a > b else a >= b) && ok rest
+    | [ _ ] | [] -> true
+  in
+  {
+    label;
+    passed = ok values;
+    detail =
+      Printf.sprintf "sequence %s"
+        (String.concat " -> " (List.map (Printf.sprintf "%.4g") values));
+  }
+
+let render ~title checks =
+  let table = Stats.Table.create ~title ~columns:[ "check"; "verdict"; "detail" ] in
+  List.iter
+    (fun c ->
+      Stats.Table.add_row table
+        [ Text c.label; Text (if c.passed then "PASS" else "FAIL"); Text c.detail ])
+    checks;
+  table
+
+let all_passed checks = List.for_all (fun c -> c.passed) checks

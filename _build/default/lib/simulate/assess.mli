@@ -1,0 +1,32 @@
+(** Machine-checkable assessments of experiment outcomes.
+
+    Each experiment declares a list of named checks over the tables it
+    produced; the harness renders them as a reproduction scorecard.
+    Checks are written against *shapes* (ratios bounded, slopes in a
+    band, orderings), not absolute values, so they hold across seeds
+    and scales — the same robustness the paper's O(·) statements have. *)
+
+type check = { label : string; passed : bool; detail : string }
+
+val check : label:string -> ?detail:string -> bool -> check
+
+val all_column :
+  Stats.Table.t -> column:string -> label:string -> (float -> bool) -> check
+(** Passes when the predicate holds for every numeric cell of the
+    column; the detail reports the min/max seen. Fails when the column
+    is empty. *)
+
+val column_range : Stats.Table.t -> column:string -> label:string -> lo:float -> hi:float -> check
+(** All values of the column within [lo, hi]. *)
+
+val value_in : label:string -> lo:float -> hi:float -> float -> check
+(** A single scalar within a band. *)
+
+val ordered :
+  label:string -> ?strict:bool -> float list -> check
+(** The values are non-increasing (or strictly decreasing). *)
+
+val render : title:string -> check list -> Stats.Table.t
+(** Scorecard table with one row per check. *)
+
+val all_passed : check list -> bool

@@ -1,0 +1,14 @@
+(** E2 — Appendix A's ablation: the generalised Theorem 1 bound for
+    edge-MEGs, O(1/(p+q) ((p+q)/(np) + 1)² log² n), is almost tight
+    precisely when q ≳ np. Sweeping q across the np threshold shows the
+    crossover: above it the two bounds agree up to polylog; below it
+    the general bound degrades. A second table exercises the
+    generalised EM(n, M, χ) machinery with a 4-state hidden chain. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

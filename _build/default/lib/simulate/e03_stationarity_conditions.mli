@@ -1,0 +1,14 @@
+(** E3 — Theorem 1's conditions measured in vivo: the empirical density
+    α̂, independence β̂ and per-snapshot isolated-node fraction for a
+    sparse edge-MEG and a sparse waypoint network. The reproduced
+    claim: even with a large constant fraction of isolated nodes per
+    snapshot (highly disconnected snapshots), flooding completes within
+    the Theorem 1 budget computed from the measured (M, α̂, β̂). *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,14 @@
+(** E4 — Theorem 3 on synthetic node-MEGs with exactly computable
+    P_NM, P_NM2 and η: nodes cycle through k "channels" with random
+    restarts; two nodes are connected when their channels are within
+    window w. Sweeping k moves the network from dense (nP_NM >> 1) to
+    sparse (nP_NM ≈ 1); measured flooding tracks the Theorem 3
+    expression. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,69 @@
+let id = "E5"
+
+let title = "waypoint positional density: Corollary 4 conditions"
+
+let claim =
+  "The waypoint stationary density has constant delta and lambda (conditions \
+   (a),(b) of Corollary 4) and a pronounced center bias; the random-direction \
+   control is near-uniform; the analytic product form tracks the measurement."
+
+let run ~rng ~scale =
+  let n = Runner.pick scale 100 300 in
+  let l = 16. in
+  let bins = 8 in
+  let samples = Runner.pick scale 300 1500 in
+  let wp = Mobility.Waypoint.create ~n ~l ~r:1. ~v_min:1. ~v_max:1.25 () in
+  let dir = Mobility.Direction.create ~n ~l ~r:1. ~v:1. ~turn_every:8. () in
+  let wp_profile =
+    Mobility.Density.estimate ~geo:wp ~rng:(Prng.Rng.split rng) ~bins ~samples ()
+  in
+  let dir_profile =
+    Mobility.Density.estimate ~geo:dir ~rng:(Prng.Rng.split rng) ~bins ~samples ()
+  in
+  let product =
+    Mobility.Density.of_function ~l ~bins (Mobility.Waypoint.product_density ~l)
+  in
+  let exact = Mobility.Density.of_function ~l ~bins (Mobility.Waypoint.exact_density ~l) in
+  let table =
+    Stats.Table.create ~title
+      ~columns:[ "model"; "delta"; "lambda"; "center/corner"; "TV vs measured" ]
+  in
+  let row name profile =
+    let u = Mobility.Density.uniformity profile in
+    Stats.Table.add_row table
+      [
+        Text name;
+        Fixed (u.delta, 3);
+        Fixed (u.lambda, 3);
+        Fixed (u.center_to_corner, 2);
+        Fixed (Mobility.Density.tv_between profile wp_profile, 4);
+      ]
+  in
+  row "waypoint (measured)" wp_profile;
+  row "waypoint (exact, Palm [25])" exact;
+  row "waypoint (product f(x)f(y))" product;
+  row "random direction (control)" dir_profile;
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      let deltas = Stats.Table.column_floats table "delta" in
+      let lambdas = Stats.Table.column_floats table "lambda" in
+      let biases = Stats.Table.column_floats table "center/corner" in
+      let tvs = Stats.Table.column_floats table "TV vs measured" in
+      (* rows: measured, exact, product, control *)
+      if Array.length deltas < 4 then [ Assess.check ~label:"expected 4 rows" false ]
+      else
+        [
+          Assess.value_in ~label:"waypoint delta is an O(1) constant" ~lo:1.2 ~hi:4.
+            deltas.(0);
+          Assess.value_in ~label:"waypoint lambda bounded below" ~lo:0.3 ~hi:1. lambdas.(0);
+          Assess.value_in ~label:"waypoint center bias present" ~lo:2. ~hi:100. biases.(0);
+          Assess.value_in ~label:"random-direction control near uniform" ~lo:1. ~hi:1.3
+            deltas.(3);
+          Assess.check ~label:"exact Palm density beats the product approximation"
+            (tvs.(1) < tvs.(2));
+          Assess.value_in ~label:"exact density matches measurement" ~lo:0. ~hi:0.05
+            tvs.(1);
+        ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

@@ -1,0 +1,15 @@
+(** E5 — Corollary 4's uniformity conditions for the random waypoint:
+    the stationary positional density is bounded above by δ/vol(R)
+    everywhere and below by 1/(δ·vol(R)) on a constant-fraction central
+    region, with absolute-constant δ and λ — despite the strong center
+    bias. The random-direction model serves as the near-uniform
+    control, and the measured occupancy is compared against the
+    analytic product-form waypoint density. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,66 @@
+let id = "E7"
+
+let title = "waypoint mixing time is Theta(L/v)"
+
+let claim =
+  "The TV distance of the waypoint positional distribution from its \
+   stationary profile drops below 1/4 after c * L/v steps with c constant \
+   across L and v."
+
+let run ~rng ~scale =
+  let configs =
+    Runner.pick scale
+      [ (8., 1.); (16., 1.); (16., 2.) ]
+      [ (8., 1.); (16., 1.); (32., 1.); (16., 0.5); (16., 2.) ]
+  in
+  let replicas = Runner.pick scale 800 3000 in
+  let table =
+    Stats.Table.create ~title
+      ~columns:[ "L"; "v"; "L/v"; "t_mix(1/4)"; "t_mix/(L/v)"; "TV at L/v"; "TV at 4L/v" ]
+  in
+  List.iter
+    (fun (l, v) ->
+      let scale_steps = l /. v in
+      let checkpoints =
+        List.map
+          (fun mult -> int_of_float (ceil (mult *. scale_steps)))
+          [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]
+      in
+      let make () =
+        Mobility.Waypoint.create ~init:Corner ~n:1 ~l ~r:1. ~v_min:v ~v_max:(1.25 *. v) ()
+      in
+      let curve =
+        Mobility.Mixing.measure ~make ~rng:(Prng.Rng.split rng) ~replicas ~checkpoints ()
+      in
+      let tv_at mult =
+        let t = int_of_float (ceil (mult *. scale_steps)) in
+        match List.assoc_opt t curve.checkpoints with Some tv -> tv | None -> nan
+      in
+      let t_mix_cell, ratio_cell =
+        match curve.t_mix with
+        | Some t ->
+            (Stats.Table.Int t, Stats.Table.Fixed (float_of_int t /. scale_steps, 2))
+        | None -> (Stats.Table.Text ">max", Stats.Table.Missing)
+      in
+      Stats.Table.add_row table
+        [
+          Runner.cell l;
+          Runner.cell v;
+          Runner.cell scale_steps;
+          t_mix_cell;
+          ratio_cell;
+          Fixed (tv_at 1.0, 3);
+          Fixed (tv_at 4.0, 3);
+        ])
+    configs;
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      [
+        Assess.column_range table ~column:"t_mix/(L/v)"
+          ~label:"mixing time linear in L/v with O(1) constant" ~lo:0.25 ~hi:4.;
+        Assess.all_column table ~column:"TV at 4L/v"
+          ~label:"well-mixed after a few L/v" (fun v -> v < 0.3);
+      ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

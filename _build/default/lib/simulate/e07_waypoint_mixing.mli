@@ -1,0 +1,12 @@
+(** E7 — The waypoint positional mixing time is Θ(L/v_max) (the paper's
+    quoted result [1, 29], the M of its epochs). Measured via TV decay
+    of the empirical occupancy of replicas started in a corner, across
+    an (L, v) grid; the reported t_mix should scale linearly in L/v. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

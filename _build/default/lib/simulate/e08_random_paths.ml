@@ -1,0 +1,70 @@
+let id = "E8"
+
+let title = "random paths on grids (shortest-path family): flooding = O(D polylog)"
+
+let claim =
+  "The grid shortest-path family is delta-regular with small delta, and \
+   measured flooding divided by the grid diameter D grows only \
+   polylogarithmically across grid sizes."
+
+let run ~rng ~scale =
+  let sides = Runner.pick scale [ 6; 8 ] [ 6; 8; 12; 16; 24 ] in
+  let trials = Runner.trials scale in
+  let table =
+    Stats.Table.create ~title
+      ~columns:
+        [ "grid"; "|V|"; "D"; "delta"; "n"; "flood mean"; "flood/D"; "flood/(D log^2 n)" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun side ->
+      let family = Random_path.Family.grid_shortest ~rows:side ~cols:side in
+      let s = side * side in
+      let n = s in
+      let d = 2 * (side - 1) in
+      let delta = Random_path.Family.delta_regularity family in
+      (* hold = 0.5: lazy stepping breaks the grid's bipartite parity,
+         without which opposite-parity nodes never co-locate. *)
+      let dyn = Random_path.Rp_model.make ~hold:0.5 ~n ~family () in
+      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let logn = log (float_of_int n) in
+      points := (float_of_int d, stats.mean) :: !points;
+      Stats.Table.add_row table
+        [
+          Text (Printf.sprintf "%dx%d" side side);
+          Int s;
+          Int d;
+          Fixed (delta, 3);
+          Int n;
+          Runner.cell stats.mean;
+          Fixed (stats.mean /. float_of_int d, 2);
+          Fixed (stats.mean /. (float_of_int d *. logn *. logn), 3);
+        ])
+    sides;
+  let fit = Stats.Regression.loglog !points in
+  let verdict =
+    Stats.Table.create ~title:"E8 scaling check"
+      ~columns:[ "quantity"; "value"; "expectation" ]
+  in
+  Stats.Table.add_row verdict
+    [
+      Text "loglog slope of flood vs D";
+      Fixed (fit.slope, 3);
+      Text "~1 (linear in diameter, plus polylog)";
+    ];
+  Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  [ table; verdict ]
+
+let assess = function
+  | [ main; verdict ] ->
+      let slope =
+        match Stats.Table.column_floats verdict "value" with [||] -> nan | v -> v.(0)
+      in
+      [
+        Assess.column_range main ~column:"delta"
+          ~label:"shortest-path family delta-regular with small delta" ~lo:1. ~hi:2.;
+        Assess.column_range main ~column:"flood/D"
+          ~label:"flooding within polylog of the diameter" ~lo:0.5 ~hi:6.;
+        Assess.value_in ~label:"flooding-vs-D exponent near 1" ~lo:0.55 ~hi:1.3 slope;
+      ]
+  | _ -> [ Assess.check ~label:"expected 2 tables" false ]

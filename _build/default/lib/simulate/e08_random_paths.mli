@@ -1,0 +1,13 @@
+(** E8 — Corollary 5 on the paper's basic instance: random paths over a
+    grid with the canonical shortest-path family. The family is simple,
+    reversible and δ-regular with small δ, so flooding is O(D polylog n)
+    where D is the grid diameter — within polylog of the trivial Ω(D)
+    lower bound. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,14 @@
+(** E9 — Corollary 6 vs. the baseline of [15] on k-augmented grids: as
+    k grows, the walk's mixing time (and hence our bound, and the
+    measured flooding time) drops roughly as k², while the two-walk
+    meeting time T* — the quantity controlling the baseline bound
+    O(T* log n) — stays near Θ(s log s). This is the paper's concrete
+    "our bound improves on [15]" example. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

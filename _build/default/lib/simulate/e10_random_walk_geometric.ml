@@ -1,0 +1,52 @@
+let id = "E10"
+
+let title = "random-walk mobility on a grid: radius sweep"
+
+let claim =
+  "Flooding time of the random-walk model decreases sharply with the \
+   transmission radius even while most snapshots remain disconnected; the \
+   sparse regime is still only polylog away from the mobility scale."
+
+let run ~rng ~scale =
+  let m = Runner.pick scale 16 32 in
+  let n = Runner.pick scale 64 128 in
+  let rs = Runner.pick scale [ 1.0; 2.0; 4.0 ] [ 1.0; 1.5; 2.0; 4.0; 8.0 ] in
+  let trials = Runner.trials scale in
+  let table =
+    Stats.Table.create
+      ~title:(Printf.sprintf "%s (m = %d, n = %d)" title m n)
+      ~columns:
+        [ "r"; "flood mean"; "flood sd"; "isolated frac"; "snapshot components" ]
+  in
+  List.iter
+    (fun r ->
+      let dyn = Mobility.Random_walk_model.dynamic ~n ~m ~r () in
+      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      (* Snapshot structure in (approximate) steady state. *)
+      Core.Dynamic.reset dyn (Prng.Rng.split rng);
+      for _ = 1 to 5 * m do
+        Core.Dynamic.step dyn
+      done;
+      let snap = Core.Dynamic.snapshot_graph dyn in
+      Stats.Table.add_row table
+        [
+          Runner.cell r;
+          Runner.cell stats.mean;
+          Runner.cell stats.stddev;
+          Fixed (Core.Dynamic.isolated_fraction dyn, 3);
+          Int (Graph.Traverse.n_components snap);
+        ])
+    rs;
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      let floods = Array.to_list (Stats.Table.column_floats table "flood mean") in
+      let isolated = Array.to_list (Stats.Table.column_floats table "isolated frac") in
+      [
+        Assess.ordered ~label:"flooding decreases with radius" floods;
+        Assess.ordered ~label:"isolation decreases with radius" isolated;
+        Assess.check ~label:"sparse regime has substantial isolation"
+          (match isolated with v :: _ -> v > 0.1 | [] -> false);
+      ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

@@ -1,0 +1,14 @@
+(** E10 — The geometric random-walk mobility model of the introduction:
+    n walkers on an m×m grid, connected within Euclidean radius r.
+    Sweeping r through the connectivity threshold shows flooding
+    falling from meeting-time-like scales (r small, must co-locate) to
+    near-instant (r comparable to L), while per-snapshot isolation
+    stays high in the sparse regime. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,87 @@
+let id = "E11"
+
+let title = "randomised push = flooding on the virtual dynamic graph (Sec. 5)"
+
+let claim =
+  "The push-p protocol and flooding on the p-filtered virtual dynamic graph \
+   have the same completion-time distribution, and the slowdown over full \
+   flooding is mild (O(1/p) at worst)."
+
+let run ~rng ~scale =
+  let trials = Runner.trials scale * 2 in
+  let ps = Runner.pick scale [ 1.0; 0.5; 0.25 ] [ 1.0; 0.5; 0.25; 0.1 ] in
+  let n_meg = Runner.pick scale 128 256 in
+  let p_edge = 2. /. float_of_int n_meg and q_edge = 0.5 in
+  let n_wp = Runner.pick scale 64 128 in
+  let l = 12. in
+  let specs =
+    [
+      ( "edge-MEG",
+        fun () -> Edge_meg.Classic.make ~n:n_meg ~p:p_edge ~q:q_edge () );
+      ( "waypoint",
+        fun () -> Mobility.Waypoint.dynamic ~n:n_wp ~l ~r:2. ~v_min:1. ~v_max:1.25 () );
+    ]
+  in
+  List.map
+    (fun (name, make) ->
+      let table =
+        Stats.Table.create
+          ~title:(Printf.sprintf "E11 %s: push protocol vs virtual graph" name)
+          ~columns:
+            [ "p"; "push mean"; "push sd"; "virtual mean"; "virtual sd"; "slowdown vs p=1" ]
+      in
+      let full = Runner.flood ~rng:(Prng.Rng.split rng) ~trials (make ()) in
+      List.iter
+        (fun p ->
+          let push =
+            Runner.flood ~rng:(Prng.Rng.split rng) ~trials
+              ~protocol:(Core.Flooding.Push p) (make ())
+          in
+          let virt =
+            Runner.flood ~rng:(Prng.Rng.split rng) ~trials
+              (Core.Dynamic.filter_edges ~p_keep:p (make ()))
+          in
+          Stats.Table.add_row table
+            [
+              Runner.cell p;
+              Runner.cell push.mean;
+              Runner.cell push.stddev;
+              Runner.cell virt.mean;
+              Runner.cell virt.stddev;
+              Fixed (push.mean /. full.mean, 2);
+            ])
+        ps;
+      table)
+    specs
+
+let assess tables =
+  match tables with
+  | [ _; _ ] ->
+      List.concat_map
+        (fun table ->
+          let push = Stats.Table.column_floats table "push mean" in
+          let virt = Stats.Table.column_floats table "virtual mean" in
+          let push_sd = Stats.Table.column_floats table "push sd" in
+          let agree =
+            Array.length push = Array.length virt
+            && Array.length push > 0
+            &&
+            let ok = ref true in
+            Array.iteri
+              (fun i p ->
+                let tolerance = Float.max 2. (3. *. Float.max push_sd.(i) 1.) in
+                if abs_float (p -. virt.(i)) > tolerance then ok := false)
+              push;
+            !ok
+          in
+          [
+            Assess.check
+              ~label:(Printf.sprintf "%s: push = virtual graph within noise"
+                        (Stats.Table.title table))
+              agree;
+            Assess.ordered
+              ~label:(Printf.sprintf "%s: slowdown grows as p drops" (Stats.Table.title table))
+              (List.rev (Array.to_list push));
+          ])
+        tables
+  | _ -> [ Assess.check ~label:"expected 2 tables" false ]

@@ -1,0 +1,14 @@
+(** E11 — Section 5's reduction: a randomised protocol in which an
+    informed node transmits to each neighbour independently with
+    probability p is exactly flooding on a "virtual dynamic graph"
+    where each snapshot edge is kept with probability p. Both sides of
+    the reduction are run and should agree within noise; the slowdown
+    relative to full flooding stays O(1/p · polylog). *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,89 @@
+let id = "E12"
+
+let title = "phase structure: doubling spreading phase, short saturation"
+
+let claim =
+  "Across models, |I_t| doubles in a bounded number of steps until n/2 \
+   (Lemma 13) and the saturation tail is comparable to one doubling period \
+   times log n (Lemma 14)."
+
+let run ~rng ~scale =
+  let trials = max 3 (Runner.trials scale / 2) in
+  let n_meg = Runner.pick scale 256 1024 in
+  let n_wp = Runner.pick scale 96 256 in
+  let l = sqrt (float_of_int n_wp) in
+  let side = Runner.pick scale 8 12 in
+  let specs =
+    [
+      ( "edge-MEG p=1/n q=.3",
+        n_meg,
+        fun () ->
+          Edge_meg.Classic.make ~n:n_meg ~p:(1. /. float_of_int n_meg) ~q:0.3 () );
+      ( "waypoint sparse",
+        n_wp,
+        fun () -> Mobility.Waypoint.dynamic ~n:n_wp ~l ~r:1.5 ~v_min:1. ~v_max:1.25 () );
+      ( "random paths grid",
+        side * side,
+        fun () ->
+          Random_path.Rp_model.make ~hold:0.5 ~n:(side * side)
+            ~family:(Random_path.Family.grid_shortest ~rows:side ~cols:side)
+            () );
+    ]
+  in
+  let table =
+    Stats.Table.create ~title
+      ~columns:
+        [
+          "model";
+          "n";
+          "total mean";
+          "spread mean";
+          "saturate mean";
+          "max doubling gap";
+          "saturate/spread";
+        ]
+  in
+  List.iter
+    (fun (name, n, make) ->
+      let totals = Stats.Summary.create () in
+      let spreads = Stats.Summary.create () in
+      let saturates = Stats.Summary.create () in
+      let gaps = Stats.Summary.create () in
+      for i = 0 to trials - 1 do
+        let result =
+          Core.Flooding.run ~rng:(Prng.Rng.substream rng i) ~source:0 (make ())
+        in
+        match result.time with
+        | None -> ()
+        | Some t ->
+            let a = Core.Phases.analyze ~n result.trajectory in
+            Stats.Summary.add totals (float_of_int t);
+            Option.iter (fun s -> Stats.Summary.add spreads (float_of_int s)) a.spreading_time;
+            Option.iter
+              (fun s -> Stats.Summary.add saturates (float_of_int s))
+              a.saturation_time;
+            Option.iter (fun g -> Stats.Summary.add gaps (float_of_int g)) a.max_doubling_gap
+      done;
+      let mean s = Stats.Summary.mean s in
+      Stats.Table.add_row table
+        [
+          Text name;
+          Int n;
+          Runner.cell (mean totals);
+          Runner.cell (mean spreads);
+          Runner.cell (mean saturates);
+          Runner.cell (mean gaps);
+          Fixed (mean saturates /. Float.max 1. (mean spreads), 2);
+        ])
+    specs;
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      [
+        Assess.column_range table ~column:"saturate/spread"
+          ~label:"saturation comparable to spreading (Lemma 14)" ~lo:0.1 ~hi:3.;
+        Assess.all_column table ~column:"max doubling gap"
+          ~label:"doubling gaps stay bounded (Lemma 13)" (fun v -> v <= 10.);
+      ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

@@ -1,0 +1,13 @@
+(** E12 — The phase structure behind Theorem 1's proof: during the
+    spreading phase the informed set doubles within a bounded number of
+    steps (Lemma 13) until n/2; the saturation phase then informs the
+    rest within a comparable budget (Lemma 14). Measured on an
+    edge-MEG, a waypoint network and a random-path grid. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

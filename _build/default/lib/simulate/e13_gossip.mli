@@ -1,0 +1,17 @@
+(** E13 — The conclusion's protocol extension, beyond the push-subset
+    reduction of E11: single-contact gossip (push / pull / push-pull)
+    on dynamic graphs. Flooding is the message-heavy baseline (every
+    informed node uses every incident edge); gossip bounds per-node
+    communication to one contact per round. The shape reproduced:
+    push-pull completes within a small factor of flooding at a
+    fraction of the message cost, and all variants inherit the
+    dynamic-graph behaviour (they are floods on a sparser virtual
+    process, exactly as Section 5 argues). *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

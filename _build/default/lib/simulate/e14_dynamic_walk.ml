@@ -1,0 +1,77 @@
+let id = "E14"
+
+let title = "random walks on dynamic graphs: hitting and cover times"
+
+let claim =
+  "A lazy walk on a sparse edge-MEG covers every node even though every \
+   snapshot is disconnected (a static graph of equal density never does), and \
+   cover time grows near-linearly in n at constant per-node density."
+
+let run ~rng ~scale =
+  let trials = Runner.trials scale in
+  let ns = Runner.pick scale [ 32; 64 ] [ 32; 64; 128; 256 ] in
+  let c = 2.0 in
+  let table =
+    Stats.Table.create ~title
+      ~columns:
+        [ "n"; "model"; "isolated frac"; "mean hitting"; "mean cover"; "cover/(n ln n)" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let p = c /. float_of_int n in
+      let cap = 400 * n in
+      let add name dyn =
+        Core.Dynamic.reset dyn (Prng.Rng.split rng);
+        let iso = Core.Dynamic.isolated_fraction dyn in
+        let hit =
+          Core.Dyn_walk.mean_hitting_time ~cap ~rng:(Prng.Rng.split rng) ~trials dyn
+        in
+        let cover =
+          Core.Dyn_walk.mean_cover_time ~cap ~rng:(Prng.Rng.split rng) ~trials dyn
+        in
+        let scale_ref = float_of_int n *. log (float_of_int n) in
+        if name = "edge-MEG" then points := (float_of_int n, cover) :: !points;
+        let capped = cover >= float_of_int cap in
+        Stats.Table.add_row table
+          [
+            Int n;
+            Text name;
+            Fixed (iso, 3);
+            Runner.cell hit;
+            (if capped then Text (Printf.sprintf ">%d (never)" cap) else Runner.cell cover);
+            (if capped then Missing else Fixed (cover /. scale_ref, 2));
+          ]
+      in
+      add "edge-MEG" (Edge_meg.Classic.make ~n ~p ~q:0.5 ());
+      (* Static control at the same expected density: frozen G(n, p') with
+         p' = the MEG's stationary alpha. *)
+      let alpha = p /. (p +. 0.5) in
+      let static =
+        Core.Dynamic.of_static
+          (Graph.Builders.erdos_renyi ~rng:(Prng.Rng.split rng) ~n ~p:alpha)
+      in
+      add "static G(n,alpha)" static)
+    ns;
+  let fit = Stats.Regression.loglog !points in
+  let verdict =
+    Stats.Table.create ~title:"E14 scaling check (edge-MEG cover time)"
+      ~columns:[ "quantity"; "value"; "expectation" ]
+  in
+  Stats.Table.add_row verdict
+    [ Text "loglog slope of cover vs n"; Fixed (fit.slope, 3); Text "~1 (n polylog)" ];
+  Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  [ table; verdict ]
+
+let assess = function
+  | [ main; verdict ] ->
+      let slope =
+        match Stats.Table.column_floats verdict "value" with [||] -> nan | v -> v.(0)
+      in
+      [
+        Assess.column_range main ~column:"cover/(n ln n)"
+          ~label:"dynamic cover time ~ n log n (static rows excluded as capped)" ~lo:0.3
+          ~hi:10.;
+        Assess.value_in ~label:"cover-vs-n exponent near 1" ~lo:0.7 ~hi:1.6 slope;
+      ]
+  | _ -> [ Assess.check ~label:"expected 2 tables" false ]

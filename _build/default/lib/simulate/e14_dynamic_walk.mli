@@ -1,0 +1,16 @@
+(** E14 — Exploring a fast-changing world [2]: hitting and cover times
+    of a lazy random walk *on* the dynamic graphs, the other classic
+    MEG question the paper builds on. The shape reproduced: on a sparse
+    edge-MEG whose every snapshot is disconnected, the walk still
+    covers all nodes (the dynamics re-connect it across time), whereas
+    on the static graph of the same density cover time is infinite;
+    and cover time scales near-linearly (with logs) in n once the
+    dynamic density is a constant per node. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,75 @@
+let id = "E15"
+
+let title = "worst-case vs Markovian dynamic graphs at equal density"
+
+let claim =
+  "An always-connected adversarial dynamic graph (rotating star) floods in \
+   Theta(n) while Markovian models of the same snapshot density flood in \
+   O(polylog n); interval connectivity is neither necessary nor sufficient \
+   for fast flooding."
+
+let run ~rng ~scale =
+  let n = Runner.pick scale 64 256 in
+  let trials = Runner.trials scale in
+  let window = 12 in
+  let table =
+    Stats.Table.create
+      ~title:(Printf.sprintf "%s (n = %d)" title n)
+      ~columns:
+        [
+          "model";
+          "edges/snapshot";
+          "snapshot connected";
+          "max T-interval";
+          "flood mean";
+          "flood / log2 n";
+        ]
+  in
+  let log2n = log (float_of_int n) /. log 2. in
+  let add name dyn =
+    let snapshots = Adversarial.Interval.record dyn ~rng:(Prng.Rng.split rng) ~steps:window in
+    let first_connected =
+      Graph.Traverse.is_connected (Graph.Static.of_edges ~n (List.hd snapshots))
+    in
+    let t_interval = Adversarial.Interval.max_interval ~n snapshots in
+    let m_mean =
+      List.fold_left (fun acc s -> acc +. float_of_int (List.length s)) 0. snapshots
+      /. float_of_int window
+    in
+    let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials ~cap:(20 * n) dyn in
+    Stats.Table.add_row table
+      [
+        Text name;
+        Runner.cell m_mean;
+        Text (if first_connected then "yes" else "no");
+        Int t_interval;
+        Runner.cell stats.mean;
+        Fixed (stats.mean /. log2n, 2);
+      ]
+  in
+  add "rotating star (adversarial)" (Adversarial.Model.rotating_star ~n);
+  add "random matching (memoryless)" (Adversarial.Model.random_matching ~rng_hint:() ~n);
+  (* Density-matched edge-MEG: stationary edge count = n - 1. *)
+  let alpha = float_of_int (n - 1) /. float_of_int (Graph.Pairs.total n) in
+  let q = 0.5 in
+  let p = q *. alpha /. (1. -. alpha) in
+  add "edge-MEG (same density)" (Edge_meg.Classic.make ~n ~p ~q ());
+  (* n is a power of two at both scales (64 / 256). *)
+  add "rotating matching (hypercube dims)" (Adversarial.Model.rotating_matching ~n);
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      let per_log = Stats.Table.column_floats table "flood / log2 n" in
+      (* rows: rotating star, random matching, edge-MEG, rotating matching *)
+      if Array.length per_log < 4 then [ Assess.check ~label:"expected 4 rows" false ]
+      else
+        [
+          Assess.check ~label:"adversarial star floods in Theta(n), not polylog"
+            (per_log.(0) > 3.);
+          Assess.check ~label:"random matching floods in O(log n)" (per_log.(1) <= 2.5);
+          Assess.check ~label:"edge-MEG floods in O(log n)" (per_log.(2) <= 2.5);
+          Assess.check ~label:"rotating matching floods in exactly log2 n"
+            (abs_float (per_log.(3) -. 1.) < 0.01);
+        ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

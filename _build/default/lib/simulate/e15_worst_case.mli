@@ -1,0 +1,16 @@
+(** E15 — What stationarity buys: worst-case dynamic graphs ([21]) vs
+    the paper's Markovian models at matched snapshot density. The
+    rotating star is always connected with diameter 2 and carries the
+    same n-1 edges per snapshot as a density-matched edge-MEG, yet
+    flooding takes exactly n-1 rounds; the memoryless random matching
+    and the edge-MEG flood in Θ(log n). T-interval connectivity is
+    measured for each, showing the paper's models flood fast *without*
+    any interval-connectivity guarantee. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

@@ -1,0 +1,64 @@
+let id = "E16"
+
+let title = "Corollary 4 over a disk region: same constants, same flooding"
+
+let claim =
+  "The waypoint over the disk inscribed in the square satisfies conditions \
+   (a),(b) of Corollary 4 with O(1) delta and lambda, and floods within a \
+   constant factor of the square-region waypoint at equal node density."
+
+let run ~rng ~scale =
+  let n = Runner.pick scale 96 256 in
+  let trials = Runner.trials scale in
+  let bins = 8 in
+  let samples = Runner.pick scale 300 1200 in
+  let r = 1.5 and v = 1.0 in
+  let table =
+    Stats.Table.create ~title
+      ~columns:
+        [ "region"; "L"; "delta"; "lambda"; "center bias"; "flood mean"; "flood sd" ]
+  in
+  let row name region =
+    (* Equal node density: the disk has pi/4 of the square's area, so
+       its side is scaled up to hold n nodes at one node per unit. *)
+    let area_factor =
+      match region with Mobility.Waypoint.Square -> 1. | Disk -> 4. /. Float.pi
+    in
+    let l = sqrt (float_of_int n *. area_factor) in
+    let geo = Mobility.Waypoint.create ~region ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
+    let profile = Mobility.Density.estimate ~geo ~rng:(Prng.Rng.split rng) ~bins ~samples () in
+    let mask = Mobility.Waypoint.region_contains region ~l in
+    let u = Mobility.Density.uniformity ~mask profile in
+    let dyn =
+      Mobility.Waypoint.dynamic ~region ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) ()
+    in
+    let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+    Stats.Table.add_row table
+      [
+        Text name;
+        Fixed (l, 1);
+        Fixed (u.delta, 3);
+        Fixed (u.lambda, 3);
+        Fixed (u.center_to_corner, 2);
+        Runner.cell stats.mean;
+        Runner.cell stats.stddev;
+      ]
+  in
+  row "square" Mobility.Waypoint.Square;
+  row "disk" Mobility.Waypoint.Disk;
+  [ table ]
+
+let assess = function
+  | [ table ] ->
+      let deltas = Stats.Table.column_floats table "delta" in
+      let lambdas = Stats.Table.column_floats table "lambda" in
+      let floods = Stats.Table.column_floats table "flood mean" in
+      if Array.length deltas < 2 then [ Assess.check ~label:"expected 2 rows" false ]
+      else
+        [
+          Assess.value_in ~label:"disk delta is an O(1) constant" ~lo:1. ~hi:4. deltas.(1);
+          Assess.value_in ~label:"disk lambda bounded below" ~lo:0.3 ~hi:1. lambdas.(1);
+          Assess.check ~label:"disk flooding within 3x of square flooding"
+            (floods.(1) /. floods.(0) >= 1. /. 3. && floods.(1) /. floods.(0) <= 3.);
+        ]
+  | _ -> [ Assess.check ~label:"expected 1 table" false ]

@@ -1,0 +1,14 @@
+(** E16 — Corollary 4's region generality: the statement covers any
+    bounded connected region R ⊆ ℝᵈ, not just the square. The waypoint
+    over the inscribed disk satisfies the same (δ, λ)-uniformity
+    conditions with O(1) constants, and its flooding time in the sparse
+    regime matches the square's within a constant factor (once the
+    disk's smaller area — π/4 of the square's — is accounted for). *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

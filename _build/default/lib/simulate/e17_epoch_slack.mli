@@ -1,0 +1,17 @@
+(** E17 — The epoch argument's slack. Theorem 1's proof only looks at
+    the dynamic graph at epoch boundaries (times τM, M = the mixing
+    time) and discards everything that happens in between. Flooding on
+    the epoch-subsampled process, times M, therefore upper-bounds real
+    flooding, and the ratio between the two measures exactly how much
+    the analysis gives away — the paper's own conclusion ("a more
+    refined analysis might be able to bound the flooding time without
+    having to wait for the process to achieve stationarity") predicts
+    this gap is real. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

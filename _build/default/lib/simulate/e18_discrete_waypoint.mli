@@ -1,0 +1,17 @@
+(** E18 — The §4.1 discretisation, exact: the waypoint realised as an
+    explicit finite node-MEG (state = (position, destination), one grid
+    hop per step). With the full chain in hand, P_NM, η and the
+    positional distribution are computed with zero sampling error, so
+    Theorem 3's premises are *verified*, not estimated; the measured
+    flooding sits inside the exact budget; and the direct η is compared
+    with the δ⁶/λ² detour Corollary 4 takes — quantifying how loose the
+    corollary's uniformity route is relative to exact pairwise
+    independence. *)
+
+val id : string
+val title : string
+val claim : string
+val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val assess : Stats.Table.t list -> Assess.check list
+(** Shape checks over the tables produced by [run]. *)

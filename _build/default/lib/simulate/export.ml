@@ -1,0 +1,52 @@
+let slug s =
+  let buf = Buffer.create (String.length s) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          Buffer.add_char buf c;
+          last_dash := false
+      | 'A' .. 'Z' ->
+          Buffer.add_char buf (Char.lowercase_ascii c);
+          last_dash := false
+      | _ ->
+          if not !last_dash then begin
+            Buffer.add_char buf '-';
+            last_dash := true
+          end)
+    s;
+  let s = Buffer.contents buf in
+  let s = if String.length s > 0 && s.[String.length s - 1] = '-' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  if String.length s > 48 then String.sub s 0 48 else s
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Export: %s exists and is not a directory" dir)
+
+let export_experiment ~dir ~rng ~scale (e : Registry.experiment) =
+  ensure_dir dir;
+  let tables = e.run ~rng ~scale in
+  List.mapi
+    (fun i table ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%d-%s.csv" (String.lowercase_ascii e.id) (i + 1)
+             (slug (Stats.Table.title table)))
+      in
+      let oc = open_out path in
+      output_string oc (Stats.Table.to_csv table);
+      close_out oc;
+      path)
+    tables
+
+let export_all ~dir ~rng ~scale () =
+  List.concat
+    (List.mapi
+       (fun i e ->
+         export_experiment ~dir ~rng:(Prng.Rng.substream rng (1000 + i)) ~scale e)
+       Registry.all)

@@ -1,0 +1,74 @@
+type experiment = {
+  id : string;
+  title : string;
+  claim : string;
+  run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  assess : Stats.Table.t list -> Assess.check list;
+}
+
+module type EXPERIMENT = sig
+  val id : string
+  val title : string
+  val claim : string
+  val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+  val assess : Stats.Table.t list -> Assess.check list
+end
+
+let wrap (module E : EXPERIMENT) =
+  { id = E.id; title = E.title; claim = E.claim; run = E.run; assess = E.assess }
+
+let all =
+  [
+    wrap (module E01_edge_meg_scaling);
+    wrap (module E02_edge_meg_crossover);
+    wrap (module E03_stationarity_conditions);
+    wrap (module E04_node_meg);
+    wrap (module E05_waypoint_density);
+    wrap (module E06_waypoint_flooding);
+    wrap (module E07_waypoint_mixing);
+    wrap (module E08_random_paths);
+    wrap (module E09_augmented_grid);
+    wrap (module E10_random_walk_geometric);
+    wrap (module E11_push_protocol);
+    wrap (module E12_phases);
+    wrap (module E13_gossip);
+    wrap (module E14_dynamic_walk);
+    wrap (module E15_worst_case);
+    wrap (module E16_disk_region);
+    wrap (module E17_epoch_slack);
+    wrap (module E18_discrete_waypoint);
+  ]
+
+let find id =
+  let target = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+let run_one ?(out = stdout) ~rng ~scale e =
+  Printf.fprintf out "---- %s: %s ----\n" e.id e.title;
+  Printf.fprintf out "claim: %s\n\n" e.claim;
+  let tables = e.run ~rng ~scale in
+  List.iter (fun t -> Printf.fprintf out "%s\n" (Stats.Table.render t)) tables;
+  let checks = e.assess tables in
+  Printf.fprintf out "%s\n"
+    (Stats.Table.render (Assess.render ~title:(e.id ^ " scorecard") checks));
+  flush out;
+  Assess.all_passed checks
+
+let run_all ?(out = stdout) ~rng ~scale () =
+  let verdicts =
+    List.mapi
+      (fun i e -> (e, run_one ~out ~rng:(Prng.Rng.substream rng (1000 + i)) ~scale e))
+      all
+  in
+  let summary =
+    Stats.Table.create ~title:"Reproduction summary"
+      ~columns:[ "experiment"; "verdict"; "claim" ]
+  in
+  List.iter
+    (fun ((e : experiment), ok) ->
+      Stats.Table.add_row summary
+        [ Text e.id; Text (if ok then "PASS" else "FAIL"); Text e.title ])
+    verdicts;
+  Printf.fprintf out "%s\n" (Stats.Table.render summary);
+  flush out;
+  List.for_all snd verdicts

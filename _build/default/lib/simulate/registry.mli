@@ -1,0 +1,28 @@
+(** The experiment registry: every claim-reproduction experiment of
+    DESIGN.md, addressable by id, runnable from the CLI and from the
+    benchmark harness, each with machine-checkable assessments. *)
+
+type experiment = {
+  id : string;           (** "E1" .. "E18" *)
+  title : string;
+  claim : string;        (** the paper claim being reproduced *)
+  run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  assess : Stats.Table.t list -> Assess.check list;
+      (** shape checks over the tables produced by [run] *)
+}
+
+val all : experiment list
+(** In id order. *)
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_one :
+  ?out:out_channel -> rng:Prng.Rng.t -> scale:Runner.scale -> experiment -> bool
+(** Run one experiment, print claim, tables and scorecard to [out]
+    (default stdout); returns whether all checks passed. *)
+
+val run_all :
+  ?out:out_channel -> rng:Prng.Rng.t -> scale:Runner.scale -> unit -> bool
+(** Run every experiment, then print an overall reproduction summary;
+    returns whether every check of every experiment passed. *)

@@ -1,0 +1,27 @@
+type scale = Quick | Full
+
+let trials = function Quick -> 5 | Full -> 20
+
+let pick scale quick full = match scale with Quick -> quick | Full -> full
+
+type flood_stats = { mean : float; stddev : float; max : float; capped : bool }
+
+let flood ~rng ~trials ?cap ?protocol ?source dyn =
+  let n = Core.Dynamic.n dyn in
+  let cap_value = match cap with Some c -> c | None -> 10_000 + (200 * n) in
+  let summary =
+    Core.Flooding.mean_time ~cap:cap_value ?protocol ~rng ~trials ?source dyn
+  in
+  let max = Stats.Summary.max summary in
+  {
+    mean = Stats.Summary.mean summary;
+    stddev = (if trials > 1 then Stats.Summary.stddev summary else 0.);
+    max;
+    capped = max >= float_of_int cap_value;
+  }
+
+let cell f = Stats.Table.Float f
+
+let ratio_cell measured bound =
+  if Float.is_finite bound && bound > 0. then Stats.Table.Fixed (measured /. bound, 3)
+  else Stats.Table.Missing

@@ -1,0 +1,37 @@
+(** Shared machinery for experiments: deterministic seeding, trial
+    counts by scale, and flooding-measurement helpers used by most
+    tables. *)
+
+type scale =
+  | Quick  (** CI-sized: small sweeps, few trials; finishes in seconds *)
+  | Full   (** paper-sized: the sweeps recorded in EXPERIMENTS.md *)
+
+val trials : scale -> int
+(** Default number of flooding trials per configuration (5 / 20). *)
+
+val pick : scale -> 'a -> 'a -> 'a
+(** [pick scale quick full]. *)
+
+type flood_stats = {
+  mean : float;
+  stddev : float;
+  max : float;
+  capped : bool;  (** some trial hit the step cap — mean is a floor *)
+}
+
+val flood :
+  rng:Prng.Rng.t ->
+  trials:int ->
+  ?cap:int ->
+  ?protocol:Core.Flooding.protocol ->
+  ?source:int ->
+  Core.Dynamic.t ->
+  flood_stats
+(** Flooding-time statistics over independent trials. *)
+
+val cell : float -> Stats.Table.cell
+(** Shorthand for a 4-significant-digit float cell. *)
+
+val ratio_cell : float -> float -> Stats.Table.cell
+(** [ratio_cell measured bound] renders measured/bound with 3 decimals,
+    or "-" when the bound is not finite/positive. *)

@@ -1,0 +1,32 @@
+type interval = { lo : float; hi : float; point : float }
+
+let resample rng xs out =
+  let n = Array.length xs in
+  for i = 0 to n - 1 do
+    out.(i) <- xs.(Prng.Rng.int rng n)
+  done
+
+let ci ?(resamples = 1000) ?(confidence = 0.95) ~rng ~stat xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if resamples < 1 then invalid_arg "Bootstrap.ci: resamples must be >= 1";
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Bootstrap.ci: confidence outside (0, 1)";
+  let point = stat xs in
+  let scratch = Array.make n 0. in
+  let stats =
+    Array.init resamples (fun _ ->
+        resample rng xs scratch;
+        stat scratch)
+  in
+  Array.sort compare stats;
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    lo = Quantile.of_sorted stats alpha;
+    hi = Quantile.of_sorted stats (1. -. alpha);
+    point;
+  }
+
+let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let ci_mean ?resamples ?confidence ~rng xs = ci ?resamples ?confidence ~rng ~stat:mean xs

@@ -1,0 +1,19 @@
+(** Bootstrap confidence intervals for statistics of small samples
+    (flooding times are heavy-tailed, so normal approximations are used
+    only as a convenience; the bootstrap is the reference). *)
+
+type interval = { lo : float; hi : float; point : float }
+
+val ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  rng:Prng.Rng.t ->
+  stat:(float array -> float) ->
+  float array ->
+  interval
+(** [ci ~rng ~stat xs] is a percentile-bootstrap interval for [stat xs].
+    Defaults: 1000 resamples, 95% confidence. *)
+
+val ci_mean :
+  ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> interval
+(** {!ci} specialised to the mean. *)

@@ -1,0 +1,40 @@
+type verdict = Indistinguishable | A_smaller | B_smaller
+
+type result = {
+  t_statistic : float;
+  dof : float;
+  mean_difference : float;
+  verdict : verdict;
+}
+
+let welch ?(threshold = 2.0) a b =
+  if Array.length a < 2 || Array.length b < 2 then
+    invalid_arg "Compare.welch: need >= 2 observations per sample";
+  let sa = Summary.of_array a and sb = Summary.of_array b in
+  let na = float_of_int (Summary.count sa) and nb = float_of_int (Summary.count sb) in
+  let va = Summary.variance sa /. na and vb = Summary.variance sb /. nb in
+  let diff = Summary.mean sa -. Summary.mean sb in
+  if va +. vb <= 0. then
+    (* Both samples constant: compare means exactly. *)
+    {
+      t_statistic = (if diff = 0. then 0. else infinity);
+      dof = na +. nb -. 2.;
+      mean_difference = diff;
+      verdict =
+        (if diff = 0. then Indistinguishable else if diff < 0. then A_smaller else B_smaller);
+    }
+  else begin
+    let t = diff /. sqrt (va +. vb) in
+    let dof =
+      ((va +. vb) ** 2.)
+      /. ((va ** 2. /. (na -. 1.)) +. (vb ** 2. /. (nb -. 1.)))
+    in
+    let verdict =
+      if abs_float t <= threshold then Indistinguishable
+      else if t < 0. then A_smaller
+      else B_smaller
+    in
+    { t_statistic = t; dof; mean_difference = diff; verdict }
+  end
+
+let equivalent ?threshold a b = (welch ?threshold a b).verdict = Indistinguishable

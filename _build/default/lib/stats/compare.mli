@@ -1,0 +1,27 @@
+(** Two-sample comparisons for simulation outputs (flooding-time
+    samples under different protocols or models). Welch's unequal-
+    variance t-test with a normal-approximation threshold — adequate at
+    the trial counts used here (n >= 10), and the experiments only ever
+    consume the coarse verdict. *)
+
+type verdict =
+  | Indistinguishable  (** no evidence of a difference at the level *)
+  | A_smaller          (** sample a has the smaller mean *)
+  | B_smaller
+
+type result = {
+  t_statistic : float;
+  dof : float;          (** Welch–Satterthwaite degrees of freedom *)
+  mean_difference : float;  (** mean(a) - mean(b) *)
+  verdict : verdict;
+}
+
+val welch : ?threshold:float -> float array -> float array -> result
+(** [welch a b] compares the two samples' means. [threshold] is the
+    |t| above which the difference counts as real (default 2.0,
+    roughly a 5% two-sided level for the dof at play). Requires both
+    samples to have >= 2 elements. Degenerate zero-variance samples
+    compare by exact equality of means. *)
+
+val equivalent : ?threshold:float -> float array -> float array -> bool
+(** [equivalent a b] is [welch a b = Indistinguishable]. *)

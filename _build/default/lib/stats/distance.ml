@@ -1,0 +1,48 @@
+let check_lengths p q name =
+  if Array.length p <> Array.length q then
+    invalid_arg (Printf.sprintf "Distance.%s: length mismatch" name)
+
+let total_variation p q =
+  check_lengths p q "total_variation";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. abs_float (pi -. q.(i))) p;
+  0.5 *. !acc
+
+let kolmogorov p q =
+  check_lengths p q "kolmogorov";
+  let acc_p = ref 0. and acc_q = ref 0. and best = ref 0. in
+  Array.iteri
+    (fun i pi ->
+      acc_p := !acc_p +. pi;
+      acc_q := !acc_q +. q.(i);
+      let d = abs_float (!acc_p -. !acc_q) in
+      if d > !best then best := d)
+    p;
+  !best
+
+let l2 p q =
+  check_lengths p q "l2";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i pi ->
+      let d = pi -. q.(i) in
+      acc := !acc +. (d *. d))
+    p;
+  sqrt !acc
+
+let chi_square p q =
+  check_lengths p q "chi_square";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i pi ->
+      if q.(i) > 0. then begin
+        let d = pi -. q.(i) in
+        acc := !acc +. (d *. d /. q.(i))
+      end)
+    p;
+  !acc
+
+let normalize p =
+  let total = Array.fold_left ( +. ) 0. p in
+  if not (total > 0.) then invalid_arg "Distance.normalize: zero total";
+  Array.map (fun x -> x /. total) p

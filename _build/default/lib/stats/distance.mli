@@ -1,0 +1,18 @@
+(** Distances between probability distributions on finite supports. *)
+
+val total_variation : float array -> float array -> float
+(** [total_variation p q] is [1/2 * sum_i |p_i - q_i|]. The arrays must
+    have equal length; they are used as given (no re-normalisation). *)
+
+val kolmogorov : float array -> float array -> float
+(** Maximum absolute difference between the two CDFs. *)
+
+val l2 : float array -> float array -> float
+(** Euclidean distance. *)
+
+val chi_square : float array -> float array -> float
+(** [chi_square p q] is [sum_i (p_i - q_i)^2 / q_i] over bins with
+    [q_i > 0]. *)
+
+val normalize : float array -> float array
+(** Scale a non-negative array to sum to 1. Raises on zero total. *)

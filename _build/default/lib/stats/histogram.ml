@@ -1,0 +1,61 @@
+type t = {
+  lo : float;
+  hi : float;
+  n_bins : int;
+  weights : float array;
+  mutable n_obs : int;
+  mutable total : float;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  { lo; hi; n_bins = bins; weights = Array.make bins 0.; n_obs = 0; total = 0. }
+
+let bin_of t x =
+  let w = (t.hi -. t.lo) /. float_of_int t.n_bins in
+  let i = int_of_float (floor ((x -. t.lo) /. w)) in
+  if i < 0 then 0 else if i >= t.n_bins then t.n_bins - 1 else i
+
+let add_weighted t x w =
+  let i = bin_of t x in
+  t.weights.(i) <- t.weights.(i) +. w;
+  t.n_obs <- t.n_obs + 1;
+  t.total <- t.total +. w
+
+let add t x = add_weighted t x 1.
+
+let count t = t.n_obs
+
+let total_weight t = t.total
+
+let bins t = t.n_bins
+
+let bin_center t i =
+  let w = (t.hi -. t.lo) /. float_of_int t.n_bins in
+  t.lo +. ((float_of_int i +. 0.5) *. w)
+
+let weight t i = t.weights.(i)
+
+let probability t =
+  if t.total <= 0. then Array.make t.n_bins 0.
+  else Array.map (fun w -> w /. t.total) t.weights
+
+let density t =
+  let bin_width = (t.hi -. t.lo) /. float_of_int t.n_bins in
+  Array.map (fun p -> p /. bin_width) (probability t)
+
+let render ?(width = 50) t =
+  let p = probability t in
+  let pmax = Array.fold_left Float.max 0. p in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i pi ->
+      let bar_len =
+        if pmax <= 0. then 0
+        else int_of_float (Float.round (pi /. pmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%10.4g | %s %.4f\n" (bin_center t i) (String.make bar_len '#') pi))
+    p;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Fixed-bin histograms over a closed interval.
+
+    Used both for positional-distribution estimation of mobility models
+    (occupancy over space) and for visualising flooding-time spreads. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi\]] with [bins] equal cells.
+    Requires [lo < hi] and [bins >= 1]. *)
+
+val add : t -> float -> unit
+(** Record an observation. Values outside [\[lo, hi\]] are clamped into
+    the first / last bin. *)
+
+val add_weighted : t -> float -> float -> unit
+(** [add_weighted t x w] records [x] with weight [w]. *)
+
+val count : t -> int
+(** Number of [add] calls (weighted adds count once). *)
+
+val total_weight : t -> float
+val bins : t -> int
+val bin_of : t -> float -> int
+(** Index of the bin an observation falls into (after clamping). *)
+
+val bin_center : t -> int -> float
+val weight : t -> int -> float
+(** Raw accumulated weight of a bin. *)
+
+val density : t -> float array
+(** Normalised probability density: weights divided by
+    [total_weight * bin_width], so it integrates to 1. *)
+
+val probability : t -> float array
+(** Normalised probability mass per bin (sums to 1). *)
+
+val render : ?width:int -> t -> string
+(** Crude ASCII bar rendering for logs and examples. *)

@@ -1,0 +1,29 @@
+let of_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Quantile: q outside [0, 1]";
+  if n = 1 then xs.(0)
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+  end
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let quantile xs q = of_sorted (sorted_copy xs) q
+
+let quantiles xs qs =
+  let c = sorted_copy xs in
+  Array.map (of_sorted c) qs
+
+let median xs = quantile xs 0.5
+
+let iqr xs =
+  let c = sorted_copy xs in
+  of_sorted c 0.75 -. of_sorted c 0.25

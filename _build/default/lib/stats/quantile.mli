@@ -1,0 +1,18 @@
+(** Quantiles of finite samples (linear interpolation between order
+    statistics, the "type 7" estimator used by R and NumPy). *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0, 1\]]. The input need not be sorted;
+    it is copied and sorted internally. Raises [Invalid_argument] on an
+    empty array or [q] outside [\[0, 1\]]. *)
+
+val quantiles : float array -> float array -> float array
+(** Batch version sharing one sort. *)
+
+val median : float array -> float
+val iqr : float array -> float
+(** Interquartile range, [q75 - q25]. *)
+
+val of_sorted : float array -> float -> float
+(** Like {!quantile} but assumes the input is already sorted ascending
+    and does not copy. *)

@@ -1,0 +1,34 @@
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let ols pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Regression.ols: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. pts in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) *. (x -. mx))) 0. pts in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. pts in
+  let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. my) *. (y -. my))) 0. pts in
+  if sxx <= 0. then invalid_arg "Regression.ols: x values are all equal";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy <= 0. then 1. else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2; n }
+
+let ols_arrays xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Regression.ols_arrays: length mismatch";
+  ols (Array.to_list (Array.map2 (fun x y -> (x, y)) xs ys))
+
+let loglog pts =
+  let usable =
+    List.filter_map
+      (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
+      pts
+  in
+  ols usable
+
+let predict f x = f.intercept +. (f.slope *. x)
+
+let predict_loglog f x = exp (predict f (log x))

@@ -1,0 +1,27 @@
+(** Ordinary least squares on (x, y) pairs, plus the log-log variant used
+    to extract empirical scaling exponents from parameter sweeps. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;         (** coefficient of determination *)
+  n : int;            (** number of points used *)
+}
+
+val ols : (float * float) list -> fit
+(** Least-squares line through the points. Requires at least two points
+    with distinct x values. *)
+
+val ols_arrays : float array -> float array -> fit
+(** Same, from parallel arrays of equal length. *)
+
+val loglog : (float * float) list -> fit
+(** [loglog pts] fits [log y = slope * log x + intercept]; [slope] is the
+    empirical scaling exponent. Points with non-positive coordinates are
+    dropped. *)
+
+val predict : fit -> float -> float
+(** [predict f x] evaluates the fitted line at [x]. *)
+
+val predict_loglog : fit -> float -> float
+(** Evaluates a {!loglog} fit back in linear space. *)

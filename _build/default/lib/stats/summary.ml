@@ -1,0 +1,56 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;   (* sum of squared deviations from the running mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_many t xs = Array.iter (add t) xs
+
+let of_array xs =
+  let t = create () in
+  add_many t xs;
+  t
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. fn) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
+    { n; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = if t.n = 0 then nan else t.min
+
+let max t = if t.n = 0 then nan else t.max
+
+let std_error t = if t.n < 2 then nan else stddev t /. sqrt (float_of_int t.n)
+
+let ci95_half_width t = 1.96 *. std_error t
+
+let to_string t =
+  Printf.sprintf "mean=%.4g sd=%.4g min=%.4g max=%.4g n=%d"
+    (mean t) (stddev t) (min t) (max t) t.n

@@ -1,0 +1,45 @@
+(** Streaming descriptive statistics (Welford's online algorithm).
+
+    Numerically stable single-pass mean / variance, plus min / max and
+    count. Summaries can be merged, so per-trial statistics computed in
+    any order combine deterministically. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh empty accumulator. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_many : t -> float array -> unit
+(** Record a batch of observations. *)
+
+val of_array : float array -> t
+(** Accumulator over a whole array. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen all of
+    [a]'s and [b]'s observations (Chan's parallel combination). *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val ci95_half_width : t -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean ([1.96 * std_error]). *)
+
+val to_string : t -> string
+(** One-line rendering ["mean=... sd=... min=... max=... n=..."]. *)

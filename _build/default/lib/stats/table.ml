@@ -1,0 +1,95 @@
+type cell = Int of int | Float of float | Fixed of float * int | Text of string | Missing
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : cell list list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let title t = t.title
+
+let columns t = t.columns
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): expected %d cells, got %d" t.title
+         (List.length t.columns) (List.length row));
+  t.rev_rows <- row :: t.rev_rows
+
+let rows t = List.rev t.rev_rows
+
+let n_rows t = List.length t.rev_rows
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_nan f then "nan"
+      else if Float.is_integer f && abs_float f < 1e9 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.4g" f
+  | Fixed (f, digits) -> Printf.sprintf "%.*f" digits f
+  | Text s -> s
+  | Missing -> "-"
+
+let is_numeric = function Int _ | Float _ | Fixed _ -> true | Text _ | Missing -> false
+
+let render t =
+  let header = t.columns in
+  let body = List.map (List.map cell_to_string) (rows t) in
+  let n_cols = List.length header in
+  let widths = Array.make n_cols 0 in
+  let note_row cells =
+    List.iteri (fun i s -> if String.length s > widths.(i) then widths.(i) <- String.length s) cells
+  in
+  note_row header;
+  List.iter note_row body;
+  (* Right-align a column if every cell in it is numeric. *)
+  let numeric_col = Array.make n_cols true in
+  List.iter
+    (fun row -> List.iteri (fun i c -> if not (is_numeric c) then numeric_col.(i) <- false) row)
+    (rows t);
+  let pad i s =
+    let w = widths.(i) in
+    if numeric_col.(i) then Printf.sprintf "%*s" w s else Printf.sprintf "%-*s" w s
+  in
+  let line cells = "  " ^ String.concat "  " (List.mapi pad cells) in
+  let rule =
+    "  " ^ String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) body;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map csv_escape t.columns) ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (List.map (fun c -> csv_escape (cell_to_string c)) row) ^ "\n"))
+    (rows t);
+  Buffer.contents buf
+
+let column_floats t name =
+  let idx =
+    match List.find_index (String.equal name) t.columns with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  rows t
+  |> List.filter_map (fun row ->
+         match List.nth row idx with
+         | Int i -> Some (float_of_int i)
+         | Float f | Fixed (f, _) -> Some f
+         | Text _ | Missing -> None)
+  |> Array.of_list

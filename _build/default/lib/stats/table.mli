@@ -1,0 +1,40 @@
+(** ASCII tables: the output format of every experiment and benchmark.
+
+    A table is a titled grid of typed cells. Rendering right-aligns
+    numbers, left-aligns text, and sizes columns to content, so the
+    benchmark harness can print paper-style result tables to stdout. *)
+
+type cell =
+  | Int of int
+  | Float of float          (** rendered with 4 significant digits *)
+  | Fixed of float * int    (** [Fixed (v, digits)]: fixed-point rendering *)
+  | Text of string
+  | Missing
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with the given column headers and no rows. *)
+
+val title : t -> string
+val columns : t -> string list
+val add_row : t -> cell list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    number of columns. *)
+
+val rows : t -> cell list list
+(** Rows in insertion order. *)
+
+val n_rows : t -> int
+
+val cell_to_string : cell -> string
+
+val render : t -> string
+(** Render with a title line, a header, a rule and the rows. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header + rows), for offline plotting. *)
+
+val column_floats : t -> string -> float array
+(** Numeric values of a named column ([Int], [Float], [Fixed] cells);
+    other cells are skipped. Raises [Not_found] on an unknown column. *)

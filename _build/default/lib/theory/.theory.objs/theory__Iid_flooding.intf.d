@@ -1,0 +1,1 @@
+lib/theory/iid_flooding.mli:

@@ -1,0 +1,49 @@
+let ln n = log (float_of_int n)
+
+let log2n n = ln n ** 2.
+
+let log3n n = ln n ** 3.
+
+let theorem1 ~m ~alpha ~beta ~n =
+  let fn = float_of_int n in
+  m *. (((1. /. (fn *. alpha)) +. beta) ** 2.) *. log2n n
+
+let theorem3 ~t_mix ~p_nm ~eta ~n =
+  let fn = float_of_int n in
+  t_mix *. (((1. /. (fn *. p_nm)) +. eta) ** 2.) *. log3n n
+
+let corollary4 ~t_mix ~delta ~lambda ~vol ~r ~d ~n =
+  let fn = float_of_int n in
+  let term1 = delta ** 2. *. vol /. (lambda *. fn *. (r ** float_of_int d)) in
+  let term2 = (delta ** 6.) /. (lambda ** 2.) in
+  t_mix *. ((term1 +. term2) ** 2.) *. log3n n
+
+let corollary5 ~t_mix ~n_points ~delta ~n =
+  let fn = float_of_int n in
+  t_mix *. (((float_of_int n_points /. fn) +. (delta ** 3.)) ** 2.) *. log3n n
+
+let corollary6 ~t_mix ~n_points ~delta ~n =
+  let fn = float_of_int n in
+  t_mix
+  *. (((delta ** 2. *. float_of_int n_points /. fn) +. (delta ** 7.)) ** 2.)
+  *. log3n n
+
+let waypoint ~l ~v_max ~r ~n =
+  let fn = float_of_int n in
+  (l /. v_max) *. ((((l *. l) /. (fn *. r *. r)) +. 1.) ** 2.) *. log3n n
+
+let edge_meg_eq2 ~n ~p =
+  let fn = float_of_int n in
+  ln n /. log (1. +. (fn *. p))
+
+let edge_meg_general ~n ~p ~q =
+  let fn = float_of_int n in
+  1. /. (p +. q) *. ((((p +. q) /. (fn *. p)) +. 1.) ** 2.) *. log2n n
+
+let dimitriou_baseline ~meeting_time ~n = meeting_time *. ln n
+
+let lower_bound_diameter d = float_of_int d
+
+let lower_bound_speed ~l ~v = l /. v
+
+let lower_bound_propagation ~l ~r ~v = l /. (r +. v)

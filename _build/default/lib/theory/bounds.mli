@@ -1,0 +1,60 @@
+(** The paper's flooding-time bounds as closed-form functions.
+
+    All bounds are stated up to a universal constant; the functions
+    below return the expression with constant 1, so experiment tables
+    report the ratio measured / bound, which Theorem X predicts to be
+    bounded by a constant (possibly < 1). Logarithms are natural. *)
+
+val theorem1 : m:float -> alpha:float -> beta:float -> n:int -> float
+(** Theorem 1: flooding of an (M, α, β)-stationary dynamic graph is
+    O(M (1/(nα) + β)² log² n). *)
+
+val theorem3 : t_mix:float -> p_nm:float -> eta:float -> n:int -> float
+(** Theorem 3 (node-MEGs): O(T_mix (1/(n·P_NM) + η)² log³ n). *)
+
+val corollary4 :
+  t_mix:float -> delta:float -> lambda:float -> vol:float -> r:float -> d:int -> n:int -> float
+(** Corollary 4 (geometric random-trip models):
+    O(T_mix (δ²vol(R)/(λ n r^d) + δ⁶/λ²)² log³ n). *)
+
+val corollary5 : t_mix:float -> n_points:int -> delta:float -> n:int -> float
+(** Corollary 5 (random-path models): O(T_mix (|V|/n + δ³)² log³ n). *)
+
+val corollary6 : t_mix:float -> n_points:int -> delta:float -> n:int -> float
+(** Corollary 6 (random walk on a δ-regular mobility graph):
+    O(T_mix (δ²|V|/n + δ⁷)² log³ n). *)
+
+val waypoint : l:float -> v_max:float -> r:float -> n:int -> float
+(** The paper's instantiation for the random waypoint on an L×L square:
+    O((L/v_max) (L²/(n r²) + 1)² log³ n). *)
+
+val edge_meg_eq2 : n:int -> p:float -> float
+(** The almost-tight edge-MEG(p, q) bound of [10] (Eq. 2):
+    O(log n / log(1 + n p)). Independent of q. *)
+
+val edge_meg_general : n:int -> p:float -> q:float -> float
+(** Appendix A's instantiation of Theorem 1 for edge-MEG(p, q):
+    O(1/(p+q) · ((p+q)/(np) + 1)² log² n). Almost tight iff q ≳ np. *)
+
+val dimitriou_baseline : meeting_time:float -> n:int -> float
+(** The baseline of [15] for random-walk mobility: O(T* log n) with T*
+    the two-walk meeting time. *)
+
+val lower_bound_diameter : int -> float
+(** Trivial Ω(D) lower bound when movement is path-constrained. *)
+
+val lower_bound_speed : l:float -> v:float -> float
+(** Trivial Ω(L/v) lower bound for geometric mobility (the paper's
+    form, valid when r = O(v)). *)
+
+val lower_bound_propagation : l:float -> r:float -> v:float -> float
+(** Sharper trivial lower bound L/(r + v): information travels at most
+    one transmission radius plus one node-move per step, so crossing
+    the square from a corner source to the opposite corner takes at
+    least (√2·L)/(r+v) ≥ L/(r+v) steps. *)
+
+val log2n : int -> float
+(** log² n, convenience for table columns. *)
+
+val log3n : int -> float
+(** log³ n. *)

@@ -1,0 +1,71 @@
+let join_probability ~alpha ~informed =
+  if not (alpha >= 0. && alpha <= 1.) then invalid_arg "Iid_flooding: alpha outside [0, 1]";
+  if informed < 0 then invalid_arg "Iid_flooding: negative informed count";
+  1. -. ((1. -. alpha) ** float_of_int informed)
+
+(* Binomial pmf computed via log-gamma for numeric stability at large n.
+   Lanczos approximation (g = 7), valid for the x >= 1 arguments used
+   here (factorials). *)
+let log_gamma x =
+  if x < 0.5 then invalid_arg "Iid_flooding.log_gamma: argument < 0.5";
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028; 771.32342877765313;
+      -176.61502916214059; 12.507343278686905; -0.13857109526572012; 9.9843695780195716e-6;
+      1.5056327351493116e-7;
+    |]
+  in
+  let x = x -. 1. in
+  let a = ref coefficients.(0) in
+  let t = x +. 7.5 in
+  for i = 1 to 8 do
+    a := !a +. (coefficients.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let log_choose n k =
+  log_gamma (float_of_int (n + 1))
+  -. log_gamma (float_of_int (k + 1))
+  -. log_gamma (float_of_int (n - k + 1))
+
+let binomial_pmf ~trials ~p k =
+  if k < 0 || k > trials then 0.
+  else if p <= 0. then if k = 0 then 1. else 0.
+  else if p >= 1. then if k = trials then 1. else 0.
+  else
+    exp
+      (log_choose trials k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (trials - k) *. log (1. -. p)))
+
+let step_distribution ~n ~alpha ~informed =
+  if informed < 1 || informed > n then invalid_arg "Iid_flooding: informed outside [1, n]";
+  let dist = Array.make (n + 1) 0. in
+  let join = join_probability ~alpha ~informed in
+  let others = n - informed in
+  for new_count = 0 to others do
+    dist.(informed + new_count) <- binomial_pmf ~trials:others ~p:join new_count
+  done;
+  dist
+
+let expected_time_from ~n ~alpha ~informed =
+  if n < 1 then invalid_arg "Iid_flooding: n must be >= 1";
+  if informed < 1 || informed > n then invalid_arg "Iid_flooding: informed outside [1, n]";
+  if alpha <= 0. then if informed = n then 0. else infinity
+  else begin
+    (* E[T_n] = 0; E[T_k] = (1 + sum_{j>k} P(k -> j) E[T_j]) / (1 - P(k -> k)),
+       computed backwards. *)
+    let expect = Array.make (n + 1) 0. in
+    for k = n - 1 downto 1 do
+      let dist = step_distribution ~n ~alpha ~informed:k in
+      let forward = ref 0. in
+      for j = k + 1 to n do
+        forward := !forward +. (dist.(j) *. expect.(j))
+      done;
+      let stay = dist.(k) in
+      expect.(k) <- (1. +. !forward) /. Float.max 1e-300 (1. -. stay)
+    done;
+    expect.(informed)
+  end
+
+let expected_time ~n ~alpha = expected_time_from ~n ~alpha ~informed:1

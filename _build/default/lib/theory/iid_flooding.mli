@@ -1,0 +1,27 @@
+(** Exact flooding-time analysis for the one edge-MEG instance that
+    admits it: p + q = 1, where every snapshot is an independent
+    G(n, α) with α = p.
+
+    With i.i.d. snapshots the informed-set *size* is itself a Markov
+    chain: from k informed nodes, each of the n−k others independently
+    joins with probability 1 − (1−α)^k, so the increment is binomial.
+    Absorbing-chain analysis then yields the exact expected flooding
+    time — no sampling, no bounds. The test-suite and E1 use it as a
+    zero-error anchor for the simulator: measured means on
+    edge-MEG(p, 1−p) must converge to these values. *)
+
+val join_probability : alpha:float -> informed:int -> float
+(** Probability that a fixed uninformed node is informed this step:
+    1 − (1−α)^k. *)
+
+val step_distribution : n:int -> alpha:float -> informed:int -> float array
+(** [step_distribution ~n ~alpha ~informed:k] is the distribution of
+    the *next* informed-set size: index j (k <= j <= n) holds
+    P(|I_{t+1}| = j); entries below k are 0. Binomial(n−k, join). *)
+
+val expected_time : n:int -> alpha:float -> float
+(** Exact expected flooding time from a single source. [infinity] when
+    [alpha] = 0 (and n > 1). O(n²). *)
+
+val expected_time_from : n:int -> alpha:float -> informed:int -> float
+(** Expected remaining time from [informed] nodes already informed. *)

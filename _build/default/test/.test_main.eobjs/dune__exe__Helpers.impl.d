@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Graph Prng QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Adversarial Alcotest Array Core Edge_meg Graph Helpers List Stats

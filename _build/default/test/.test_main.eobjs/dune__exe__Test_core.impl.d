@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Edge_meg Float Graph Helpers List Option Printf Prng QCheck2 Stats

@@ -1,0 +1,1 @@
+test/test_dyn_walk.ml: Alcotest Core Edge_meg Graph Helpers Prng QCheck2

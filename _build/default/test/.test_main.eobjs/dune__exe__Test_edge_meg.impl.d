@@ -1,0 +1,1 @@
+test/test_edge_meg.ml: Alcotest Array Core Edge_meg Float Graph Helpers List Markov Prng QCheck2 Stats

@@ -1,0 +1,1 @@
+test/test_gossip.ml: Alcotest Array Core Edge_meg Float Graph Helpers Prng QCheck2 Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Adversarial Alcotest Array Core Edge_meg Graph Helpers List Markov Mobility Node_meg Random_path

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Float Graph Helpers List Markov Printf Prng QCheck2 Stats

@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Array Core Helpers List Markov Mobility Printf Prng QCheck2 Stats String

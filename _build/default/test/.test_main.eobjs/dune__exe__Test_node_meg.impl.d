@@ -1,0 +1,1 @@
+test/test_node_meg.ml: Alcotest Array Core Float Helpers List Markov Node_meg Prng QCheck2

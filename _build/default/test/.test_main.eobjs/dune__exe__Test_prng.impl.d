@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Helpers Int64 Printf Prng QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_random_path.ml: Alcotest Array Core Graph Hashtbl Helpers List Option Printf Prng QCheck2 Random_path

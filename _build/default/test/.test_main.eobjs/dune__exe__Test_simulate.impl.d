@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Core Filename Graph Helpers List Simulate Stats String Sys

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Array Core Edge_meg Helpers QCheck2 Stats Theory

@@ -1,0 +1,43 @@
+(* Shared test utilities: approximate float assertions and common QCheck
+   generators. *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Float.is_finite actual) || abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g (eps %.3g)" msg expected actual eps
+
+let check_close_rel ?(rel = 0.05) msg expected actual =
+  let denom = Float.max (abs_float expected) 1e-12 in
+  if not (Float.is_finite actual) || abs_float (expected -. actual) /. denom > rel then
+    Alcotest.failf "%s: expected %.6g within %.1f%%, got %.6g" msg expected (100. *. rel) actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let qtest ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let rng_of_seed = Prng.Rng.of_seed
+
+(* A generator of (seed, n) pairs for randomised structures. *)
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let small_n_gen = QCheck2.Gen.int_range 1 40
+
+(* Random undirected graph on up to [max_n] vertices built through the
+   library's own G(n, p) sampler, driven by a generated seed. *)
+let random_graph_gen ?(max_n = 30) () =
+  QCheck2.Gen.(
+    map2
+      (fun seed n ->
+        let rng = Prng.Rng.of_seed seed in
+        let p = 0.2 +. Prng.Rng.float rng 0.5 in
+        Graph.Builders.erdos_renyi ~rng ~n ~p)
+      seed_gen (int_range 2 max_n))
+
+let float_array_gen =
+  QCheck2.Gen.(array_size (int_range 1 50) (float_range (-100.) 100.))
+
+(* A probability vector of the given length derived from a seed. *)
+let prob_vector seed len =
+  let rng = Prng.Rng.of_seed seed in
+  let raw = Array.init len (fun _ -> 0.01 +. Prng.Rng.unit_float rng) in
+  Stats.Distance.normalize raw

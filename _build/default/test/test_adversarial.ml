@@ -1,0 +1,157 @@
+open Helpers
+
+(* --- rotating star --- *)
+
+let test_star_snapshot_shape () =
+  let dyn = Adversarial.Model.rotating_star ~n:6 in
+  Core.Dynamic.reset dyn (rng_of_seed 1);
+  let g = Core.Dynamic.snapshot_graph dyn in
+  Alcotest.(check int) "star edges" 5 (Graph.Static.m g);
+  check_true "connected" (Graph.Traverse.is_connected g);
+  Alcotest.(check int) "diameter 2" 2 (Graph.Traverse.diameter g);
+  (* Centre at t=0 is node 1. *)
+  Alcotest.(check int) "centre degree" 5 (Graph.Static.degree g 1)
+
+let test_star_flooding_exactly_linear () =
+  let n = 20 in
+  let dyn = Adversarial.Model.rotating_star ~n in
+  let r = Core.Flooding.run ~rng:(rng_of_seed 2) ~source:0 dyn in
+  Alcotest.(check (option int)) "exactly n-1 rounds" (Some (n - 1)) r.time;
+  (* One new node per round. *)
+  Array.iteri (fun t size -> Alcotest.(check int) "one per round" (t + 1) size) r.trajectory
+
+let test_star_other_source_is_fast () =
+  (* The construction is worst for source 0; from source 1 (the first
+     centre) everyone learns immediately. *)
+  let dyn = Adversarial.Model.rotating_star ~n:20 in
+  let r = Core.Flooding.run ~rng:(rng_of_seed 3) ~source:1 dyn in
+  Alcotest.(check (option int)) "first centre floods instantly" (Some 1) r.time
+
+(* --- rotating matching --- *)
+
+let test_rotating_matching_validation () =
+  check_true "non power of two rejected"
+    (try
+       ignore (Adversarial.Model.rotating_matching ~n:12);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rotating_matching_floods_in_log () =
+  let n = 32 in
+  let dyn = Adversarial.Model.rotating_matching ~n in
+  let r = Core.Flooding.run ~rng:(rng_of_seed 4) ~source:0 dyn in
+  Alcotest.(check (option int)) "exactly log2 n" (Some 5) r.time;
+  Array.iteri (fun t size -> Alcotest.(check int) "doubles" (1 lsl t) size) r.trajectory
+
+let test_rotating_matching_degree_one () =
+  let dyn = Adversarial.Model.rotating_matching ~n:16 in
+  Core.Dynamic.reset dyn (rng_of_seed 5);
+  for _ = 1 to 6 do
+    let g = Core.Dynamic.snapshot_graph dyn in
+    Alcotest.(check int) "perfect matching" 8 (Graph.Static.m g);
+    Alcotest.(check int) "max degree 1" 1 (Graph.Static.max_degree g);
+    Core.Dynamic.step dyn
+  done
+
+(* --- random matching --- *)
+
+let test_random_matching_shape () =
+  let dyn = Adversarial.Model.random_matching ~rng_hint:() ~n:10 in
+  Core.Dynamic.reset dyn (rng_of_seed 6);
+  for _ = 1 to 10 do
+    let g = Core.Dynamic.snapshot_graph dyn in
+    Alcotest.(check int) "5 pairs" 5 (Graph.Static.m g);
+    Alcotest.(check int) "degree exactly 1" 1 (Graph.Static.min_degree g);
+    Core.Dynamic.step dyn
+  done
+
+let test_random_matching_odd_n () =
+  let dyn = Adversarial.Model.random_matching ~rng_hint:() ~n:7 in
+  Core.Dynamic.reset dyn (rng_of_seed 7);
+  let g = Core.Dynamic.snapshot_graph dyn in
+  Alcotest.(check int) "3 pairs, one lonely" 3 (Graph.Static.m g)
+
+let test_random_matching_floods_logarithmically () =
+  let n = 64 in
+  let dyn = Adversarial.Model.random_matching ~rng_hint:() ~n in
+  let s = Core.Flooding.mean_time ~rng:(rng_of_seed 8) ~trials:10 dyn in
+  check_true "O(log n)-ish" (Stats.Summary.mean s < 30.);
+  check_true "at least log2 n" (Stats.Summary.min s >= 6.)
+
+(* --- interval connectivity --- *)
+
+let path_snapshot n = List.init (n - 1) (fun i -> (i, i + 1))
+
+let test_interval_static_path () =
+  let n = 5 in
+  let snaps = [ path_snapshot n; path_snapshot n; path_snapshot n ] in
+  check_true "static path is 3-interval connected"
+    (Adversarial.Interval.windows_connected ~n snaps ~t:3);
+  Alcotest.(check int) "max interval = window" 3 (Adversarial.Interval.max_interval ~n snaps)
+
+let test_interval_alternating () =
+  (* Two path snapshots sharing no edges: each is connected (t=1 holds)
+     but their intersection is empty (t=2 fails). *)
+  let n = 3 in
+  let a = [ (0, 1); (1, 2) ] and b = [ (0, 2); (1, 2) ] in
+  let snaps = [ a; b; a; b ] in
+  check_true "1-interval connected" (Adversarial.Interval.windows_connected ~n snaps ~t:1);
+  check_true "not 2-interval connected"
+    (not (Adversarial.Interval.windows_connected ~n snaps ~t:2));
+  Alcotest.(check int) "max interval 1" 1 (Adversarial.Interval.max_interval ~n snaps)
+
+let test_interval_disconnected () =
+  let n = 4 in
+  let snaps = [ [ (0, 1) ]; [ (2, 3) ] ] in
+  Alcotest.(check int) "even t=1 fails" 0 (Adversarial.Interval.max_interval ~n snaps)
+
+let test_interval_validation () =
+  check_true "t too large raises"
+    (try
+       ignore (Adversarial.Interval.windows_connected ~n:3 [ [ (0, 1) ] ] ~t:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_record_star () =
+  let dyn = Adversarial.Model.rotating_star ~n:5 in
+  let snaps = Adversarial.Interval.record dyn ~rng:(rng_of_seed 9) ~steps:4 in
+  Alcotest.(check int) "recorded 4" 4 (List.length snaps);
+  (* Rotating star: every snapshot connected, consecutive intersections
+     share only the two centres' mutual edge — not spanning. *)
+  Alcotest.(check int) "max interval 1" 1 (Adversarial.Interval.max_interval ~n:5 snaps)
+
+let test_meg_not_interval_connected () =
+  let dyn = Edge_meg.Classic.make ~n:32 ~p:(1.5 /. 32.) ~q:0.5 () in
+  let snaps = Adversarial.Interval.record dyn ~rng:(rng_of_seed 10) ~steps:6 in
+  Alcotest.(check int) "sparse MEG is 0-interval connected" 0
+    (Adversarial.Interval.max_interval ~n:32 snaps)
+
+let suites =
+  [
+    ( "adversarial.models",
+      [
+        Alcotest.test_case "star snapshot shape" `Quick test_star_snapshot_shape;
+        Alcotest.test_case "star floods in n-1" `Quick test_star_flooding_exactly_linear;
+        Alcotest.test_case "star easy source" `Quick test_star_other_source_is_fast;
+        Alcotest.test_case "rotating matching validation" `Quick
+          test_rotating_matching_validation;
+        Alcotest.test_case "rotating matching log2 n" `Quick
+          test_rotating_matching_floods_in_log;
+        Alcotest.test_case "rotating matching degree 1" `Quick
+          test_rotating_matching_degree_one;
+        Alcotest.test_case "random matching shape" `Quick test_random_matching_shape;
+        Alcotest.test_case "random matching odd n" `Quick test_random_matching_odd_n;
+        Alcotest.test_case "random matching floods" `Quick
+          test_random_matching_floods_logarithmically;
+      ] );
+    ( "adversarial.interval",
+      [
+        Alcotest.test_case "static path" `Quick test_interval_static_path;
+        Alcotest.test_case "alternating paths" `Quick test_interval_alternating;
+        Alcotest.test_case "disconnected" `Quick test_interval_disconnected;
+        Alcotest.test_case "validation" `Quick test_interval_validation;
+        Alcotest.test_case "record rotating star" `Quick test_record_star;
+        Alcotest.test_case "sparse MEG not interval connected" `Quick
+          test_meg_not_interval_connected;
+      ] );
+  ]

@@ -1,0 +1,268 @@
+open Helpers
+
+(* --- Classic --- *)
+
+let test_classic_stationary_density () =
+  let n = 64 and p = 0.2 and q = 0.2 in
+  let dyn = Edge_meg.Classic.make ~n ~p ~q () in
+  let s = Stats.Summary.create () in
+  for i = 0 to 19 do
+    Core.Dynamic.reset dyn (Prng.Rng.substream (rng_of_seed 1) i);
+    Stats.Summary.add s (float_of_int (Core.Dynamic.edge_count dyn))
+  done;
+  check_close_rel ~rel:0.1 "stationary init density"
+    (Edge_meg.Classic.expected_stationary_edges ~n ~p ~q)
+    (Stats.Summary.mean s)
+
+let test_classic_density_preserved_by_steps () =
+  let n = 64 and p = 0.1 and q = 0.3 in
+  let dyn = Edge_meg.Classic.make ~n ~p ~q () in
+  let s = Stats.Summary.create () in
+  Core.Dynamic.reset dyn (rng_of_seed 2);
+  for _ = 1 to 300 do
+    Core.Dynamic.step dyn;
+    Stats.Summary.add s (float_of_int (Core.Dynamic.edge_count dyn))
+  done;
+  check_close_rel ~rel:0.1 "density stable under stepping"
+    (Edge_meg.Classic.expected_stationary_edges ~n ~p ~q)
+    (Stats.Summary.mean s)
+
+let test_classic_empty_init () =
+  let dyn = Edge_meg.Classic.make ~init:Empty ~n:20 ~p:0.1 ~q:0.1 () in
+  Core.Dynamic.reset dyn (rng_of_seed 3);
+  Alcotest.(check int) "empty start" 0 (Core.Dynamic.edge_count dyn)
+
+let test_classic_full_init () =
+  let dyn = Edge_meg.Classic.make ~init:Full ~n:20 ~p:0.1 ~q:0.1 () in
+  Core.Dynamic.reset dyn (rng_of_seed 4);
+  Alcotest.(check int) "full start" 190 (Core.Dynamic.edge_count dyn)
+
+let test_classic_q0_monotone_growth () =
+  let dyn = Edge_meg.Classic.make ~init:Empty ~n:24 ~p:0.05 ~q:0. () in
+  Core.Dynamic.reset dyn (rng_of_seed 5);
+  let prev = ref 0 in
+  for _ = 1 to 30 do
+    Core.Dynamic.step dyn;
+    let m = Core.Dynamic.edge_count dyn in
+    check_true "q=0 never loses edges" (m >= !prev);
+    prev := m
+  done;
+  check_true "some edges appeared" (!prev > 0)
+
+let test_classic_p0_monotone_decay () =
+  let dyn = Edge_meg.Classic.make ~init:Full ~n:24 ~p:0. ~q:0.3 () in
+  Core.Dynamic.reset dyn (rng_of_seed 6);
+  let prev = ref 276 in
+  for _ = 1 to 30 do
+    Core.Dynamic.step dyn;
+    let m = Core.Dynamic.edge_count dyn in
+    check_true "p=0 never gains edges" (m <= !prev);
+    prev := m
+  done;
+  Alcotest.(check int) "all edges die eventually" 0 !prev
+
+let test_classic_deterministic_per_seed () =
+  let mk () = Edge_meg.Classic.make ~n:32 ~p:0.1 ~q:0.2 () in
+  let run dyn =
+    Core.Dynamic.reset dyn (rng_of_seed 7);
+    for _ = 1 to 10 do
+      Core.Dynamic.step dyn
+    done;
+    Core.Dynamic.snapshot_edges dyn
+  in
+  Alcotest.(check (list (pair int int))) "bit-reproducible" (run (mk ())) (run (mk ()))
+
+let q_classic_edges_valid =
+  qtest ~count:50 "emitted edges are valid distinct pairs"
+    QCheck2.Gen.(pair seed_gen (int_range 2 40))
+    (fun (seed, n) ->
+      let dyn = Edge_meg.Classic.make ~n ~p:0.3 ~q:0.3 () in
+      Core.Dynamic.reset dyn (Prng.Rng.of_seed seed);
+      Core.Dynamic.step dyn;
+      let edges = Core.Dynamic.snapshot_edges dyn in
+      List.for_all (fun (u, v) -> u >= 0 && u < v && v < n) edges
+      && List.length (List.sort_uniq compare edges) = List.length edges)
+
+let test_classic_validation () =
+  check_true "p out of range"
+    (try
+       ignore (Edge_meg.Classic.make ~n:4 ~p:1.5 ~q:0.1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- General --- *)
+
+let on_chain move =
+  Markov.Chain.of_rows
+    (Array.init 4 (fun s -> [| (s, 1. -. move); ((s + 1) mod 4, move) |]))
+
+let test_general_alpha () =
+  let chain = on_chain 0.3 in
+  let chi s = s >= 2 in
+  check_close ~eps:1e-6 "alpha = pi(on states)" 0.5
+    (Edge_meg.General.stationary_alpha ~chain ~chi)
+
+let test_general_matches_two_state () =
+  (* A 2-state hidden chain with chi = identity must reproduce the
+     classic model's stationary density. *)
+  let p = 0.2 and q = 0.4 in
+  let chain = Markov.Two_state.chain (Markov.Two_state.make ~p ~q) in
+  let chi s = s = 1 in
+  check_close ~eps:1e-9 "alpha = p/(p+q)" (p /. (p +. q))
+    (Edge_meg.General.stationary_alpha ~chain ~chi)
+
+let test_general_stationary_density () =
+  let n = 32 in
+  let chain = on_chain 0.3 in
+  let chi s = s >= 2 in
+  let dyn = Edge_meg.General.make ~n ~chain ~chi () in
+  let s = Stats.Summary.create () in
+  for i = 0 to 19 do
+    Core.Dynamic.reset dyn (Prng.Rng.substream (rng_of_seed 8) i);
+    Stats.Summary.add s (float_of_int (Core.Dynamic.edge_count dyn))
+  done;
+  let expected = 0.5 *. float_of_int (Graph.Pairs.total n) in
+  check_close_rel ~rel:0.1 "stationary density" expected (Stats.Summary.mean s)
+
+let test_general_state_init () =
+  let chain = on_chain 0.5 in
+  let chi s = s >= 2 in
+  let dyn = Edge_meg.General.make ~init:(`State 0) ~n:10 ~chain ~chi () in
+  Core.Dynamic.reset dyn (rng_of_seed 9);
+  Alcotest.(check int) "state 0 is off" 0 (Core.Dynamic.edge_count dyn);
+  let dyn_on = Edge_meg.General.make ~init:(`State 2) ~n:10 ~chain ~chi () in
+  Core.Dynamic.reset dyn_on (rng_of_seed 9);
+  Alcotest.(check int) "state 2 is on" 45 (Core.Dynamic.edge_count dyn_on)
+
+let test_general_dwell_correlation () =
+  (* With a slow 4-state cycle, an on edge tends to stay on: measure
+     one-step persistence and compare with the 2-state chain of equal
+     stationary density, which has persistence 1 - q. *)
+  let chain = on_chain 0.05 in
+  let chi s = s >= 2 in
+  let dyn = Edge_meg.General.make ~n:24 ~chain ~chi () in
+  Core.Dynamic.reset dyn (rng_of_seed 10);
+  let persist = ref 0 and on_count = ref 0 in
+  let prev = ref [] in
+  for _ = 1 to 200 do
+    let now = Core.Dynamic.snapshot_edges dyn in
+    List.iter
+      (fun e ->
+        incr on_count;
+        if List.mem e now then incr persist)
+      !prev;
+    prev := now;
+    Core.Dynamic.step dyn
+  done;
+  let persistence = float_of_int !persist /. float_of_int !on_count in
+  check_true "slow chain gives sticky edges (persistence > 0.9)" (persistence > 0.9)
+
+let test_general_bound_positive () =
+  let chain = on_chain 0.25 in
+  let chi s = s >= 2 in
+  let b = Edge_meg.General.bound ~chain ~chi ~n:64 in
+  check_true "bound finite positive" (Float.is_finite b && b > 0.)
+
+let test_general_state_validation () =
+  let chain = on_chain 0.25 in
+  let dyn = Edge_meg.General.make ~init:(`State 9) ~n:5 ~chain ~chi:(fun _ -> true) () in
+  check_true "bad initial state raises"
+    (try
+       Core.Dynamic.reset dyn (rng_of_seed 11);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Opportunistic --- *)
+
+let opp_params =
+  {
+    Edge_meg.Opportunistic.off_short = 2.;
+    off_long = 20.;
+    off_mix = 0.7;
+    on_short = 1.;
+    on_long = 5.;
+    on_mix = 0.5;
+  }
+
+let test_opportunistic_alpha_consistency () =
+  (* Closed-form renewal alpha must agree with the generic chain
+     computation. *)
+  let closed = Edge_meg.Opportunistic.stationary_alpha opp_params in
+  let generic =
+    Edge_meg.General.stationary_alpha
+      ~chain:(Edge_meg.Opportunistic.chain opp_params)
+      ~chi:Edge_meg.Opportunistic.chi
+  in
+  check_close ~eps:1e-9 "renewal = chain stationary" closed generic;
+  let expected = 3. /. (3. +. (0.7 *. 2.) +. (0.3 *. 20.)) in
+  check_close ~eps:1e-9 "hand value" expected closed
+
+let test_opportunistic_means () =
+  check_close ~eps:1e-12 "mean off" 7.4 (Edge_meg.Opportunistic.mean_off opp_params);
+  check_close ~eps:1e-12 "mean on" 3. (Edge_meg.Opportunistic.mean_on opp_params)
+
+let test_opportunistic_validation () =
+  check_true "mean < 1 rejected"
+    (try
+       ignore (Edge_meg.Opportunistic.chain { opp_params with on_short = 0.5 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_opportunistic_dwell_times () =
+  (* Long contacts should produce measurably longer on-runs than a
+     memoryless chain of the same alpha would. *)
+  let chain = Edge_meg.Opportunistic.chain opp_params in
+  let rng = rng_of_seed 12 in
+  let run_lengths = Stats.Summary.create () in
+  let state = ref 0 and current_run = ref 0 in
+  for _ = 1 to 50_000 do
+    state := Markov.Chain.step chain rng !state;
+    if Edge_meg.Opportunistic.chi !state then incr current_run
+    else if !current_run > 0 then begin
+      Stats.Summary.add run_lengths (float_of_int !current_run);
+      current_run := 0
+    end
+  done;
+  (* Mean contact duration is on_mix*on_short + (1-on_mix)*on_long = 3. *)
+  check_close_rel ~rel:0.15 "mean contact duration" 3. (Stats.Summary.mean run_lengths)
+
+let test_opportunistic_floods () =
+  let dyn = Edge_meg.Opportunistic.make ~n:48 opp_params in
+  match Core.Flooding.time ~cap:3000 ~rng:(rng_of_seed 13) ~source:0 dyn with
+  | Some t -> check_true "floods" (t < 3000)
+  | None -> Alcotest.fail "opportunistic model did not flood"
+
+let suites =
+  [
+    ( "edge_meg.classic",
+      [
+        Alcotest.test_case "stationary density at init" `Quick test_classic_stationary_density;
+        Alcotest.test_case "density stable under steps" `Quick
+          test_classic_density_preserved_by_steps;
+        Alcotest.test_case "empty init" `Quick test_classic_empty_init;
+        Alcotest.test_case "full init" `Quick test_classic_full_init;
+        Alcotest.test_case "q=0 monotone growth" `Quick test_classic_q0_monotone_growth;
+        Alcotest.test_case "p=0 monotone decay" `Quick test_classic_p0_monotone_decay;
+        Alcotest.test_case "deterministic per seed" `Quick test_classic_deterministic_per_seed;
+        Alcotest.test_case "validation" `Quick test_classic_validation;
+        q_classic_edges_valid;
+      ] );
+    ( "edge_meg.general",
+      [
+        Alcotest.test_case "alpha from chi" `Quick test_general_alpha;
+        Alcotest.test_case "matches two-state" `Quick test_general_matches_two_state;
+        Alcotest.test_case "stationary density" `Quick test_general_stationary_density;
+        Alcotest.test_case "state init" `Quick test_general_state_init;
+        Alcotest.test_case "dwell correlation" `Quick test_general_dwell_correlation;
+        Alcotest.test_case "bound positive" `Quick test_general_bound_positive;
+        Alcotest.test_case "state validation" `Quick test_general_state_validation;
+      ] );
+    ( "edge_meg.opportunistic",
+      [
+        Alcotest.test_case "alpha consistency" `Quick test_opportunistic_alpha_consistency;
+        Alcotest.test_case "means" `Quick test_opportunistic_means;
+        Alcotest.test_case "validation" `Quick test_opportunistic_validation;
+        Alcotest.test_case "dwell times" `Quick test_opportunistic_dwell_times;
+        Alcotest.test_case "floods" `Quick test_opportunistic_floods;
+      ] );
+  ]

@@ -1,0 +1,23 @@
+(* Aggregated test entry point: each test module contributes named
+   suites and has no top-level effects of its own. *)
+
+let () =
+  Alcotest.run "dyngraph"
+    (List.concat
+       [
+         Test_prng.suites;
+         Test_stats.suites;
+         Test_graph.suites;
+         Test_markov.suites;
+         Test_core.suites;
+         Test_edge_meg.suites;
+         Test_node_meg.suites;
+         Test_theory.suites;
+         Test_mobility.suites;
+         Test_random_path.suites;
+         Test_gossip.suites;
+         Test_dyn_walk.suites;
+         Test_adversarial.suites;
+         Test_integration.suites;
+         Test_simulate.suites;
+       ])

@@ -1,0 +1,404 @@
+open Helpers
+
+(* A random stochastic chain over [len] states derived from a seed. *)
+let random_chain seed len =
+  let rng = Prng.Rng.of_seed seed in
+  Markov.Chain.of_rows
+    (Array.init len (fun _ ->
+         Array.init len (fun t -> (t, 0.05 +. Prng.Rng.unit_float rng))))
+
+(* --- Chain --- *)
+
+let test_of_dense () =
+  let c = Markov.Chain.of_dense [| [| 0.5; 0.5 |]; [| 0.25; 0.75 |] |] in
+  Alcotest.(check int) "states" 2 (Markov.Chain.n_states c);
+  check_close ~eps:1e-12 "prob" 0.25 (Markov.Chain.prob c 1 0);
+  check_true "stochastic" (Markov.Chain.is_stochastic c)
+
+let test_of_rows_normalises () =
+  let c = Markov.Chain.of_rows [| [| (0, 2.); (1, 6.) |]; [| (0, 1.) |] |] in
+  check_close ~eps:1e-12 "normalised" 0.25 (Markov.Chain.prob c 0 0);
+  check_true "stochastic" (Markov.Chain.is_stochastic c)
+
+let test_of_rows_errors () =
+  check_true "empty row rejected"
+    (try
+       ignore (Markov.Chain.of_rows [| [||] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "bad target rejected"
+    (try
+       ignore (Markov.Chain.of_rows [| [| (5, 1.) |] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "negative weight rejected"
+    (try
+       ignore (Markov.Chain.of_rows [| [| (0, -1.); (0, 2.) |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_push_preserves_mass () =
+  let c = random_chain 1 5 in
+  let mu = prob_vector 2 5 in
+  let nu = Markov.Chain.push c mu in
+  check_close ~eps:1e-9 "mass preserved" 1. (Array.fold_left ( +. ) 0. nu)
+
+let q_stationary_is_fixpoint =
+  qtest ~count:50 "stationary is a fixpoint of push"
+    QCheck2.Gen.(pair seed_gen (int_range 2 10))
+    (fun (seed, len) ->
+      let c = random_chain seed len in
+      let pi = Markov.Chain.stationary c in
+      Stats.Distance.total_variation (Markov.Chain.push c pi) pi < 1e-8)
+
+let test_stationary_two_state () =
+  let p = 0.3 and q = 0.1 in
+  let c = Markov.Chain.of_dense [| [| 1. -. p; p |]; [| q; 1. -. q |] |] in
+  let pi = Markov.Chain.stationary c in
+  check_close ~eps:1e-9 "pi_on = p/(p+q)" (p /. (p +. q)) pi.(1)
+
+let test_stationary_periodic () =
+  (* Pure 2-cycle: the averaged power iteration still converges to the
+     uniform stationary distribution. *)
+  let c = Markov.Chain.of_dense [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let pi = Markov.Chain.stationary c in
+  check_close ~eps:1e-6 "uniform on 2-cycle" 0.5 pi.(0)
+
+let test_walk_reaches_states () =
+  let c = random_chain 3 4 in
+  let rng = rng_of_seed 4 in
+  for _ = 1 to 50 do
+    let s = Markov.Chain.walk c rng 0 10 in
+    check_true "state in range" (s >= 0 && s < 4)
+  done
+
+let test_step_respects_support () =
+  let c = Markov.Chain.of_rows [| [| (1, 1.) |]; [| (0, 1.) |] |] in
+  let rng = rng_of_seed 5 in
+  Alcotest.(check int) "deterministic step" 1 (Markov.Chain.step c rng 0);
+  Alcotest.(check int) "two steps return" 0 (Markov.Chain.walk c rng 0 2)
+
+let test_push_n () =
+  let c = Markov.Chain.of_rows [| [| (1, 1.) |]; [| (0, 1.) |] |] in
+  let mu = [| 1.; 0. |] in
+  let nu = Markov.Chain.push_n c mu 3 in
+  check_close "odd power flips" 1. nu.(1)
+
+let test_mixing_time_instant () =
+  (* Rows identical: mixes in one step from any start. *)
+  let c = Markov.Chain.of_dense [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |] in
+  Alcotest.(check (option int)) "mixes in <= 1" (Some 1) (Markov.Chain.mixing_time c)
+
+let test_mixing_time_matches_two_state () =
+  let p = 0.05 and q = 0.15 in
+  let ts = Markov.Two_state.make ~p ~q in
+  let exact = Markov.Chain.mixing_time (Markov.Two_state.chain ts) in
+  let closed = Markov.Two_state.mixing_time ts in
+  match exact with
+  | None -> Alcotest.fail "exact mixing did not converge"
+  | Some t -> check_true "within 1 step of closed form" (abs (t - closed) <= 1)
+
+let test_mixing_time_none_when_capped () =
+  let c = Markov.Chain.of_dense [| [| 0.999999; 0.000001 |]; [| 0.000001; 0.999999 |] |] in
+  Alcotest.(check (option int)) "cap reached" None (Markov.Chain.mixing_time ~max_t:3 c)
+
+let test_uniformize_keeps_stationary () =
+  let c = random_chain 6 5 in
+  let pi = Markov.Chain.stationary c in
+  let lazy_pi = Markov.Chain.stationary (Markov.Chain.uniformize c 0.5) in
+  check_true "same stationary" (Stats.Distance.total_variation pi lazy_pi < 1e-8)
+
+let test_tv_from_start () =
+  let c = Markov.Chain.of_dense [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |] in
+  let pi = Markov.Chain.stationary c in
+  check_close ~eps:1e-9 "tv at 0 from state 0" 0.5 (Markov.Chain.tv_from_start c ~pi 0 0);
+  check_close ~eps:1e-9 "tv at 1" 0. (Markov.Chain.tv_from_start c ~pi 0 1)
+
+(* --- Two_state --- *)
+
+let test_two_state_validation () =
+  check_true "p+q=0 rejected"
+    (try
+       ignore (Markov.Two_state.make ~p:0. ~q:0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_two_state_formulas () =
+  let t = Markov.Two_state.make ~p:0.2 ~q:0.3 in
+  check_close ~eps:1e-12 "stationary" 0.4 (Markov.Two_state.stationary_on t);
+  check_close ~eps:1e-12 "lambda" 0.5 (Markov.Two_state.second_eigenvalue t)
+
+let test_two_state_tv_decay () =
+  let t = Markov.Two_state.make ~p:0.2 ~q:0.3 in
+  (* From off: |0 - 0.4| * 0.5^k. *)
+  check_close ~eps:1e-12 "tv at 0" 0.4 (Markov.Two_state.tv_after t ~start_on:false 0);
+  check_close ~eps:1e-12 "tv at 2" 0.1 (Markov.Two_state.tv_after t ~start_on:false 2)
+
+let test_two_state_mixing_definition () =
+  let t = Markov.Two_state.make ~p:0.02 ~q:0.03 in
+  let k = Markov.Two_state.mixing_time t in
+  check_true "tv at t_mix below eps"
+    (Markov.Two_state.tv_after t ~start_on:false k <= 0.25 +. 1e-9
+    && Markov.Two_state.tv_after t ~start_on:true k <= 0.25 +. 1e-9);
+  check_true "tv just before above eps (for slow chain)"
+    (k = 0
+    || Float.max
+         (Markov.Two_state.tv_after t ~start_on:false (k - 1))
+         (Markov.Two_state.tv_after t ~start_on:true (k - 1))
+       > 0.25 -. 1e-9)
+
+let test_two_state_instant_mix () =
+  let t = Markov.Two_state.make ~p:0.5 ~q:0.5 in
+  Alcotest.(check int) "p+q=1 mixes instantly" 0 (Markov.Two_state.mixing_time t)
+
+(* --- Walk --- *)
+
+let test_walk_chain_stationary_is_degree () =
+  let g = Graph.Builders.star 5 in
+  let pi = Markov.Chain.stationary (Markov.Walk.lazy_chain g) in
+  let expected = Markov.Walk.stationary g in
+  check_true "degree-proportional" (Stats.Distance.total_variation pi expected < 1e-8)
+
+let test_walk_chain_isolated_rejected () =
+  let g = Graph.Static.of_edges ~n:3 [ (0, 1) ] in
+  check_true "isolated vertex rejected"
+    (try
+       ignore (Markov.Walk.chain g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_walk_step_stays_adjacent () =
+  let g = Graph.Builders.cycle 8 in
+  let rng = rng_of_seed 7 in
+  for _ = 1 to 100 do
+    let v = Markov.Walk.step g rng 3 in
+    check_true "adjacent" (Graph.Static.mem_edge g 3 v)
+  done
+
+let test_meeting_time_same_start () =
+  let g = Graph.Builders.cycle 8 in
+  let rng = rng_of_seed 8 in
+  Alcotest.(check (option int)) "already met" (Some 0) (Markov.Walk.meeting_time ~rng g 2 2)
+
+let test_meeting_time_completes () =
+  let g = Graph.Builders.complete 6 in
+  let rng = rng_of_seed 9 in
+  match Markov.Walk.meeting_time ~rng g 0 5 with
+  | Some t -> check_true "meets quickly on K6" (t < 1000)
+  | None -> Alcotest.fail "no meeting on complete graph"
+
+let test_meeting_time_cap () =
+  let g = Graph.Builders.cycle 100 in
+  let rng = rng_of_seed 10 in
+  Alcotest.(check (option int)) "cap returns None" None
+    (Markov.Walk.meeting_time ~rng ~cap:1 g 0 50)
+
+let test_mean_meeting_time_scale () =
+  let small = Graph.Builders.grid ~rows:4 ~cols:4 in
+  let large = Graph.Builders.grid ~rows:8 ~cols:8 in
+  let rng = rng_of_seed 11 in
+  let ms = Markov.Walk.mean_meeting_time ~rng ~trials:30 small in
+  let ml = Markov.Walk.mean_meeting_time ~rng ~trials:30 large in
+  check_true "meeting grows with grid" (ml > ms)
+
+(* --- Spectral --- *)
+
+let test_spectral_two_state_exact () =
+  (* Eigenvalues of the two-state chain are 1 and 1 - p - q. *)
+  let check_pq p q =
+    let chain = Markov.Two_state.chain (Markov.Two_state.make ~p ~q) in
+    check_close ~eps:1e-6
+      (Printf.sprintf "lambda2 for p=%.2f q=%.2f" p q)
+      (abs_float (1. -. p -. q))
+      (Markov.Spectral.second_eigenvalue_magnitude chain)
+  in
+  check_pq 0.3 0.2;
+  check_pq 0.05 0.1;
+  check_pq 0.7 0.6
+
+let test_spectral_instant_chain () =
+  (* Identical rows: rank one, lambda2 = 0, gap = 1. *)
+  let chain = Markov.Chain.of_dense [| [| 0.3; 0.7 |]; [| 0.3; 0.7 |] |] in
+  check_close ~eps:1e-6 "lambda2 zero" 0. (Markov.Spectral.second_eigenvalue_magnitude chain);
+  check_close ~eps:1e-6 "gap one" 1. (Markov.Spectral.spectral_gap chain);
+  check_close ~eps:1e-6 "relaxation one" 1. (Markov.Spectral.relaxation_time chain)
+
+let test_spectral_lazy_cycle_ordering () =
+  (* Lazier and larger cycles mix slower: gap decreases. *)
+  let gap n = Markov.Spectral.spectral_gap (Markov.Walk.lazy_chain (Graph.Builders.cycle n)) in
+  check_true "gap shrinks with cycle size" (gap 12 < gap 6);
+  (* Exact value for the lazy cycle: gap = (1 - cos(2 pi / n)) / 2. *)
+  let n = 8 in
+  check_close ~eps:1e-5 "lazy cycle gap closed form"
+    ((1. -. cos (2. *. Float.pi /. float_of_int n)) /. 2.)
+    (gap n)
+
+let test_spectral_mixing_upper_bound () =
+  (* For reversible chains the relaxation bound dominates the exact
+     mixing time. *)
+  let check_chain name chain =
+    match Markov.Chain.mixing_time chain with
+    | None -> Alcotest.fail (name ^ ": exact mixing did not converge")
+    | Some exact ->
+        let upper = Markov.Spectral.mixing_time_upper chain in
+        check_true
+          (Printf.sprintf "%s: exact %d <= upper %.1f" name exact upper)
+          (float_of_int exact <= upper +. 1.)
+  in
+  check_chain "two-state" (Markov.Two_state.chain (Markov.Two_state.make ~p:0.1 ~q:0.2));
+  check_chain "lazy cycle 10" (Markov.Walk.lazy_chain (Graph.Builders.cycle 10));
+  check_chain "lazy star 8" (Markov.Walk.lazy_chain (Graph.Builders.star 8))
+
+let test_spectral_single_state () =
+  let chain = Markov.Chain.of_rows [| [| (0, 1.) |] |] in
+  check_close "single state lambda2" 0.
+    (Markov.Spectral.second_eigenvalue_magnitude chain)
+
+(* --- Hitting --- *)
+
+let test_hitting_two_state () =
+  (* From off, hitting "on" is geometric with success probability p:
+     expectation 1/p. *)
+  let p = 0.2 in
+  let chain = Markov.Two_state.chain (Markov.Two_state.make ~p ~q:0.3) in
+  let h = Markov.Hitting.expected_hitting chain ~target:(fun s -> s = 1) in
+  check_close ~eps:1e-6 "1/p from off" (1. /. p) h.(0);
+  check_close "0 on target" 0. h.(1)
+
+let test_hitting_cycle_closed_form () =
+  (* Simple walk on an n-cycle: expected hitting from distance d is
+     d (n - d); the lazy walk (hold 1/2) doubles it. *)
+  let n = 9 in
+  let chain = Markov.Walk.lazy_chain (Graph.Builders.cycle n) in
+  let h = Markov.Hitting.expected_hitting chain ~target:(fun s -> s = 0) in
+  for d = 1 to n - 1 do
+    check_close_rel ~rel:1e-6
+      (Printf.sprintf "lazy cycle from %d" d)
+      (2. *. float_of_int (d * (n - d)))
+      h.(d)
+  done
+
+let test_hitting_unreachable () =
+  let chain =
+    Markov.Chain.of_rows [| [| (0, 1.) |]; [| (0, 0.5); (1, 0.5) |]; [| (2, 1.) |] |]
+  in
+  let h = Markov.Hitting.expected_hitting chain ~target:(fun s -> s = 0) in
+  check_true "reachable finite" (Float.is_finite h.(1));
+  check_true "absorbing elsewhere is infinite" (h.(2) = infinity)
+
+let test_meeting_exact_matches_sampled () =
+  (* The sampled estimator must agree with the exact linear solve. *)
+  let g = Graph.Builders.grid ~rows:4 ~cols:4 in
+  let exact = Markov.Hitting.mean_meeting g in
+  let sampled = Markov.Walk.mean_meeting_time ~rng:(rng_of_seed 70) ~trials:400 g in
+  check_close_rel ~rel:0.12 "sampled meeting matches exact" exact sampled
+
+let test_meeting_diagonal_zero () =
+  let g = Graph.Builders.cycle 5 in
+  let h = Markov.Hitting.expected_meeting g in
+  for u = 0 to 4 do
+    check_close "diagonal zero" 0. h.((u * 5) + u)
+  done;
+  (* Symmetry of the product chain: h(u,v) = h(v,u). *)
+  check_close_rel ~rel:1e-6 "symmetric" h.((0 * 5) + 2) h.((2 * 5) + 0)
+
+let test_product_chain_stochastic () =
+  let g = Graph.Builders.star 4 in
+  check_true "product chain stochastic"
+    (Markov.Chain.is_stochastic (Markov.Hitting.product_walk_chain g))
+
+(* --- Empirical --- *)
+
+let test_empirical_distribution () =
+  let d = Markov.Empirical.distribution ~n_outcomes:3 [| 0; 0; 1; 2; 0 |] in
+  check_close ~eps:1e-12 "freq 0" 0.6 d.(0);
+  check_close ~eps:1e-12 "freq 2" 0.2 d.(2)
+
+let test_empirical_errors () =
+  check_true "out of range rejected"
+    (try
+       ignore (Markov.Empirical.distribution ~n_outcomes:2 [| 3 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_estimate_mixing_time_two_state () =
+  let p = 0.2 and q = 0.2 in
+  let chain = Markov.Two_state.chain (Markov.Two_state.make ~p ~q) in
+  let rng = rng_of_seed 12 in
+  let observe r t = Markov.Chain.walk chain r 0 t in
+  let reference = [| 0.5; 0.5 |] in
+  let curve, hit =
+    Markov.Empirical.estimate_mixing_time ~rng ~replicas:2000 ~checkpoints:[ 0; 2; 5; 10 ]
+      ~n_outcomes:2 ~observe ~reference ~eps:0.25
+  in
+  Alcotest.(check int) "curve length" 4 (List.length curve);
+  check_close ~eps:1e-9 "tv at 0 is 1/2" 0.5 (List.assoc 0 curve);
+  (match hit with
+  | Some t -> check_true "detected mixing by t=5" (t <= 5)
+  | None -> Alcotest.fail "mixing not detected");
+  (* TV is (1-p-q)^t / 2 from a point start; check decay at t=2. *)
+  check_close ~eps:0.05 "tv decay at 2" (0.5 *. (0.6 ** 2.)) (List.assoc 2 curve)
+
+let suites =
+  [
+    ( "markov.chain",
+      [
+        Alcotest.test_case "of_dense" `Quick test_of_dense;
+        Alcotest.test_case "of_rows normalises" `Quick test_of_rows_normalises;
+        Alcotest.test_case "construction errors" `Quick test_of_rows_errors;
+        Alcotest.test_case "push preserves mass" `Quick test_push_preserves_mass;
+        Alcotest.test_case "stationary two-state" `Quick test_stationary_two_state;
+        Alcotest.test_case "stationary periodic" `Quick test_stationary_periodic;
+        Alcotest.test_case "walk in range" `Quick test_walk_reaches_states;
+        Alcotest.test_case "deterministic chain" `Quick test_step_respects_support;
+        Alcotest.test_case "push_n" `Quick test_push_n;
+        Alcotest.test_case "instant mixing" `Quick test_mixing_time_instant;
+        Alcotest.test_case "mixing matches closed form" `Quick test_mixing_time_matches_two_state;
+        Alcotest.test_case "mixing cap" `Quick test_mixing_time_none_when_capped;
+        Alcotest.test_case "uniformize stationary" `Quick test_uniformize_keeps_stationary;
+        Alcotest.test_case "tv from start" `Quick test_tv_from_start;
+        q_stationary_is_fixpoint;
+      ] );
+    ( "markov.two_state",
+      [
+        Alcotest.test_case "validation" `Quick test_two_state_validation;
+        Alcotest.test_case "closed forms" `Quick test_two_state_formulas;
+        Alcotest.test_case "tv decay" `Quick test_two_state_tv_decay;
+        Alcotest.test_case "mixing definition" `Quick test_two_state_mixing_definition;
+        Alcotest.test_case "instant mix" `Quick test_two_state_instant_mix;
+      ] );
+    ( "markov.walk",
+      [
+        Alcotest.test_case "stationary degree-proportional" `Quick
+          test_walk_chain_stationary_is_degree;
+        Alcotest.test_case "isolated rejected" `Quick test_walk_chain_isolated_rejected;
+        Alcotest.test_case "step adjacency" `Quick test_walk_step_stays_adjacent;
+        Alcotest.test_case "meeting same start" `Quick test_meeting_time_same_start;
+        Alcotest.test_case "meeting on K6" `Quick test_meeting_time_completes;
+        Alcotest.test_case "meeting cap" `Quick test_meeting_time_cap;
+        Alcotest.test_case "meeting grows with size" `Quick test_mean_meeting_time_scale;
+      ] );
+    ( "markov.spectral",
+      [
+        Alcotest.test_case "two-state exact" `Quick test_spectral_two_state_exact;
+        Alcotest.test_case "rank-one chain" `Quick test_spectral_instant_chain;
+        Alcotest.test_case "lazy cycle closed form" `Quick test_spectral_lazy_cycle_ordering;
+        Alcotest.test_case "mixing upper bound" `Quick test_spectral_mixing_upper_bound;
+        Alcotest.test_case "single state" `Quick test_spectral_single_state;
+      ] );
+    ( "markov.hitting",
+      [
+        Alcotest.test_case "two-state geometric" `Quick test_hitting_two_state;
+        Alcotest.test_case "cycle closed form" `Quick test_hitting_cycle_closed_form;
+        Alcotest.test_case "unreachable" `Quick test_hitting_unreachable;
+        Alcotest.test_case "meeting exact vs sampled" `Quick test_meeting_exact_matches_sampled;
+        Alcotest.test_case "meeting diagonal and symmetry" `Quick test_meeting_diagonal_zero;
+        Alcotest.test_case "product chain stochastic" `Quick test_product_chain_stochastic;
+      ] );
+    ( "markov.empirical",
+      [
+        Alcotest.test_case "distribution" `Quick test_empirical_distribution;
+        Alcotest.test_case "errors" `Quick test_empirical_errors;
+        Alcotest.test_case "mixing estimation" `Quick test_estimate_mixing_time_two_state;
+      ] );
+  ]

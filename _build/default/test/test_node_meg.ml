@@ -1,0 +1,152 @@
+open Helpers
+
+let uniform_cycle k eps =
+  let jump = eps /. float_of_int k in
+  Markov.Chain.of_rows
+    (Array.init k (fun s ->
+         Array.append
+           [| ((s + 1) mod k, 1. -. eps) |]
+           (Array.init k (fun t -> (t, jump)))))
+
+let test_symmetry_enforced () =
+  let chain = uniform_cycle 4 0.2 in
+  check_true "asymmetric map rejected"
+    (try
+       ignore (Node_meg.Model.make ~n:5 ~chain ~connect:(fun x y -> x < y) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_q_of_state_complete () =
+  let chain = uniform_cycle 4 0.2 in
+  let q = Node_meg.Model.q_of_state ~chain ~connect:(fun _ _ -> true) in
+  Array.iter (fun v -> check_close ~eps:1e-9 "q(x)=1 for complete connect" 1. v) q
+
+let test_p_nm_same_state () =
+  (* Uniform stationary over k states, connect iff same state:
+     P_NM = 1/k, P_NM2 = 1/k^2 => eta = 1. *)
+  let k = 8 in
+  let chain = uniform_cycle k 0.2 in
+  let connect x y = x = y in
+  check_close ~eps:1e-6 "P_NM = 1/k" (1. /. float_of_int k)
+    (Node_meg.Model.p_nm ~chain ~connect);
+  check_close ~eps:1e-6 "P_NM2 = 1/k^2"
+    (1. /. float_of_int (k * k))
+    (Node_meg.Model.p_nm2 ~chain ~connect);
+  check_close ~eps:1e-5 "eta = 1" 1. (Node_meg.Model.eta ~chain ~connect)
+
+let test_eta_skewed () =
+  (* A chain strongly biased to state 0, connect iff both in state 0:
+     q(x) = pi(0) if x = 0 else 0; P = pi0^2, P2 = pi0^3,
+     eta = pi0^3 / pi0^4 = 1/pi0 > 1. *)
+  let chain =
+    Markov.Chain.of_rows [| [| (0, 0.9); (1, 0.1) |]; [| (0, 0.9); (1, 0.1) |] |]
+  in
+  let connect x y = x = 0 && y = 0 in
+  let pi0 = 0.9 in
+  check_close ~eps:1e-6 "P_NM" (pi0 ** 2.) (Node_meg.Model.p_nm ~chain ~connect);
+  check_close ~eps:1e-5 "eta = 1/pi0" (1. /. pi0) (Node_meg.Model.eta ~chain ~connect)
+
+let test_eta_zero_p_rejected () =
+  let chain = uniform_cycle 3 0.2 in
+  check_true "eta with P=0 raises"
+    (try
+       ignore (Node_meg.Model.eta ~chain ~connect:(fun _ _ -> false));
+       false
+     with Invalid_argument _ -> true)
+
+let brute_force_edges states connect =
+  let n = Array.length states in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if connect states.(u) states.(v) then acc := (u, v) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let q_iter_edges_matches_bruteforce =
+  qtest ~count:50 "bucketed edges = brute force"
+    QCheck2.Gen.(triple seed_gen (int_range 2 25) (int_range 2 6))
+    (fun (seed, n, k) ->
+      let chain = uniform_cycle k 0.3 in
+      let connect x y =
+        let d = abs (x - y) in
+        min d (k - d) <= 1
+      in
+      let dyn, observe = Node_meg.Model.make_observable ~n ~chain ~connect () in
+      Core.Dynamic.reset dyn (Prng.Rng.of_seed seed);
+      Core.Dynamic.step dyn;
+      let states = observe () in
+      Core.Dynamic.snapshot_edges dyn = brute_force_edges states connect)
+
+let test_states_in_range () =
+  let k = 5 in
+  let chain = uniform_cycle k 0.3 in
+  let dyn, observe =
+    Node_meg.Model.make_observable ~n:10 ~chain ~connect:(fun x y -> x = y) ()
+  in
+  Core.Dynamic.reset dyn (rng_of_seed 1);
+  for _ = 1 to 20 do
+    Core.Dynamic.step dyn;
+    Array.iter (fun s -> check_true "state in range" (s >= 0 && s < k)) (observe ())
+  done
+
+let test_all_in_init () =
+  let chain = uniform_cycle 6 0.3 in
+  let dyn, observe =
+    Node_meg.Model.make_observable ~init:(All_in 2) ~n:8 ~chain ~connect:(fun x y -> x = y) ()
+  in
+  Core.Dynamic.reset dyn (rng_of_seed 2);
+  Array.iter (fun s -> Alcotest.(check int) "all in state 2" 2 s) (observe ());
+  (* Same state + same-state connect = complete snapshot. *)
+  Alcotest.(check int) "complete clique" 28 (Core.Dynamic.edge_count dyn)
+
+let test_exchangeability () =
+  (* Fact 2: the empirical edge probability is the same for any fixed
+     pair. Compare two disjoint pairs over many snapshots. *)
+  let k = 6 in
+  let chain = uniform_cycle k 0.3 in
+  let connect x y =
+    let d = abs (x - y) in
+    min d (k - d) <= 1
+  in
+  let dyn = Node_meg.Model.make ~n:12 ~chain ~connect () in
+  Core.Dynamic.reset dyn (rng_of_seed 3);
+  let hits01 = ref 0 and hits89 = ref 0 in
+  let snaps = 4000 in
+  for _ = 1 to snaps do
+    Core.Dynamic.step dyn;
+    let adj = Core.Dynamic.adjacency dyn in
+    if List.mem 1 adj.(0) then incr hits01;
+    if List.mem 9 adj.(8) then incr hits89
+  done;
+  let p01 = float_of_int !hits01 /. float_of_int snaps in
+  let p89 = float_of_int !hits89 /. float_of_int snaps in
+  let exact = Node_meg.Model.p_nm ~chain ~connect in
+  check_close_rel ~rel:0.15 "pair (0,1) matches exact P_NM" exact p01;
+  check_close_rel ~rel:0.15 "pair (8,9) matches exact P_NM" exact p89
+
+let test_theorem3_bound_positive () =
+  let chain = uniform_cycle 8 0.25 in
+  let connect x y = x = y in
+  let b = Node_meg.Model.theorem3_bound ~chain ~connect ~n:64 () in
+  check_true "bound finite positive" (Float.is_finite b && b > 0.);
+  let b2 = Node_meg.Model.theorem3_bound ~chain ~connect ~n:64 ~t_mix:10. () in
+  check_true "explicit t_mix scales" (b2 > 0.)
+
+let suites =
+  [
+    ( "node_meg",
+      [
+        Alcotest.test_case "symmetry enforced" `Quick test_symmetry_enforced;
+        Alcotest.test_case "q_of_state complete" `Quick test_q_of_state_complete;
+        Alcotest.test_case "P_NM same-state" `Quick test_p_nm_same_state;
+        Alcotest.test_case "eta skewed chain" `Quick test_eta_skewed;
+        Alcotest.test_case "eta validation" `Quick test_eta_zero_p_rejected;
+        Alcotest.test_case "states in range" `Quick test_states_in_range;
+        Alcotest.test_case "All_in init" `Quick test_all_in_init;
+        Alcotest.test_case "exchangeability (Fact 2)" `Quick test_exchangeability;
+        Alcotest.test_case "theorem 3 bound" `Quick test_theorem3_bound_positive;
+        q_iter_edges_matches_bruteforce;
+      ] );
+  ]

@@ -1,0 +1,266 @@
+open Helpers
+
+let test_determinism () =
+  let a = Prng.Rng.of_seed 7 and b = Prng.Rng.of_seed 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Rng.int64 a) (Prng.Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Rng.of_seed 7 and b = Prng.Rng.of_seed 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.Rng.int64 a) (Prng.Rng.int64 b)) then differs := true
+  done;
+  check_true "different seeds give different streams" !differs
+
+let test_copy_independent () =
+  let a = Prng.Rng.of_seed 3 in
+  let b = Prng.Rng.copy a in
+  let va = Prng.Rng.int64 a in
+  let vb = Prng.Rng.int64 b in
+  Alcotest.(check int64) "copy starts at same point" va vb;
+  ignore (Prng.Rng.int64 a);
+  let va2 = Prng.Rng.int64 a and vb2 = Prng.Rng.int64 b in
+  check_true "copies advance independently" (not (Int64.equal va2 vb2) || Int64.equal va2 vb2)
+
+let test_split_distinct () =
+  let parent = Prng.Rng.of_seed 11 in
+  let child = Prng.Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.Rng.int64 parent) (Prng.Rng.int64 child) then incr same
+  done;
+  check_true "split stream differs from parent" (!same < 3)
+
+let test_substream_repeatable () =
+  let base = Prng.Rng.of_seed 5 in
+  let s1 = Prng.Rng.substream base 42 and s2 = Prng.Rng.substream base 42 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "substream repeatable" (Prng.Rng.int64 s1) (Prng.Rng.int64 s2)
+  done
+
+let test_substream_distinct () =
+  let base = Prng.Rng.of_seed 5 in
+  let s1 = Prng.Rng.substream base 1 and s2 = Prng.Rng.substream base 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.Rng.int64 s1) (Prng.Rng.int64 s2) then incr same
+  done;
+  check_true "distinct substreams" (!same < 3)
+
+let test_int_errors () =
+  let rng = rng_of_seed 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prng.Rng.int rng 0))
+
+let test_unit_float_range () =
+  let rng = rng_of_seed 1 in
+  for _ = 1 to 1000 do
+    let u = Prng.Rng.unit_float rng in
+    check_true "in [0,1)" (u >= 0. && u < 1.)
+  done
+
+let test_uniformity_mean () =
+  let rng = rng_of_seed 2 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Stats.Summary.add s (Prng.Rng.unit_float rng)
+  done;
+  check_close_rel ~rel:0.02 "uniform mean" 0.5 (Stats.Summary.mean s)
+
+let test_bernoulli_extremes () =
+  let rng = rng_of_seed 3 in
+  for _ = 1 to 100 do
+    check_true "p=1 always true" (Prng.Rng.bernoulli rng 1.);
+    check_true "p=0 always false" (not (Prng.Rng.bernoulli rng 0.))
+  done
+
+let test_geometric_p1 () =
+  let rng = rng_of_seed 4 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "geometric p=1 is 0" 0 (Prng.Rng.geometric rng 1.)
+  done
+
+let test_geometric_mean () =
+  let rng = rng_of_seed 5 in
+  let p = 0.2 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 30_000 do
+    Stats.Summary.add s (float_of_int (Prng.Rng.geometric rng p))
+  done;
+  (* Mean of failures-before-success is (1-p)/p = 4. *)
+  check_close_rel ~rel:0.05 "geometric mean" 4.0 (Stats.Summary.mean s)
+
+let test_exponential_mean () =
+  let rng = rng_of_seed 6 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 30_000 do
+    Stats.Summary.add s (Prng.Rng.exponential rng 2.)
+  done;
+  check_close_rel ~rel:0.05 "exponential mean 1/rate" 0.5 (Stats.Summary.mean s)
+
+let test_gaussian_moments () =
+  let rng = rng_of_seed 7 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Prng.Rng.gaussian rng)
+  done;
+  check_close ~eps:0.03 "gaussian mean" 0. (Stats.Summary.mean s);
+  check_close_rel ~rel:0.05 "gaussian stddev" 1. (Stats.Summary.stddev s)
+
+let q_int_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"int in [0, bound)"
+       QCheck2.Gen.(pair Helpers.seed_gen (int_range 1 1_000_000))
+       (fun (seed, bound) ->
+         let rng = Prng.Rng.of_seed seed in
+         let v = Prng.Rng.int rng bound in
+         v >= 0 && v < bound))
+
+let q_int_incl_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"int_incl in [lo, hi]"
+       QCheck2.Gen.(triple Helpers.seed_gen (int_range (-1000) 1000) (int_range 0 1000))
+       (fun (seed, lo, width) ->
+         let rng = Prng.Rng.of_seed seed in
+         let v = Prng.Rng.int_incl rng lo (lo + width) in
+         v >= lo && v <= lo + width))
+
+let q_shuffle_is_permutation =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"shuffle preserves multiset"
+       QCheck2.Gen.(pair Helpers.seed_gen (array_size (int_range 0 50) (int_range 0 100)))
+       (fun (seed, a) ->
+         let rng = Prng.Rng.of_seed seed in
+         let b = Array.copy a in
+         Prng.Rng.shuffle_in_place rng b;
+         let sort x =
+           let c = Array.copy x in
+           Array.sort compare c;
+           c
+         in
+         sort a = sort b))
+
+let q_perm_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"perm is a permutation of 0..n-1"
+       QCheck2.Gen.(pair Helpers.seed_gen (int_range 1 100))
+       (fun (seed, n) ->
+         let rng = Prng.Rng.of_seed seed in
+         let p = Prng.Rng.perm rng n in
+         let sorted = Array.copy p in
+         Array.sort compare sorted;
+         sorted = Array.init n (fun i -> i)))
+
+let q_sample_without_replacement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"sample_without_replacement distinct and in range"
+       QCheck2.Gen.(
+         pair Helpers.seed_gen (int_range 1 200) |> map (fun (s, n) -> (s, n)))
+       (fun (seed, n) ->
+         let rng = Prng.Rng.of_seed seed in
+         let k = Prng.Rng.int rng (n + 1) in
+         let s = Prng.Rng.sample_without_replacement rng k n in
+         Array.length s = k
+         && Array.for_all (fun v -> v >= 0 && v < n) s
+         &&
+         let sorted = Array.copy s in
+         Array.sort compare sorted;
+         let distinct = ref true in
+         Array.iteri (fun i v -> if i > 0 && v = sorted.(i - 1) then distinct := false) sorted;
+         !distinct))
+
+let test_choice_member () =
+  let rng = rng_of_seed 9 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 100 do
+    check_true "choice is a member" (Array.exists (( = ) (Prng.Rng.choice rng a)) a)
+  done
+
+let test_discrete_matches_weights () =
+  let rng = rng_of_seed 10 in
+  let w = [| 1.; 2.; 3.; 4. |] in
+  let d = Prng.Discrete.of_weights w in
+  Alcotest.(check int) "n_outcomes" 4 (Prng.Discrete.n_outcomes d);
+  check_close ~eps:1e-12 "prob normalised" 0.1 (Prng.Discrete.prob d 0);
+  let counts = Array.make 4 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let i = Prng.Discrete.draw d rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_close_rel ~rel:0.05
+        (Printf.sprintf "empirical freq of %d" i)
+        (w.(i) /. 10.)
+        (float_of_int c /. float_of_int trials))
+    counts
+
+let test_discrete_point_mass () =
+  let rng = rng_of_seed 11 in
+  let d = Prng.Discrete.of_weights [| 0.; 1.; 0. |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "point mass" 1 (Prng.Discrete.draw d rng)
+  done
+
+let test_discrete_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Discrete.of_weights: empty") (fun () ->
+      ignore (Prng.Discrete.of_weights [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Discrete.of_weights: negative weight") (fun () ->
+      ignore (Prng.Discrete.of_weights [| 1.; -1.; 3. |]))
+
+let test_cumulative_sampling_agrees () =
+  let rng = rng_of_seed 12 in
+  let w = [| 5.; 1.; 1.; 3. |] in
+  let cdf = Prng.Discrete.cumulative_of_weights w in
+  check_close ~eps:1e-12 "cdf ends at 1" 1. cdf.(3);
+  let counts = Array.make 4 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let i = Prng.Discrete.draw_cumulative cdf rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_close_rel ~rel:0.07
+        (Printf.sprintf "inversion freq of %d" i)
+        (w.(i) /. 10.)
+        (float_of_int c /. float_of_int trials))
+    counts
+
+let suites =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "copy" `Quick test_copy_independent;
+        Alcotest.test_case "split distinct" `Quick test_split_distinct;
+        Alcotest.test_case "substream repeatable" `Quick test_substream_repeatable;
+        Alcotest.test_case "substream distinct" `Quick test_substream_distinct;
+        Alcotest.test_case "int errors" `Quick test_int_errors;
+        Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+        Alcotest.test_case "uniform mean" `Quick test_uniformity_mean;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+        Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+        Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+        Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        Alcotest.test_case "choice member" `Quick test_choice_member;
+        q_int_bounds;
+        q_int_incl_bounds;
+        q_shuffle_is_permutation;
+        q_perm_valid;
+        q_sample_without_replacement;
+      ] );
+    ( "prng.discrete",
+      [
+        Alcotest.test_case "matches weights" `Quick test_discrete_matches_weights;
+        Alcotest.test_case "point mass" `Quick test_discrete_point_mass;
+        Alcotest.test_case "errors" `Quick test_discrete_errors;
+        Alcotest.test_case "cumulative agrees" `Quick test_cumulative_sampling_agrees;
+      ] );
+  ]

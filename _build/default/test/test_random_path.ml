@@ -1,0 +1,389 @@
+open Helpers
+
+let path_of family h =
+  Array.init (Random_path.Family.length family h) (Random_path.Family.point_at family h)
+
+(* --- Explicit families --- *)
+
+let triangle = Graph.Builders.cycle 3
+
+let triangle_family () =
+  (* Both orientations of each edge of a triangle. *)
+  Random_path.Family.of_explicit triangle
+    [| [| 0; 1 |]; [| 1; 0 |]; [| 1; 2 |]; [| 2; 1 |]; [| 2; 0 |]; [| 0; 2 |] |]
+
+let test_explicit_basics () =
+  let f = triangle_family () in
+  Alcotest.(check int) "n_paths" 6 (Random_path.Family.n_paths f);
+  Alcotest.(check int) "length" 2 (Random_path.Family.length f 0);
+  Alcotest.(check int) "start" 0 (Random_path.Family.start_point f 0);
+  Alcotest.(check int) "end" 1 (Random_path.Family.end_point f 0);
+  Alcotest.(check (array int)) "paths from 0" [| 0; 5 |] (Random_path.Family.paths_from f 0)
+
+let test_explicit_validation () =
+  check_true "short path rejected"
+    (try
+       ignore (Random_path.Family.of_explicit triangle [| [| 0 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "non-edge rejected"
+    (try
+       ignore
+         (Random_path.Family.of_explicit (Graph.Builders.path_graph 3) [| [| 0; 2 |]; [| 2; 0 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_true "dead end rejected"
+    (try
+       ignore (Random_path.Family.of_explicit triangle [| [| 0; 1 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_explicit_checks () =
+  let f = triangle_family () in
+  check_true "simple" (Random_path.Family.is_simple f);
+  check_true "reversible" (Random_path.Family.is_reversible f)
+
+let test_not_reversible () =
+  (* One-way circulation around the triangle. *)
+  let f = Random_path.Family.of_explicit triangle [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |] |] in
+  check_true "one-way is not reversible" (not (Random_path.Family.is_reversible f))
+
+let test_not_simple () =
+  let f =
+    Random_path.Family.of_explicit triangle
+      [| [| 0; 1; 0; 1 |]; [| 1; 0 |]; [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |]; [| 0; 2 |]; [| 2; 1 |] |]
+  in
+  check_true "repeat interior point is not simple" (not (Random_path.Family.is_simple f))
+
+let test_closed_trip_is_simple () =
+  (* start = end is allowed by the definition. *)
+  let f =
+    Random_path.Family.of_explicit triangle
+      [| [| 0; 1; 2; 0 |]; [| 0; 2; 1; 0 |]; [| 1; 0 |]; [| 0; 1 |]; [| 2; 0 |]; [| 0; 2 |]; [| 1; 2 |]; [| 2; 1 |] |]
+  in
+  check_true "closed trip counts as simple" (Random_path.Family.is_simple f)
+
+let test_congestion_triangle () =
+  let f = triangle_family () in
+  (* Each point is the endpoint of exactly 2 paths; positions 1..len-1
+     only cover endpoints here. *)
+  Alcotest.(check (array int)) "congestion" [| 2; 2; 2 |] (Random_path.Family.congestion f);
+  check_close ~eps:1e-12 "delta 1" 1. (Random_path.Family.delta_regularity f)
+
+(* --- Edges family --- *)
+
+let test_edges_family_structure () =
+  let g = Graph.Builders.star 4 in
+  let f = Random_path.Family.edges_family g in
+  Alcotest.(check int) "n_paths = 2m" 6 (Random_path.Family.n_paths f);
+  Alcotest.(check int) "lengths" 2 (Random_path.Family.length f 0);
+  (* Centre (0) starts 3 paths, each leaf starts 1. *)
+  Alcotest.(check int) "paths from centre" 3 (Array.length (Random_path.Family.paths_from f 0));
+  Alcotest.(check int) "paths from leaf" 1 (Array.length (Random_path.Family.paths_from f 1))
+
+let q_edges_family_consistent =
+  qtest ~count:50 "edges family paths are the graph's directed edges"
+    (random_graph_gen ~max_n:15 ())
+    (fun g ->
+      Graph.Static.min_degree g = 0
+      ||
+      let f = Random_path.Family.edges_family g in
+      Random_path.Family.n_paths f = 2 * Graph.Static.m g
+      &&
+      let ok = ref true in
+      for h = 0 to Random_path.Family.n_paths f - 1 do
+        let u = Random_path.Family.point_at f h 0 in
+        let v = Random_path.Family.point_at f h 1 in
+        if not (Graph.Static.mem_edge g u v) then ok := false
+      done;
+      !ok)
+
+let test_edges_family_congestion_is_degree () =
+  let g = Graph.Builders.star 5 in
+  let f = Random_path.Family.edges_family g in
+  (* #P(u) counts directed edges ending at u = deg(u) (paper: if P is
+     the edge set then #P(u) = deg(u)). *)
+  Alcotest.(check (array int)) "congestion = degree" [| 4; 1; 1; 1; 1 |]
+    (Random_path.Family.congestion f)
+
+let test_edges_family_sampler_starts_at_u () =
+  let g = Graph.Builders.cycle 5 in
+  let f = Random_path.Family.edges_family g in
+  let rng = rng_of_seed 1 in
+  for _ = 1 to 50 do
+    let h = Random_path.Family.sample_path_from f rng 3 in
+    Alcotest.(check int) "starts at 3" 3 (Random_path.Family.start_point f h)
+  done
+
+(* --- Grid shortest paths --- *)
+
+let q_grid_paths_valid =
+  qtest ~count:100 "grid shortest paths are valid shortest paths"
+    QCheck2.Gen.(triple seed_gen (int_range 2 6) (int_range 2 6))
+    (fun (seed, rows, cols) ->
+      let f = Random_path.Family.grid_shortest ~rows ~cols in
+      let g = Random_path.Family.graph f in
+      let rng = Prng.Rng.of_seed seed in
+      let h = Prng.Rng.int rng (Random_path.Family.n_paths f) in
+      let pts = path_of f h in
+      let len = Array.length pts in
+      (* Consecutive points adjacent. *)
+      let adjacent = ref true in
+      for i = 1 to len - 1 do
+        if not (Graph.Static.mem_edge g pts.(i - 1) pts.(i)) then adjacent := false
+      done;
+      (* Length equals Manhattan distance + 1 (shortest). *)
+      let r1, c1 = Graph.Builders.grid_coords ~cols pts.(0) in
+      let r2, c2 = Graph.Builders.grid_coords ~cols pts.(len - 1) in
+      !adjacent
+      && len = abs (r1 - r2) + abs (c1 - c2) + 1
+      && pts.(0) <> pts.(len - 1))
+
+let test_grid_family_counts () =
+  let f = Random_path.Family.grid_shortest ~rows:3 ~cols:3 in
+  Alcotest.(check int) "n_paths = 2 s(s-1)" (2 * 9 * 8) (Random_path.Family.n_paths f);
+  Alcotest.(check int) "paths from a point" 16 (Array.length (Random_path.Family.paths_from f 4));
+  Array.iter
+    (fun h -> Alcotest.(check int) "paths_from start correct" 4 (Random_path.Family.start_point f h))
+    (Random_path.Family.paths_from f 4)
+
+let test_grid_family_simple_reversible () =
+  let f = Random_path.Family.grid_shortest ~rows:3 ~cols:3 in
+  check_true "simple" (Random_path.Family.is_simple f);
+  check_true "reversible" (Random_path.Family.is_reversible f)
+
+let test_grid_family_delta_small () =
+  let f = Random_path.Family.grid_shortest ~rows:5 ~cols:5 in
+  let delta = Random_path.Family.delta_regularity f in
+  check_true "delta is a small constant" (delta >= 1. && delta < 2.)
+
+let test_grid_sampler_uniform_destination () =
+  (* sample_path_from must agree with uniform choice over paths_from. *)
+  let f = Random_path.Family.grid_shortest ~rows:3 ~cols:3 in
+  let rng = rng_of_seed 2 in
+  let counts = Hashtbl.create 32 in
+  let trials = 16_000 in
+  for _ = 1 to trials do
+    let h = Random_path.Family.sample_path_from f rng 0 in
+    Hashtbl.replace counts h (1 + Option.value ~default:0 (Hashtbl.find_opt counts h))
+  done;
+  let options = Random_path.Family.paths_from f 0 in
+  Alcotest.(check int) "all options seen" (Array.length options) (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      check_close_rel ~rel:0.25 "near uniform" (float_of_int trials /. 16.) (float_of_int c))
+    counts
+
+(* --- BFS shortest-path family on arbitrary graphs --- *)
+
+let q_shortest_paths_valid =
+  qtest ~count:40 "BFS family paths are valid shortest paths"
+    QCheck2.Gen.(pair seed_gen (int_range 4 16))
+    (fun (seed, n) ->
+      let rng = Prng.Rng.of_seed seed in
+      (* Connected-ish random graph: retry until connected. *)
+      let rec graph () =
+        let g = Graph.Builders.erdos_renyi ~rng ~n ~p:0.4 in
+        if Graph.Traverse.is_connected g then g else graph ()
+      in
+      let g = graph () in
+      let f = Random_path.Family.shortest_paths g in
+      let h = Prng.Rng.int rng (Random_path.Family.n_paths f) in
+      let pts = path_of f h in
+      let len = Array.length pts in
+      let adjacent = ref true in
+      for i = 1 to len - 1 do
+        if not (Graph.Static.mem_edge g pts.(i - 1) pts.(i)) then adjacent := false
+      done;
+      let dist = Graph.Traverse.bfs_distances g pts.(0) in
+      !adjacent && len = dist.(pts.(len - 1)) + 1)
+
+let test_shortest_paths_reversible () =
+  let g = Graph.Builders.cycle 7 in
+  let f = Random_path.Family.shortest_paths g in
+  check_true "simple" (Random_path.Family.is_simple f);
+  check_true "reversible" (Random_path.Family.is_reversible f);
+  Alcotest.(check int) "n_paths = 2 * pairs" (7 * 6) (Random_path.Family.n_paths f)
+
+let test_shortest_paths_on_grid_matches_length () =
+  (* On a grid, canonical BFS paths are still shortest: lengths agree
+     with the monotone family's. *)
+  let f_bfs = Random_path.Family.shortest_paths (Graph.Builders.grid ~rows:4 ~cols:4) in
+  let f_grid = Random_path.Family.grid_shortest ~rows:4 ~cols:4 in
+  (* sum_u #P(u) = sum_h (len h - 1): with one shortest path per
+     ordered pair in the BFS family and two (column-first/row-first) in
+     the monotone grid family, and all shortest paths between a pair
+     having equal length, the grid total is exactly double. *)
+  let sum a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "grid total pass-throughs doubles the BFS family's"
+    (2 * sum (Random_path.Family.congestion f_bfs))
+    (sum (Random_path.Family.congestion f_grid))
+
+let test_shortest_paths_hypercube_regular () =
+  let f = Random_path.Family.shortest_paths (Graph.Builders.hypercube 3) in
+  (* The hypercube is vertex-transitive but canonical tie-breaking by
+     neighbour order introduces mild congestion skew; delta stays small. *)
+  check_true "delta modest" (Random_path.Family.delta_regularity f < 2.)
+
+let test_shortest_paths_validation () =
+  check_true "disconnected rejected"
+    (try
+       ignore (Random_path.Family.shortest_paths (Graph.Static.of_edges ~n:4 [ (0, 1) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_shortest_paths_flooding () =
+  let g = Graph.Builders.hypercube 4 in
+  let f = Random_path.Family.shortest_paths g in
+  let dyn = Random_path.Rp_model.make ~hold:0.5 ~n:16 ~family:f () in
+  match Core.Flooding.time ~cap:5000 ~rng:(rng_of_seed 9) ~source:0 dyn with
+  | Some _ -> ()
+  | None -> Alcotest.fail "BFS-family flooding on the hypercube did not complete"
+
+(* --- Rp_model --- *)
+
+let test_rp_points_in_range () =
+  let f = Random_path.Family.grid_shortest ~rows:4 ~cols:4 in
+  let dyn, observe = Random_path.Rp_model.make_observable ~n:10 ~family:f () in
+  Core.Dynamic.reset dyn (rng_of_seed 3);
+  for _ = 1 to 30 do
+    Core.Dynamic.step dyn;
+    Array.iter (fun p -> check_true "point in range" (p >= 0 && p < 16)) (observe ())
+  done
+
+let q_rp_edges_are_colocations =
+  qtest ~count:30 "snapshot edges = co-located pairs"
+    QCheck2.Gen.(pair seed_gen (int_range 2 12))
+    (fun (seed, n) ->
+      let f = Random_path.Family.grid_shortest ~rows:3 ~cols:4 in
+      let dyn, observe = Random_path.Rp_model.make_observable ~n ~family:f () in
+      Core.Dynamic.reset dyn (Prng.Rng.of_seed seed);
+      Core.Dynamic.step dyn;
+      let pts = observe () in
+      let expected = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if pts.(i) = pts.(j) then expected := (i, j) :: !expected
+        done
+      done;
+      Core.Dynamic.snapshot_edges dyn = List.sort compare !expected)
+
+let test_rp_point_init () =
+  let f = Random_path.Family.grid_shortest ~rows:4 ~cols:4 in
+  let dyn, observe =
+    Random_path.Rp_model.make_observable ~init:(Point 5) ~n:8 ~family:f ()
+  in
+  Core.Dynamic.reset dyn (rng_of_seed 4);
+  (* Fresh paths from point 5: after reset every node sits at position 1
+     of a path starting at 5, i.e. one hop from 5. *)
+  let g = Random_path.Family.graph f in
+  Array.iter
+    (fun p -> check_true "one hop from start point" (Graph.Static.mem_edge g 5 p))
+    (observe ())
+
+let test_rp_hold_validation () =
+  let f = Random_path.Family.grid_shortest ~rows:3 ~cols:3 in
+  check_true "hold >= 1 rejected"
+    (try
+       ignore (Random_path.Rp_model.make ~hold:1. ~n:4 ~family:f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_rp_parity_freeze_without_hold () =
+  (* The documented phenomenon that motivates ~hold: with hold = 0 on a
+     bipartite grid, two nodes whose initial points have different
+     colours never meet, so flooding cannot complete. *)
+  let f = Random_path.Family.grid_shortest ~rows:4 ~cols:4 in
+  let dyn, observe = Random_path.Rp_model.make_observable ~hold:0. ~n:12 ~family:f () in
+  Core.Dynamic.reset dyn (rng_of_seed 5);
+  let colour p =
+    let r, c = Graph.Builders.grid_coords ~cols:4 p in
+    (r + c) land 1
+  in
+  let parities0 = Array.map colour (observe ()) in
+  for t = 1 to 20 do
+    Core.Dynamic.step dyn;
+    let parities = Array.map colour (observe ()) in
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check int)
+          (Printf.sprintf "parity alternates (node %d, t %d)" i t)
+          ((parities0.(i) + t) land 1)
+          p)
+      parities
+  done
+
+let test_rp_flooding_completes_with_hold () =
+  let f = Random_path.Family.grid_shortest ~rows:4 ~cols:4 in
+  let dyn = Random_path.Rp_model.make ~hold:0.5 ~n:16 ~family:f () in
+  match Core.Flooding.time ~cap:5000 ~rng:(rng_of_seed 6) ~source:0 dyn with
+  | Some t -> check_true "completes reasonably fast" (t < 5000)
+  | None -> Alcotest.fail "lazy random-path flooding did not complete"
+
+let test_rp_stationary_init_spreads () =
+  (* Under the uniform stationary initialisation, points should cover a
+     decent part of the grid rather than cluster. *)
+  let f = Random_path.Family.grid_shortest ~rows:5 ~cols:5 in
+  let dyn, observe = Random_path.Rp_model.make_observable ~n:200 ~family:f () in
+  Core.Dynamic.reset dyn (rng_of_seed 7);
+  let distinct = List.length (List.sort_uniq compare (Array.to_list (observe ()))) in
+  check_true "covers most points" (distinct > 15)
+
+let test_random_walk_wrapper () =
+  let g = Graph.Builders.complete 8 in
+  let dyn = Random_path.Rp_model.random_walk ~n:8 g in
+  match Core.Flooding.time ~cap:5000 ~rng:(rng_of_seed 8) ~source:0 dyn with
+  | Some _ -> ()
+  | None -> Alcotest.fail "random walk flooding on K8 did not complete"
+
+let suites =
+  [
+    ( "random_path.family.explicit",
+      [
+        Alcotest.test_case "basics" `Quick test_explicit_basics;
+        Alcotest.test_case "validation" `Quick test_explicit_validation;
+        Alcotest.test_case "simple+reversible" `Quick test_explicit_checks;
+        Alcotest.test_case "not reversible" `Quick test_not_reversible;
+        Alcotest.test_case "not simple" `Quick test_not_simple;
+        Alcotest.test_case "closed trip simple" `Quick test_closed_trip_is_simple;
+        Alcotest.test_case "congestion" `Quick test_congestion_triangle;
+      ] );
+    ( "random_path.family.edges",
+      [
+        Alcotest.test_case "structure" `Quick test_edges_family_structure;
+        Alcotest.test_case "congestion = degree" `Quick test_edges_family_congestion_is_degree;
+        Alcotest.test_case "sampler start point" `Quick test_edges_family_sampler_starts_at_u;
+        q_edges_family_consistent;
+      ] );
+    ( "random_path.family.grid",
+      [
+        Alcotest.test_case "counts" `Quick test_grid_family_counts;
+        Alcotest.test_case "simple+reversible" `Quick test_grid_family_simple_reversible;
+        Alcotest.test_case "delta small" `Quick test_grid_family_delta_small;
+        Alcotest.test_case "sampler uniform" `Quick test_grid_sampler_uniform_destination;
+        q_grid_paths_valid;
+      ] );
+    ( "random_path.family.bfs",
+      [
+        Alcotest.test_case "reversible on cycle" `Quick test_shortest_paths_reversible;
+        Alcotest.test_case "grid pass-through parity" `Quick
+          test_shortest_paths_on_grid_matches_length;
+        Alcotest.test_case "hypercube regularity" `Quick test_shortest_paths_hypercube_regular;
+        Alcotest.test_case "validation" `Quick test_shortest_paths_validation;
+        Alcotest.test_case "flooding completes" `Quick test_shortest_paths_flooding;
+        q_shortest_paths_valid;
+      ] );
+    ( "random_path.model",
+      [
+        Alcotest.test_case "points in range" `Quick test_rp_points_in_range;
+        Alcotest.test_case "point init" `Quick test_rp_point_init;
+        Alcotest.test_case "hold validation" `Quick test_rp_hold_validation;
+        Alcotest.test_case "parity freeze without hold" `Quick
+          test_rp_parity_freeze_without_hold;
+        Alcotest.test_case "flooding completes with hold" `Quick
+          test_rp_flooding_completes_with_hold;
+        Alcotest.test_case "stationary init spreads" `Quick test_rp_stationary_init_spreads;
+        Alcotest.test_case "random walk wrapper" `Quick test_random_walk_wrapper;
+        q_rp_edges_are_colocations;
+      ] );
+  ]

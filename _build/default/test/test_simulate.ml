@@ -1,0 +1,140 @@
+open Helpers
+
+let test_registry_ids () =
+  let ids = List.map (fun (e : Simulate.Registry.experiment) -> e.id) Simulate.Registry.all in
+  Alcotest.(check int) "eighteen experiments" 18 (List.length ids);
+  Alcotest.(check (list string)) "ordered ids"
+    [
+      "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
+      "E14"; "E15"; "E16"; "E17"; "E18";
+    ]
+    ids;
+  check_true "ids unique" (List.length (List.sort_uniq compare ids) = 18)
+
+let test_registry_find () =
+  (match Simulate.Registry.find "e4" with
+  | Some e -> Alcotest.(check string) "case-insensitive find" "E4" e.id
+  | None -> Alcotest.fail "E4 not found");
+  check_true "unknown id" (Simulate.Registry.find "E99" = None)
+
+let test_registry_metadata () =
+  List.iter
+    (fun (e : Simulate.Registry.experiment) ->
+      check_true (e.id ^ " has a title") (String.length e.title > 10);
+      check_true (e.id ^ " has a claim") (String.length e.claim > 20))
+    Simulate.Registry.all
+
+let test_runner_pick_trials () =
+  Alcotest.(check int) "quick trials" 5 (Simulate.Runner.trials Simulate.Runner.Quick);
+  Alcotest.(check int) "full trials" 20 (Simulate.Runner.trials Simulate.Runner.Full);
+  Alcotest.(check int) "pick quick" 1 (Simulate.Runner.pick Simulate.Runner.Quick 1 2);
+  Alcotest.(check int) "pick full" 2 (Simulate.Runner.pick Simulate.Runner.Full 1 2)
+
+let test_runner_flood_complete_graph () =
+  let dyn = Core.Dynamic.of_static (Graph.Builders.complete 12) in
+  let s = Simulate.Runner.flood ~rng:(rng_of_seed 1) ~trials:4 dyn in
+  check_close "one step always" 1. s.mean;
+  check_close "no spread" 0. s.stddev;
+  check_true "not capped" (not s.capped)
+
+let test_runner_flood_capped () =
+  let dyn = Core.Dynamic.of_static (Graph.Static.of_edges ~n:3 [ (0, 1) ]) in
+  let s = Simulate.Runner.flood ~rng:(rng_of_seed 2) ~trials:2 ~cap:25 dyn in
+  check_true "capped flag set" s.capped;
+  check_close "mean is the cap" 25. s.mean
+
+let test_ratio_cell () =
+  (match Simulate.Runner.ratio_cell 5. 10. with
+  | Stats.Table.Fixed (v, 3) -> check_close ~eps:1e-12 "ratio" 0.5 v
+  | _ -> Alcotest.fail "expected fixed cell");
+  check_true "zero bound gives missing" (Simulate.Runner.ratio_cell 5. 0. = Stats.Table.Missing);
+  check_true "nan bound gives missing" (Simulate.Runner.ratio_cell 5. nan = Stats.Table.Missing)
+
+(* Run the two cheapest experiments end-to-end at Quick scale: checks
+   table structure and that bounds hold with the fixed seed. *)
+let test_e1_end_to_end () =
+  let tables =
+    (List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E1") Simulate.Registry.all).run
+      ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
+  in
+  Alcotest.(check int) "three tables" 3 (List.length tables);
+  let main = List.hd tables in
+  check_true "rows present" (Stats.Table.n_rows main > 0);
+  let ratios = Stats.Table.column_floats main "ratio" in
+  Array.iter (fun r -> check_true "Eq.2 ratio bounded" (r > 0.05 && r < 10.)) ratios
+
+let test_e5_end_to_end () =
+  let tables =
+    (List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E5") Simulate.Registry.all).run
+      ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
+  in
+  let t = List.hd tables in
+  Alcotest.(check int) "four rows" 4 (Stats.Table.n_rows t);
+  let deltas = Stats.Table.column_floats t "delta" in
+  Array.iter (fun d -> check_true "delta in a sane band" (d >= 1. && d < 5.)) deltas
+
+let test_run_one_prints () =
+  let e = List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E1") Simulate.Registry.all in
+  let tmp = Filename.temp_file "dyngraph" ".txt" in
+  let oc = open_out tmp in
+  let passed =
+    Simulate.Registry.run_one ~out:oc ~rng:(rng_of_seed 7) ~scale:Simulate.Runner.Quick e
+  in
+  close_out oc;
+  check_true "E1 checks pass" passed;
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove tmp;
+  check_true "wrote output" (len > 200)
+
+let test_slug () =
+  Alcotest.(check string) "basic" "hello-world" (Simulate.Export.slug "Hello, World!");
+  Alcotest.(check string) "collapses runs" "a-b-c" (Simulate.Export.slug "a  b--c");
+  Alcotest.(check string) "trims" "x" (Simulate.Export.slug "  x  ");
+  check_true "caps length" (String.length (Simulate.Export.slug (String.make 100 'a')) <= 48)
+
+let test_export_experiment () =
+  let dir = Filename.temp_file "dyngraph" "" in
+  Sys.remove dir;
+  let e = List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E1") Simulate.Registry.all in
+  let paths =
+    Simulate.Export.export_experiment ~dir ~rng:(rng_of_seed 5)
+      ~scale:Simulate.Runner.Quick e
+  in
+  Alcotest.(check int) "three csv files for E1" 3 (List.length paths);
+  List.iter
+    (fun p ->
+      check_true (p ^ " exists") (Sys.file_exists p);
+      let ic = open_in p in
+      let header = input_line ic in
+      close_in ic;
+      check_true "has a csv header" (String.contains header ','))
+    paths;
+  List.iter Sys.remove paths;
+  Sys.rmdir dir
+
+let suites =
+  [
+    ( "simulate.registry",
+      [
+        Alcotest.test_case "ids" `Quick test_registry_ids;
+        Alcotest.test_case "find" `Quick test_registry_find;
+        Alcotest.test_case "metadata" `Quick test_registry_metadata;
+      ] );
+    ( "simulate.runner",
+      [
+        Alcotest.test_case "pick/trials" `Quick test_runner_pick_trials;
+        Alcotest.test_case "flood complete graph" `Quick test_runner_flood_complete_graph;
+        Alcotest.test_case "flood capped" `Quick test_runner_flood_capped;
+        Alcotest.test_case "ratio cell" `Quick test_ratio_cell;
+      ] );
+    ( "simulate.experiments",
+      [
+        Alcotest.test_case "slug" `Quick test_slug;
+        Alcotest.test_case "export experiment" `Slow test_export_experiment;
+        Alcotest.test_case "E1 end to end" `Slow test_e1_end_to_end;
+        Alcotest.test_case "E5 end to end" `Slow test_e5_end_to_end;
+        Alcotest.test_case "run_one prints" `Slow test_run_one_prints;
+      ] );
+  ]

@@ -1,0 +1,364 @@
+open Helpers
+
+(* --- Summary --- *)
+
+let test_summary_known () =
+  let s = Stats.Summary.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Stats.Summary.mean s);
+  check_close ~eps:1e-9 "variance" (32. /. 7.) (Stats.Summary.variance s);
+  check_close "min" 2. (Stats.Summary.min s);
+  check_close "max" 9. (Stats.Summary.max s);
+  Alcotest.(check int) "count" 8 (Stats.Summary.count s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check_true "empty mean nan" (Float.is_nan (Stats.Summary.mean s));
+  check_true "empty variance nan" (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_single () =
+  let s = Stats.Summary.of_array [| 3. |] in
+  check_close "mean of single" 3. (Stats.Summary.mean s);
+  check_true "variance of single nan" (Float.is_nan (Stats.Summary.variance s))
+
+let q_merge_equals_concat =
+  qtest ~count:200 "merge a b = of_array (a @ b)"
+    QCheck2.Gen.(pair float_array_gen float_array_gen)
+    (fun (a, b) ->
+      let merged = Stats.Summary.merge (Stats.Summary.of_array a) (Stats.Summary.of_array b) in
+      let direct = Stats.Summary.of_array (Array.append a b) in
+      let close x y =
+        (Float.is_nan x && Float.is_nan y) || abs_float (x -. y) < 1e-6 *. (1. +. abs_float y)
+      in
+      Stats.Summary.count merged = Stats.Summary.count direct
+      && close (Stats.Summary.mean merged) (Stats.Summary.mean direct)
+      && close (Stats.Summary.variance merged) (Stats.Summary.variance direct)
+      && close (Stats.Summary.min merged) (Stats.Summary.min direct)
+      && close (Stats.Summary.max merged) (Stats.Summary.max direct))
+
+let test_merge_with_empty () =
+  let a = Stats.Summary.of_array [| 1.; 2.; 3. |] in
+  let e = Stats.Summary.create () in
+  let m = Stats.Summary.merge a e in
+  check_close "merge with empty keeps mean" 2. (Stats.Summary.mean m);
+  Alcotest.(check int) "merge with empty keeps count" 3 (Stats.Summary.count m)
+
+let test_std_error () =
+  let s = Stats.Summary.of_array [| 1.; 2.; 3.; 4. |] in
+  let expected = Stats.Summary.stddev s /. 2. in
+  check_close ~eps:1e-12 "std error" expected (Stats.Summary.std_error s);
+  check_close ~eps:1e-12 "ci95" (1.96 *. expected) (Stats.Summary.ci95_half_width s)
+
+(* --- Quantile --- *)
+
+let test_quantile_known () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_close "q0" 1. (Stats.Quantile.quantile xs 0.);
+  check_close "q1" 5. (Stats.Quantile.quantile xs 1.);
+  check_close "median" 3. (Stats.Quantile.median xs);
+  check_close "q25" 2. (Stats.Quantile.quantile xs 0.25);
+  check_close "interpolated" 1.5 (Stats.Quantile.quantile xs 0.125)
+
+let test_quantile_unsorted () =
+  check_close "median of unsorted" 3. (Stats.Quantile.median [| 5.; 1.; 3.; 2.; 4. |])
+
+let test_quantile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile: empty sample") (fun () ->
+      ignore (Stats.Quantile.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Quantile: q outside [0, 1]")
+    (fun () -> ignore (Stats.Quantile.quantile [| 1. |] 1.5))
+
+let test_iqr () = check_close "iqr" 2. (Stats.Quantile.iqr [| 1.; 2.; 3.; 4.; 5. |])
+
+let q_quantile_monotone =
+  qtest ~count:200 "quantile monotone in q"
+    QCheck2.Gen.(triple float_array_gen (float_range 0. 1.) (float_range 0. 1.))
+    (fun (xs, q1, q2) ->
+      Array.length xs = 0
+      ||
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.Quantile.quantile xs lo <= Stats.Quantile.quantile xs hi +. 1e-9)
+
+let q_quantile_bounds =
+  qtest ~count:200 "quantile within [min, max]"
+    QCheck2.Gen.(pair float_array_gen (float_range 0. 1.))
+    (fun (xs, q) ->
+      Array.length xs = 0
+      ||
+      let v = Stats.Quantile.quantile xs q in
+      let mn = Array.fold_left Float.min infinity xs in
+      let mx = Array.fold_left Float.max neg_infinity xs in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+(* --- Histogram --- *)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.5 ];
+  Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
+  check_close "weight bin 0" 1. (Stats.Histogram.weight h 0);
+  check_close "weight bin 1" 2. (Stats.Histogram.weight h 1);
+  check_close "weight bin 9" 1. (Stats.Histogram.weight h 9)
+
+let test_histogram_clamp () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 42.;
+  check_close "below clamps to first" 1. (Stats.Histogram.weight h 0);
+  check_close "above clamps to last" 1. (Stats.Histogram.weight h 3)
+
+let test_histogram_normalisation () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:2. ~bins:8 in
+  let rng = rng_of_seed 1 in
+  for _ = 1 to 1000 do
+    Stats.Histogram.add h (Prng.Rng.float rng 2.)
+  done;
+  let p_total = Array.fold_left ( +. ) 0. (Stats.Histogram.probability h) in
+  check_close ~eps:1e-9 "probability sums to 1" 1. p_total;
+  let bin_width = 2. /. 8. in
+  let d_total =
+    Array.fold_left ( +. ) 0. (Stats.Histogram.density h) *. bin_width
+  in
+  check_close ~eps:1e-9 "density integrates to 1" 1. d_total
+
+let test_histogram_bin_center () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  check_close "center of bin 0" 0.5 (Stats.Histogram.bin_center h 0);
+  check_close "center of bin 9" 9.5 (Stats.Histogram.bin_center h 9)
+
+(* --- Regression --- *)
+
+let test_ols_exact_line () =
+  let pts = List.map (fun x -> (x, (3. *. x) +. 1.)) [ 0.; 1.; 2.; 5.; 9. ] in
+  let f = Stats.Regression.ols pts in
+  check_close ~eps:1e-9 "slope" 3. f.slope;
+  check_close ~eps:1e-9 "intercept" 1. f.intercept;
+  check_close ~eps:1e-9 "r2 of exact fit" 1. f.r2;
+  check_close ~eps:1e-9 "predict" 31. (Stats.Regression.predict f 10.)
+
+let test_loglog_exponent () =
+  let pts = List.map (fun x -> (x, 2. *. (x ** 1.7))) [ 1.; 2.; 4.; 8.; 16. ] in
+  let f = Stats.Regression.loglog pts in
+  check_close ~eps:1e-9 "loglog slope recovers exponent" 1.7 f.slope;
+  check_close_rel ~rel:1e-6 "predict_loglog" (2. *. (32. ** 1.7))
+    (Stats.Regression.predict_loglog f 32.)
+
+let test_loglog_drops_nonpositive () =
+  let f = Stats.Regression.loglog [ (-1., 5.); (0., 2.); (1., 1.); (2., 2.); (4., 4.) ] in
+  Alcotest.(check int) "kept 3 points" 3 f.n
+
+let test_ols_errors () =
+  Alcotest.check_raises "too few" (Invalid_argument "Regression.ols: need at least two points")
+    (fun () -> ignore (Stats.Regression.ols [ (1., 1.) ]));
+  Alcotest.check_raises "degenerate x"
+    (Invalid_argument "Regression.ols: x values are all equal") (fun () ->
+      ignore (Stats.Regression.ols [ (1., 1.); (1., 2.) ]))
+
+(* --- Distance --- *)
+
+let test_tv_known () =
+  check_close "disjoint" 1. (Stats.Distance.total_variation [| 1.; 0. |] [| 0.; 1. |]);
+  check_close "equal" 0. (Stats.Distance.total_variation [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  check_close "half" 0.5 (Stats.Distance.total_variation [| 1.; 0. |] [| 0.5; 0.5 |])
+
+let q_tv_axioms =
+  qtest ~count:200 "TV symmetric, in [0,1], zero iff equal"
+    QCheck2.Gen.(triple seed_gen seed_gen (int_range 1 20))
+    (fun (s1, s2, len) ->
+      let p = prob_vector s1 len and q = prob_vector s2 len in
+      let d = Stats.Distance.total_variation p q in
+      let d' = Stats.Distance.total_variation q p in
+      abs_float (d -. d') < 1e-12
+      && d >= 0. && d <= 1. +. 1e-12
+      && abs_float (Stats.Distance.total_variation p p) < 1e-12)
+
+let test_kolmogorov () =
+  check_close "ks disjoint" 1. (Stats.Distance.kolmogorov [| 1.; 0. |] [| 0.; 1. |]);
+  check_close ~eps:1e-12 "ks shifted" 0.25
+    (Stats.Distance.kolmogorov [| 0.5; 0.5; 0. |] [| 0.25; 0.5; 0.25 |])
+
+let test_l2_chi2 () =
+  check_close ~eps:1e-12 "l2" (sqrt 0.02) (Stats.Distance.l2 [| 0.6; 0.4 |] [| 0.5; 0.5 |]);
+  check_close ~eps:1e-12 "chi2" 0.04 (Stats.Distance.chi_square [| 0.6; 0.4 |] [| 0.5; 0.5 |])
+
+let test_normalize () =
+  let p = Stats.Distance.normalize [| 1.; 3. |] in
+  check_close "normalize" 0.25 p.(0);
+  Alcotest.check_raises "zero total" (Invalid_argument "Distance.normalize: zero total")
+    (fun () -> ignore (Stats.Distance.normalize [| 0.; 0. |]))
+
+(* --- Bootstrap --- *)
+
+let test_bootstrap_constant () =
+  let rng = rng_of_seed 2 in
+  let iv = Stats.Bootstrap.ci_mean ~rng [| 5.; 5.; 5.; 5. |] in
+  check_close "constant point" 5. iv.point;
+  check_close "constant lo" 5. iv.lo;
+  check_close "constant hi" 5. iv.hi
+
+let test_bootstrap_ordering () =
+  let rng = rng_of_seed 3 in
+  let xs = Array.init 50 (fun i -> float_of_int (i mod 7)) in
+  let iv = Stats.Bootstrap.ci_mean ~rng xs in
+  check_true "lo <= point" (iv.lo <= iv.point +. 1e-9);
+  check_true "point <= hi" (iv.point <= iv.hi +. 1e-9)
+
+let test_bootstrap_narrows () =
+  let rng = rng_of_seed 4 in
+  let noisy n =
+    let r = rng_of_seed 99 in
+    Array.init n (fun _ -> Prng.Rng.gaussian r)
+  in
+  let small = Stats.Bootstrap.ci_mean ~rng (noisy 10) in
+  let large = Stats.Bootstrap.ci_mean ~rng (noisy 1000) in
+  check_true "larger sample narrows CI" (large.hi -. large.lo < small.hi -. small.lo)
+
+(* --- Compare --- *)
+
+let test_welch_identical () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  let r = Stats.Compare.welch a (Array.copy a) in
+  check_true "identical samples indistinguishable" (r.verdict = Stats.Compare.Indistinguishable);
+  check_close "zero t" 0. r.t_statistic
+
+let test_welch_clear_difference () =
+  let rng = rng_of_seed 40 in
+  let a = Array.init 40 (fun _ -> 10. +. Prng.Rng.gaussian rng) in
+  let b = Array.init 40 (fun _ -> 20. +. Prng.Rng.gaussian rng) in
+  let r = Stats.Compare.welch a b in
+  check_true "a smaller" (r.verdict = Stats.Compare.A_smaller);
+  check_true "negative mean difference" (r.mean_difference < 0.);
+  let r' = Stats.Compare.welch b a in
+  check_true "b smaller when swapped" (r'.verdict = Stats.Compare.B_smaller)
+
+let test_welch_noise_indistinguishable () =
+  let rng = rng_of_seed 41 in
+  let a = Array.init 30 (fun _ -> Prng.Rng.gaussian rng) in
+  let b = Array.init 30 (fun _ -> Prng.Rng.gaussian rng) in
+  check_true "same distribution indistinguishable" (Stats.Compare.equivalent a b)
+
+let test_welch_constant_samples () =
+  let r = Stats.Compare.welch [| 3.; 3.; 3. |] [| 3.; 3. |] in
+  check_true "equal constants" (r.verdict = Stats.Compare.Indistinguishable);
+  let r' = Stats.Compare.welch [| 3.; 3. |] [| 4.; 4. |] in
+  check_true "different constants" (r'.verdict = Stats.Compare.A_smaller)
+
+let test_welch_validation () =
+  check_true "too small rejected"
+    (try
+       ignore (Stats.Compare.welch [| 1. |] [| 1.; 2. |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Stats.Table.add_row t [ Int 1; Text "x" ];
+  Stats.Table.add_row t [ Int 23; Text "yy" ];
+  let s = Stats.Table.render t in
+  check_true "title present" (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check int) "rows" 2 (Stats.Table.n_rows t)
+
+let test_table_arity () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  check_true "arity mismatch raises"
+    (try
+       Stats.Table.add_row t [ Int 1 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_csv () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "text" ] in
+  Stats.Table.add_row t [ Int 1; Text "hello, world" ];
+  let csv = Stats.Table.to_csv t in
+  check_true "header line" (String.length csv >= 6 && String.sub csv 0 6 = "a,text");
+  check_true "quoted comma field"
+    (String.length csv > 0
+    && String.split_on_char '\n' csv |> fun lines ->
+       List.exists (fun l -> l = "1,\"hello, world\"") lines)
+
+let test_table_column_floats () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "x"; "label" ] in
+  Stats.Table.add_row t [ Float 1.5; Text "a" ];
+  Stats.Table.add_row t [ Int 2; Text "b" ];
+  Stats.Table.add_row t [ Missing; Text "c" ];
+  let xs = Stats.Table.column_floats t "x" in
+  Alcotest.(check int) "two numeric cells" 2 (Array.length xs);
+  check_close "first" 1.5 xs.(0);
+  check_true "unknown column raises"
+    (try
+       ignore (Stats.Table.column_floats t "nope");
+       false
+     with Not_found -> true)
+
+let test_cell_to_string () =
+  Alcotest.(check string) "int" "7" (Stats.Table.cell_to_string (Int 7));
+  Alcotest.(check string) "fixed" "3.14" (Stats.Table.cell_to_string (Fixed (3.14159, 2)));
+  Alcotest.(check string) "missing" "-" (Stats.Table.cell_to_string Missing);
+  Alcotest.(check string) "whole float" "12" (Stats.Table.cell_to_string (Float 12.))
+
+let suites =
+  [
+    ( "stats.summary",
+      [
+        Alcotest.test_case "known values" `Quick test_summary_known;
+        Alcotest.test_case "empty" `Quick test_summary_empty;
+        Alcotest.test_case "single" `Quick test_summary_single;
+        Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+        Alcotest.test_case "std error" `Quick test_std_error;
+        q_merge_equals_concat;
+      ] );
+    ( "stats.quantile",
+      [
+        Alcotest.test_case "known values" `Quick test_quantile_known;
+        Alcotest.test_case "unsorted input" `Quick test_quantile_unsorted;
+        Alcotest.test_case "errors" `Quick test_quantile_errors;
+        Alcotest.test_case "iqr" `Quick test_iqr;
+        q_quantile_monotone;
+        q_quantile_bounds;
+      ] );
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "basic" `Quick test_histogram_basic;
+        Alcotest.test_case "clamping" `Quick test_histogram_clamp;
+        Alcotest.test_case "normalisation" `Quick test_histogram_normalisation;
+        Alcotest.test_case "bin centers" `Quick test_histogram_bin_center;
+      ] );
+    ( "stats.regression",
+      [
+        Alcotest.test_case "exact line" `Quick test_ols_exact_line;
+        Alcotest.test_case "loglog exponent" `Quick test_loglog_exponent;
+        Alcotest.test_case "loglog drops nonpositive" `Quick test_loglog_drops_nonpositive;
+        Alcotest.test_case "errors" `Quick test_ols_errors;
+      ] );
+    ( "stats.distance",
+      [
+        Alcotest.test_case "tv known" `Quick test_tv_known;
+        Alcotest.test_case "kolmogorov" `Quick test_kolmogorov;
+        Alcotest.test_case "l2 chi2" `Quick test_l2_chi2;
+        Alcotest.test_case "normalize" `Quick test_normalize;
+        q_tv_axioms;
+      ] );
+    ( "stats.bootstrap",
+      [
+        Alcotest.test_case "constant data" `Quick test_bootstrap_constant;
+        Alcotest.test_case "ordering" `Quick test_bootstrap_ordering;
+        Alcotest.test_case "narrows with n" `Quick test_bootstrap_narrows;
+      ] );
+    ( "stats.compare",
+      [
+        Alcotest.test_case "identical" `Quick test_welch_identical;
+        Alcotest.test_case "clear difference" `Quick test_welch_clear_difference;
+        Alcotest.test_case "noise indistinguishable" `Quick test_welch_noise_indistinguishable;
+        Alcotest.test_case "constant samples" `Quick test_welch_constant_samples;
+        Alcotest.test_case "validation" `Quick test_welch_validation;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "arity check" `Quick test_table_arity;
+        Alcotest.test_case "csv" `Quick test_table_csv;
+        Alcotest.test_case "column floats" `Quick test_table_column_floats;
+        Alcotest.test_case "cell rendering" `Quick test_cell_to_string;
+      ] );
+  ]

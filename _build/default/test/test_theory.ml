@@ -1,0 +1,148 @@
+open Helpers
+
+let test_theorem1_monotonicity () =
+  let base = Theory.Bounds.theorem1 ~m:10. ~alpha:0.1 ~beta:1. ~n:100 in
+  check_true "decreasing in alpha"
+    (Theory.Bounds.theorem1 ~m:10. ~alpha:0.2 ~beta:1. ~n:100 < base);
+  check_true "increasing in beta"
+    (Theory.Bounds.theorem1 ~m:10. ~alpha:0.1 ~beta:2. ~n:100 > base);
+  check_close ~eps:1e-9 "linear in m" (2. *. base)
+    (Theory.Bounds.theorem1 ~m:20. ~alpha:0.1 ~beta:1. ~n:100)
+
+let test_theorem1_value () =
+  (* n=e^2 ~ not integral; use explicit arithmetic instead: n=100,
+     alpha=1/100, beta=1 -> (1/(100*0.01)+1)^2 = 4; log^2(100). *)
+  let expected = 4. *. (log 100. ** 2.) in
+  check_close ~eps:1e-9 "hand value" expected
+    (Theory.Bounds.theorem1 ~m:1. ~alpha:0.01 ~beta:1. ~n:100)
+
+let test_theorem3_value () =
+  let expected = 9. *. (log 100. ** 3.) in
+  check_close ~eps:1e-9 "hand value" expected
+    (Theory.Bounds.theorem3 ~t_mix:1. ~p_nm:0.02 ~eta:2.5 ~n:100)
+
+let test_eq2_properties () =
+  (* log n / log(1+np): increasing in n at fixed c = np requires care;
+     at fixed p it decreases as... check simple relations instead. *)
+  let b1 = Theory.Bounds.edge_meg_eq2 ~n:100 ~p:0.04 in
+  check_close ~eps:1e-9 "hand value" (log 100. /. log 5.) b1;
+  check_true "denser is faster"
+    (Theory.Bounds.edge_meg_eq2 ~n:100 ~p:0.1 < b1)
+
+let test_edge_meg_general_value () =
+  let n = 100 and p = 0.01 and q = 0.99 in
+  let expected = 1. /. 1. *. (((1. /. 1.) +. 1.) ** 2.) *. (log 100. ** 2.) in
+  check_close ~eps:1e-9 "hand value" expected (Theory.Bounds.edge_meg_general ~n ~p ~q)
+
+let test_corollary4_terms () =
+  (* With delta = lambda = 1 (perfectly uniform), vol = L^2, d = 2:
+     bound = t_mix (L^2/(n r^2) + 1)^2 log^3 n — the waypoint formula
+     with t_mix = L/v. *)
+  let l = 10. and r = 2. and n = 50 in
+  let via_cor4 =
+    Theory.Bounds.corollary4 ~t_mix:(l /. 1.) ~delta:1. ~lambda:1. ~vol:(l *. l) ~r ~d:2 ~n
+  in
+  let via_waypoint = Theory.Bounds.waypoint ~l ~v_max:1. ~r ~n in
+  check_close ~eps:1e-9 "corollary 4 specialises to waypoint formula" via_waypoint via_cor4
+
+let test_corollary5_vs_6 () =
+  (* Corollary 6 has delta^2|V|/n + delta^7 vs 5's |V|/n + delta^3: for
+     delta = 1 they coincide. *)
+  let c5 = Theory.Bounds.corollary5 ~t_mix:3. ~n_points:100 ~delta:1. ~n:50 in
+  let c6 = Theory.Bounds.corollary6 ~t_mix:3. ~n_points:100 ~delta:1. ~n:50 in
+  check_close ~eps:1e-9 "coincide at delta=1" c5 c6;
+  check_true "cor 6 more sensitive to delta"
+    (Theory.Bounds.corollary6 ~t_mix:3. ~n_points:100 ~delta:2. ~n:50
+    > Theory.Bounds.corollary5 ~t_mix:3. ~n_points:100 ~delta:2. ~n:50)
+
+let test_baseline_and_lower () =
+  check_close ~eps:1e-9 "baseline" (100. *. log 50.)
+    (Theory.Bounds.dimitriou_baseline ~meeting_time:100. ~n:50);
+  check_close ~eps:1e-9 "diameter lower" 7. (Theory.Bounds.lower_bound_diameter 7);
+  check_close ~eps:1e-9 "speed lower" 5. (Theory.Bounds.lower_bound_speed ~l:10. ~v:2.);
+  check_close ~eps:1e-9 "propagation lower" 2.5
+    (Theory.Bounds.lower_bound_propagation ~l:10. ~r:2. ~v:2.)
+
+let test_log_powers () =
+  check_close ~eps:1e-12 "log2n" (log 100. ** 2.) (Theory.Bounds.log2n 100);
+  check_close ~eps:1e-12 "log3n" (log 100. ** 3.) (Theory.Bounds.log3n 100)
+
+let q_bounds_positive =
+  qtest ~count:100 "all bounds positive on sane inputs"
+    QCheck2.Gen.(triple (int_range 2 10_000) (float_range 0.001 1.) (float_range 1. 10.))
+    (fun (n, alpha, beta) ->
+      Theory.Bounds.theorem1 ~m:1. ~alpha ~beta ~n > 0.
+      && Theory.Bounds.theorem3 ~t_mix:1. ~p_nm:alpha ~eta:beta ~n > 0.
+      && Theory.Bounds.edge_meg_eq2 ~n ~p:alpha > 0.)
+
+(* --- Iid_flooding --- *)
+
+let test_iid_join_probability () =
+  check_close ~eps:1e-12 "k=1" 0.3 (Theory.Iid_flooding.join_probability ~alpha:0.3 ~informed:1);
+  check_close ~eps:1e-12 "k=2" 0.51 (Theory.Iid_flooding.join_probability ~alpha:0.3 ~informed:2);
+  check_close ~eps:1e-12 "alpha=1" 1. (Theory.Iid_flooding.join_probability ~alpha:1. ~informed:1)
+
+let test_iid_step_distribution_sums () =
+  let dist = Theory.Iid_flooding.step_distribution ~n:20 ~alpha:0.15 ~informed:7 in
+  check_close ~eps:1e-9 "distribution sums to 1" 1. (Array.fold_left ( +. ) 0. dist);
+  for j = 0 to 6 do
+    check_close "no mass below k" 0. dist.(j)
+  done
+
+let test_iid_expected_time_two_nodes () =
+  (* n = 2: the single missing node joins with probability alpha per
+     step, so expected time = 1/alpha exactly (geometric). *)
+  check_close ~eps:1e-9 "1/alpha" 4. (Theory.Iid_flooding.expected_time ~n:2 ~alpha:0.25);
+  check_close ~eps:1e-9 "alpha=1 instant" 1. (Theory.Iid_flooding.expected_time ~n:2 ~alpha:1.)
+
+let test_iid_expected_time_complete () =
+  (* alpha = 1: every snapshot is K_n, flooding takes exactly 1 step. *)
+  check_close ~eps:1e-9 "K_n one step" 1. (Theory.Iid_flooding.expected_time ~n:50 ~alpha:1.)
+
+let test_iid_expected_time_monotone () =
+  let t1 = Theory.Iid_flooding.expected_time ~n:64 ~alpha:0.02 in
+  let t2 = Theory.Iid_flooding.expected_time ~n:64 ~alpha:0.08 in
+  check_true "denser is faster" (t2 < t1);
+  check_true "alpha 0 never floods"
+    (Theory.Iid_flooding.expected_time ~n:3 ~alpha:0. = infinity)
+
+let test_iid_from_full () =
+  check_close "already done" 0. (Theory.Iid_flooding.expected_time_from ~n:10 ~alpha:0.3 ~informed:10)
+
+let test_iid_matches_simulation () =
+  (* The anchor test: edge-MEG with p + q = 1 has i.i.d. G(n, p)
+     snapshots, so measured flooding must match the exact expectation. *)
+  let n = 64 in
+  let alpha = 3. /. float_of_int n in
+  let exact = Theory.Iid_flooding.expected_time ~n ~alpha in
+  let dyn = Edge_meg.Classic.make ~n ~p:alpha ~q:(1. -. alpha) () in
+  let s = Core.Flooding.mean_time ~rng:(rng_of_seed 60) ~trials:300 dyn in
+  check_close_rel ~rel:0.05 "simulation matches exact expectation" exact
+    (Stats.Summary.mean s)
+
+let suites =
+  [
+    ( "theory.iid_flooding",
+      [
+        Alcotest.test_case "join probability" `Quick test_iid_join_probability;
+        Alcotest.test_case "step distribution" `Quick test_iid_step_distribution_sums;
+        Alcotest.test_case "two nodes geometric" `Quick test_iid_expected_time_two_nodes;
+        Alcotest.test_case "complete graph" `Quick test_iid_expected_time_complete;
+        Alcotest.test_case "monotone in alpha" `Quick test_iid_expected_time_monotone;
+        Alcotest.test_case "from full set" `Quick test_iid_from_full;
+        Alcotest.test_case "matches simulation (anchor)" `Quick test_iid_matches_simulation;
+      ] );
+    ( "theory",
+      [
+        Alcotest.test_case "theorem 1 monotone" `Quick test_theorem1_monotonicity;
+        Alcotest.test_case "theorem 1 value" `Quick test_theorem1_value;
+        Alcotest.test_case "theorem 3 value" `Quick test_theorem3_value;
+        Alcotest.test_case "eq 2 properties" `Quick test_eq2_properties;
+        Alcotest.test_case "edge-MEG general value" `Quick test_edge_meg_general_value;
+        Alcotest.test_case "corollary 4 specialisation" `Quick test_corollary4_terms;
+        Alcotest.test_case "corollary 5 vs 6" `Quick test_corollary5_vs_6;
+        Alcotest.test_case "baseline and lower bounds" `Quick test_baseline_and_lower;
+        Alcotest.test_case "log powers" `Quick test_log_powers;
+        q_bounds_positive;
+      ] );
+  ]
