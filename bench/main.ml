@@ -18,11 +18,22 @@ let scale () =
   let full = Array.exists (( = ) "--full") Sys.argv || String.lowercase_ascii env = "full" in
   if full then Simulate.Runner.Full else Simulate.Runner.Quick
 
+(* --jobs N on the command line, falling back to DYNGRAPH_JOBS. *)
+let sched () =
+  let rec from_argv i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else from_argv (i + 1)
+  in
+  match from_argv 1 with Some w -> Exec.of_int w | None -> Exec.default ()
+
 let claim_tables () =
   let rng = Prng.Rng.of_seed 42 in
-  Printf.printf "==== Claim-reproduction tables (%s scale, seed 42) ====\n\n"
-    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick");
-  let all_passed = Simulate.Registry.run_all ~rng ~scale:(scale ()) () in
+  let sched = sched () in
+  Printf.printf "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s)) ====\n\n"
+    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick")
+    (Exec.workers sched);
+  let all_passed = Simulate.Registry.run_all ~sched ~rng ~scale:(scale ()) () in
   if not all_passed then print_endline "WARNING: some reproduction checks failed"
 
 (* --- micro-benchmarks --- *)

@@ -3,20 +3,38 @@
    dyngraph list                 enumerate experiments
    dyngraph run E6 --seed 7      run one experiment
    dyngraph run all --full       run everything at paper scale
+   dyngraph run all --jobs 8     same tables, computed on 8 worker domains
    dyngraph csv E1               emit the tables of one experiment as CSV *)
 
 open Cmdliner
 
 let seed_arg =
-  let doc = "PRNG seed; runs are bit-reproducible per seed." in
+  let doc =
+    "PRNG seed; runs are bit-reproducible per seed (and per seed only: the \
+     worker count never changes a result)."
+  in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let full_arg =
   let doc = "Run at paper scale (larger sweeps, more trials)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for the execution engine. 1 (the default) runs \
+     sequentially; N runs independent trials and experiments on a pool of N \
+     domains, producing byte-identical output for every N."
+  in
+  let env = Cmd.Env.info "DYNGRAPH_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~env ~docv:"N" ~doc)
+
 let id_arg =
-  let doc = "Experiment id (E1 .. E12) or 'all'." in
+  (* Derived from the registry so the range can never go stale again. *)
+  let doc =
+    let ids = List.map (fun (e : Simulate.Registry.experiment) -> e.id) Simulate.Registry.all in
+    Printf.sprintf "Experiment id (%s .. %s) or 'all'." (List.hd ids)
+      (List.nth ids (List.length ids - 1))
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
 
 let scale_of_full full = if full then Simulate.Runner.Full else Simulate.Runner.Quick
@@ -36,49 +54,43 @@ let resolve id =
   | None -> Error (Printf.sprintf "unknown experiment %S (try 'list')" id)
 
 let run_cmd =
-  let run id seed full =
+  let run id seed full jobs =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
+    let sched = Exec.of_int jobs in
     if String.lowercase_ascii id = "all" then begin
-      let ok = Simulate.Registry.run_all ~rng ~scale () in
+      let ok = Simulate.Registry.run_all ~sched ~rng ~scale () in
       if ok then Ok () else Error "some reproduction checks failed"
     end
     else
       match resolve id with
       | Ok e ->
-          let ok = Simulate.Registry.run_one ~rng ~scale e in
+          let ok = Simulate.Registry.run_one ~sched ~rng ~scale e in
           if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
       | Error m -> Error m
   in
-  let term = Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg)) in
+  let term =
+    Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg))
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an experiment, print its tables and scorecard")
     term
 
 let verify_cmd =
-  let run seed full =
+  let run seed full jobs =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
-    (* Run everything but only print the scorecards and the summary. *)
-    let results =
-      List.map
-        (fun (e : Simulate.Registry.experiment) ->
-          let tables = e.run ~rng:(Prng.Rng.split rng) ~scale in
-          let checks = e.assess tables in
-          print_string
-            (Stats.Table.render (Simulate.Assess.render ~title:(e.id ^ " scorecard") checks));
-          print_newline ();
-          Simulate.Assess.all_passed checks)
-        Simulate.Registry.all
-    in
-    let failed = List.length (List.filter not results) in
+    let sched = Exec.of_int jobs in
+    (* Shares Registry.run_each with `run all`: same substream per
+       experiment, so these scorecards match `run all --seed N` exactly. *)
+    let failed = Simulate.Registry.verify ~sched ~rng ~scale () in
     if failed = 0 then begin
       print_endline "all reproduction checks passed";
       Ok ()
     end
     else Error (Printf.sprintf "%d experiment(s) with failing checks" failed)
   in
-  let term = Term.(term_result' (const run $ seed_arg $ full_arg)) in
+  let term = Term.(term_result' (const run $ seed_arg $ full_arg $ jobs_arg)) in
   Cmd.v (Cmd.info "verify" ~doc:"Run all experiments, print only the scorecards") term
 
 let outdir_arg =
@@ -86,12 +98,13 @@ let outdir_arg =
   Arg.(value & opt (some string) None & info [ "outdir" ] ~docv:"DIR" ~doc)
 
 let csv_cmd =
-  let run id seed full outdir =
+  let run id seed full jobs outdir =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
+    let sched = Exec.of_int jobs in
     match (String.lowercase_ascii id, outdir) with
     | "all", Some dir ->
-        let paths = Simulate.Export.export_all ~dir ~rng ~scale () in
+        let paths = Simulate.Export.export_all ~sched ~dir ~rng ~scale () in
         List.iter print_endline paths;
         Ok ()
     | "all", None -> Error "csv all requires --outdir"
@@ -101,15 +114,18 @@ let csv_cmd =
         | Ok e -> (
             match outdir with
             | Some dir ->
-                let paths = Simulate.Export.export_experiment ~dir ~rng ~scale e in
+                let paths = Simulate.Export.export_experiment ~sched ~dir ~rng ~scale e in
                 List.iter print_endline paths;
                 Ok ()
             | None ->
-                let tables = e.run ~rng ~scale in
+                let tables = e.run ~sched ~rng ~scale in
                 List.iter (fun t -> print_string (Stats.Table.to_csv t)) tables;
                 Ok ()))
   in
-  let term = Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg $ outdir_arg)) in
+  let term =
+    Term.(
+      term_result' (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ outdir_arg))
+  in
   Cmd.v (Cmd.info "csv" ~doc:"Run experiments and emit CSV (stdout or --outdir)") term
 
 let bounds_cmd =

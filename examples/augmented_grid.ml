@@ -34,7 +34,7 @@ let () =
       let meeting =
         Markov.Walk.mean_meeting_time ~rng:(Prng.Rng.split rng) ~trials:30 h
       in
-      let walkers = Random_path.Rp_model.random_walk ~n h in
+      let walkers () = Random_path.Rp_model.random_walk ~n h in
       let flood = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials:10 walkers in
       Stats.Table.add_row table
         [

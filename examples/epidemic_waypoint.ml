@@ -67,7 +67,7 @@ let () =
       let s =
         Core.Flooding.mean_time ~cap
           ~protocol:(Core.Flooding.Parsimonious k)
-          ~rng:(Prng.Rng.split rng) ~trials:10 (park ())
+          ~rng:(Prng.Rng.split rng) ~trials:10 park
       in
       if Stats.Summary.max s >= float_of_int cap then
         Printf.printf

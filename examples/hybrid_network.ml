@@ -47,7 +47,7 @@ let () =
     Stats.Table.create ~title:"flooding with hybrid overlays"
       ~columns:[ "overlay"; "flood mean"; "flood sd"; "speedup vs none" ]
   in
-  let base = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials (manet ()) in
+  let base = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials manet in
   let base_mean = Stats.Summary.mean base in
   let add name dyn =
     let s = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials dyn in
@@ -65,10 +65,10 @@ let () =
     (fun k ->
       add
         (Printf.sprintf "%d static relay links" k)
-        (Core.Dynamic.union (manet ()) (backbone k (1000 + k)));
+        (fun () -> Core.Dynamic.union (manet ()) (backbone k (1000 + k)));
       add
         (Printf.sprintf "flaky overlay, ~%d links" k)
-        (Core.Dynamic.union (manet ()) (flaky_overlay k)))
+        (fun () -> Core.Dynamic.union (manet ()) (flaky_overlay k)))
     [ 5; 20 ];
   print_string (Stats.Table.render table);
   Printf.printf

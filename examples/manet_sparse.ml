@@ -55,7 +55,7 @@ let () =
           Core.Dynamic.step manet
         done
       done;
-      let flood = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials:10 manet in
+      let flood = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials:10 (fun () -> manet) in
       let floor = Theory.Bounds.lower_bound_propagation ~l ~r ~v:(1.25 *. v) in
       Stats.Table.add_row table
         [

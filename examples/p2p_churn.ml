@@ -41,7 +41,7 @@ let () =
       (* Stationary degree = alpha (n-1); alpha = p/(p+q). *)
       let alpha = avg_degree /. float_of_int (n - 1) in
       let p = q *. alpha /. (1. -. alpha) in
-      let overlay = Edge_meg.Classic.make ~n ~p ~q () in
+      let overlay () = Edge_meg.Classic.make ~n ~p ~q () in
       let s = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials overlay in
       Stats.Table.add_row table1
         [
@@ -64,7 +64,7 @@ let () =
       ~columns:[ "link model"; "T_mix"; "rounds mean"; "rounds sd" ]
   in
   let add_general name chain chi =
-    let overlay = Edge_meg.General.make ~n:48 ~chain ~chi () in
+    let overlay () = Edge_meg.General.make ~n:48 ~chain ~chi () in
     let s = Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials overlay in
     let t_mix =
       match Markov.Chain.mixing_time chain with Some t -> t | None -> -1
@@ -92,14 +92,14 @@ let () =
   in
   let overlay () = Edge_meg.Classic.make ~n ~p:(2. /. float_of_int n) ~q:0.3 () in
   let full =
-    Stats.Summary.mean (Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials (overlay ()))
+    Stats.Summary.mean (Core.Flooding.mean_time ~rng:(Prng.Rng.split rng) ~trials overlay)
   in
   List.iter
     (fun p_fwd ->
       let s =
         Core.Flooding.mean_time
           ~protocol:(Core.Flooding.Push p_fwd)
-          ~rng:(Prng.Rng.split rng) ~trials (overlay ())
+          ~rng:(Prng.Rng.split rng) ~trials overlay
       in
       Stats.Table.add_row table3
         [ Float p_fwd; Float (Stats.Summary.mean s); Fixed (Stats.Summary.mean s /. full, 2) ])

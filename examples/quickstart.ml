@@ -24,8 +24,10 @@ let () =
   Printf.printf "informed nodes per step: %s\n"
     (String.concat " " (Array.to_list (Array.map string_of_int result.trajectory)));
 
-  (* 3. Average over independent trials. *)
-  let summary = Core.Flooding.mean_time ~rng ~trials:20 network in
+  (* 3. Average over independent trials. The builder makes a fresh
+     model per trial, so trials are independent jobs — pass
+     [~sched:(Exec.pool 4)] to run them on worker domains. *)
+  let summary = Core.Flooding.mean_time ~rng ~trials:20 (fun () -> network) in
   Printf.printf "over 20 trials: %s\n" (Stats.Summary.to_string summary);
 
   (* 4. Compare with the almost-tight bound of [10] (paper Eq. 2) and

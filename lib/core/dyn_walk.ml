@@ -46,29 +46,25 @@ let cover_time ?cap ?hold ~rng ~start g =
       !n_visited = n)
     g
 
-let averaged ?cap ?hold ~rng ~trials g one =
+let averaged ?cap ?hold ?(sched = Exec.sequential) ~rng ~trials build one =
   if trials < 1 then invalid_arg "Dyn_walk: trials must be >= 1";
-  let n = Dynamic.n g in
-  let cap_value = match cap with Some c -> c | None -> default_cap n in
-  let acc = ref 0. in
-  for i = 0 to trials - 1 do
-    let trial_rng = Prng.Rng.substream rng i in
-    let t =
-      match one ~cap:cap_value ?hold ~rng:trial_rng g with
-      | Some t -> t
-      | None -> cap_value
-    in
-    acc := !acc +. float_of_int t
-  done;
-  !acc /. float_of_int trials
+  let rngs = Array.init trials (Prng.Rng.substream rng) in
+  let job i =
+    let g = build () in
+    let cap_value = match cap with Some c -> c | None -> default_cap (Dynamic.n g) in
+    match one ~cap:cap_value ?hold ~rng:rngs.(i) g with
+    | Some t -> float_of_int t
+    | None -> float_of_int cap_value
+  in
+  let reduce times = Array.fold_left ( +. ) 0. times /. float_of_int trials in
+  Exec.run sched (Exec.plan ~jobs:trials ~job ~reduce)
 
-let mean_hitting_time ?cap ?hold ~rng ~trials g =
-  let n = Dynamic.n g in
-  averaged ?cap ?hold ~rng ~trials g (fun ~cap ?hold ~rng g ->
+let mean_hitting_time ?cap ?hold ?sched ~rng ~trials build =
+  averaged ?cap ?hold ?sched ~rng ~trials build (fun ~cap ?hold ~rng g ->
+      let n = Dynamic.n g in
       let start = Prng.Rng.int rng n and target = Prng.Rng.int rng n in
       hitting_time ~cap ?hold ~rng ~start ~target g)
 
-let mean_cover_time ?cap ?hold ~rng ~trials g =
-  let n = Dynamic.n g in
-  averaged ?cap ?hold ~rng ~trials g (fun ~cap ?hold ~rng g ->
-      cover_time ~cap ?hold ~rng ~start:(Prng.Rng.int rng n) g)
+let mean_cover_time ?cap ?hold ?sched ~rng ~trials build =
+  averaged ?cap ?hold ?sched ~rng ~trials build (fun ~cap ?hold ~rng g ->
+      cover_time ~cap ?hold ~rng ~start:(Prng.Rng.int rng (Dynamic.n g)) g)

@@ -22,10 +22,26 @@ val cover_time :
 (** Steps for the walk to visit every node at least once. *)
 
 val mean_hitting_time :
-  ?cap:int -> ?hold:float -> rng:Prng.Rng.t -> trials:int -> Dynamic.t -> float
+  ?cap:int ->
+  ?hold:float ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  trials:int ->
+  (unit -> Dynamic.t) ->
+  float
 (** Average over [trials] runs with uniformly random (start, target)
-    pairs; capped runs count as the cap. *)
+    pairs; capped runs count as the cap. Trial [i] runs on a fresh
+    instance from the builder, seeded with [Prng.Rng.substream rng i],
+    so the mean is identical for every scheduler (see
+    {!Flooding.mean_time} for the contract). *)
 
 val mean_cover_time :
-  ?cap:int -> ?hold:float -> rng:Prng.Rng.t -> trials:int -> Dynamic.t -> float
-(** Average cover time from uniformly random starts. *)
+  ?cap:int ->
+  ?hold:float ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  trials:int ->
+  (unit -> Dynamic.t) ->
+  float
+(** Average cover time from uniformly random starts; same trial scheme
+    as {!mean_hitting_time}. *)

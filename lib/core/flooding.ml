@@ -60,21 +60,25 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
 
 let time ?cap ?protocol ~rng ~source g = (run ?cap ?protocol ~rng ~source g).time
 
-let mean_time ?cap ?protocol ~rng ~trials ?(source = 0) g =
+let trial_time ?cap ?protocol ~rng ~source g =
+  let cap_value = match cap with Some c -> c | None -> default_cap (Dynamic.n g) in
+  match time ~cap:cap_value ?protocol ~rng ~source g with
+  | Some t -> t
+  | None -> cap_value
+
+let mean_time ?cap ?protocol ?(sched = Exec.sequential) ~rng ~trials ?(source = 0) build =
   if trials < 1 then invalid_arg "Flooding.mean_time: trials must be >= 1";
-  let n = Dynamic.n g in
-  let cap_value = match cap with Some c -> c | None -> default_cap n in
-  let summary = Stats.Summary.create () in
-  for i = 0 to trials - 1 do
-    let trial_rng = Prng.Rng.substream rng i in
-    let t =
-      match time ~cap:cap_value ?protocol ~rng:trial_rng ~source g with
-      | Some t -> t
-      | None -> cap_value
-    in
-    Stats.Summary.add summary (float_of_int t)
-  done;
-  summary
+  (* Substreams are derived up front, on the calling domain: trial [i]'s
+     randomness depends only on [rng]'s current state and [i], never on
+     which worker runs it or in what order. *)
+  let rngs = Array.init trials (Prng.Rng.substream rng) in
+  let job i = trial_time ?cap ?protocol ~rng:rngs.(i) ~source (build ()) in
+  let reduce times =
+    let summary = Stats.Summary.create () in
+    Array.iter (fun t -> Stats.Summary.add summary (float_of_int t)) times;
+    summary
+  in
+  Exec.run sched (Exec.plan ~jobs:trials ~job ~reduce)
 
 let characteristic_time result =
   let total = ref 0 and count = ref 0 in
@@ -87,16 +91,15 @@ let characteristic_time result =
     result.arrivals;
   if !count = 0 then nan else float_of_int !total /. float_of_int !count
 
-let worst_source_time ?cap ?protocol ~rng ?sources g =
-  let n = Dynamic.n g in
-  let cap_value = match cap with Some c -> c | None -> default_cap n in
-  let sources = match sources with Some l -> l | None -> List.init n (fun i -> i) in
-  List.fold_left
-    (fun acc s ->
-      let t =
-        match time ~cap:cap_value ?protocol ~rng:(Prng.Rng.substream rng s) ~source:s g with
-        | Some t -> t
-        | None -> cap_value
-      in
-      max acc t)
-    0 sources
+let worst_source_time ?cap ?protocol ?(sched = Exec.sequential) ~rng ?sources build =
+  let sources =
+    match sources with
+    | Some l -> Array.of_list l
+    | None -> Array.init (Dynamic.n (build ())) (fun i -> i)
+  in
+  (* Seeded by source id, not job index, so the result is independent of
+     the sources list's order as well as of the scheduler. *)
+  let rngs = Array.map (Prng.Rng.substream rng) sources in
+  let job i = trial_time ?cap ?protocol ~rng:rngs.(i) ~source:sources.(i) (build ()) in
+  Exec.run sched
+    (Exec.plan ~jobs:(Array.length sources) ~job ~reduce:(Array.fold_left max 0))

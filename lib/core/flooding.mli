@@ -42,18 +42,33 @@ val time :
   ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> int option
 (** Flooding time only. *)
 
+val trial_time :
+  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> int
+(** One flooding trial as a total function: the flooding time, or the
+    cap when the run did not complete. The per-trial job that
+    {!mean_time} and {!worst_source_time} distribute over a
+    scheduler. *)
+
 val mean_time :
   ?cap:int ->
   ?protocol:protocol ->
+  ?sched:Exec.scheduler ->
   rng:Prng.Rng.t ->
   trials:int ->
   ?source:int ->
-  Dynamic.t ->
+  (unit -> Dynamic.t) ->
   Stats.Summary.t
-(** Flooding-time summary over [trials] independent runs (independent
-    substreams of [rng]). Capped runs are recorded at the cap value, so
+(** Flooding-time summary over [trials] independent runs, each on a
+    fresh instance from the builder, seeded with [Prng.Rng.substream rng
+    i] — so the summary is a deterministic function of [rng]'s state,
+    identical for every scheduler ([sched] defaults to
+    {!Exec.sequential}). Capped runs are recorded at the cap value, so
     means are conservative underestimates; check [max] against the cap.
-    [source] defaults to node 0 (models here are node-symmetric). *)
+    [source] defaults to node 0 (models here are node-symmetric).
+
+    The builder must be safe to call from any domain; under a parallel
+    scheduler it must return a fresh instance per call (a builder
+    closing over one shared [Dynamic.t] is only safe sequentially). *)
 
 val characteristic_time : result -> float
 (** Mean arrival time over the informed nodes (the average broadcast
@@ -61,7 +76,16 @@ val characteristic_time : result -> float
     the source was informed. *)
 
 val worst_source_time :
-  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> ?sources:int list -> Dynamic.t -> int
+  ?cap:int ->
+  ?protocol:protocol ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  ?sources:int list ->
+  (unit -> Dynamic.t) ->
+  int
 (** max over sources of one flooding run each (all nodes by default);
     capped runs count as the cap. The F(G) = max_s F(G, s) of the
-    paper, estimated with one run per source. *)
+    paper, estimated with one run per source. Each source's run is
+    seeded by [Prng.Rng.substream rng s] on a fresh instance from the
+    builder, so the result is scheduler-independent (same contract as
+    {!mean_time}). *)

@@ -1,0 +1,93 @@
+type scheduler = Sequential | Pool of int
+
+let sequential = Sequential
+
+(* Never below 4: on single-core CI machines recommended_domain_count is
+   1 and a hard clamp would silently turn every pool into Sequential,
+   leaving the multi-domain path untested. Oversubscription by a few
+   domains costs scheduling overhead only; determinism never depends on
+   the worker count. *)
+let max_workers = max 4 (Domain.recommended_domain_count ())
+
+let pool w =
+  if w < 1 then invalid_arg "Exec.pool: workers must be >= 1";
+  if w = 1 then Sequential else Pool (min w max_workers)
+
+let of_int w = if w <= 1 then Sequential else pool w
+
+let default () =
+  match Sys.getenv_opt "DYNGRAPH_JOBS" with
+  | None -> Sequential
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some w when w >= 1 -> of_int w
+      | Some _ | None -> Sequential)
+
+let workers = function Sequential -> 1 | Pool w -> w
+
+type ('a, 'b) plan = { jobs : int; job : int -> 'a; reduce : 'a array -> 'b }
+
+let plan ~jobs ~job ~reduce =
+  if jobs < 0 then invalid_arg "Exec.plan: jobs must be >= 0";
+  { jobs; job; reduce }
+
+(* Set while executing inside a pool worker (including the caller's own
+   domain while it participates): nested [run]s then stay sequential
+   rather than spawning domains recursively. *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let run_sequential p = Array.init p.jobs p.job
+
+(* Fixed pool: [w] workers (w - 1 spawned domains plus the caller) pull
+   contiguous chunks of job indices from a shared cursor. Each result
+   slot is written by exactly one worker, and [Domain.join] publishes
+   all writes to the caller. The first exception wins the [error] slot;
+   every worker checks it before claiming another chunk, so a failing
+   job drains the pool instead of hanging it. *)
+let run_pool w p =
+  let n = p.jobs in
+  let results = Array.make n None in
+  let error = Atomic.make None in
+  let cursor = Atomic.make 0 in
+  let chunk = max 1 (n / (8 * w)) in
+  let worker () =
+    let saved = Domain.DLS.get inside_pool in
+    Domain.DLS.set inside_pool true;
+    let continue = ref true in
+    while !continue do
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start >= n || Atomic.get error <> None then continue := false
+      else
+        let stop = min n (start + chunk) in
+        let i = ref start in
+        while !continue && !i < stop do
+          (match p.job !i with
+          | v -> results.(!i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set error None (Some (e, bt)));
+              continue := false);
+          incr i
+        done
+    done;
+    Domain.DLS.set inside_pool saved
+  in
+  let spawned = List.init (min w n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  (match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let run s p =
+  let results =
+    match s with
+    | Sequential -> run_sequential p
+    | Pool w ->
+        if p.jobs <= 1 || Domain.DLS.get inside_pool then run_sequential p
+        else run_pool w p
+  in
+  p.reduce results
+
+let map s ~jobs f = run s (plan ~jobs ~job:f ~reduce:Fun.id)

@@ -1,0 +1,68 @@
+(** Deterministic parallel execution of independent jobs.
+
+    A {!plan} is an array of independent jobs — thunks indexed by a job
+    number, each deterministically seeded by its caller — plus a reducer
+    that folds the job results, in index order, into one value. A
+    {!scheduler} decides how the jobs run: strictly in order on the
+    calling domain ({!sequential}), or distributed over a fixed pool of
+    worker domains ({!pool}).
+
+    The determinism contract: because every job receives its randomness
+    through its own index (e.g. [Prng.Rng.substream rng i]) and results
+    are reduced in index order, the reducer sees the exact same array
+    whatever the scheduler — [run sequential p] and [run (pool w) p] are
+    equal for every [w]. Schedulers change wall-clock time, never
+    results.
+
+    Jobs must not share mutable state: a job that needs a stateful model
+    instance must construct its own (take a builder, not an instance). *)
+
+type scheduler
+(** How the jobs of a plan are executed. *)
+
+val sequential : scheduler
+(** Run jobs in index order on the calling domain. *)
+
+val pool : int -> scheduler
+(** [pool w] runs jobs on a fixed pool of [w] worker domains (the caller
+    counts as one), distributing jobs in contiguous chunks through a
+    shared atomic cursor. [w] is clamped to
+    [max 4 (Domain.recommended_domain_count ())] — the lower bound keeps
+    the multi-domain path exercisable on single-core CI machines, where
+    extra workers cost only scheduling overhead, never determinism.
+    [pool 1] is {!sequential}. Raises [Invalid_argument] when [w < 1]. *)
+
+val of_int : int -> scheduler
+(** [of_int w] is {!sequential} when [w <= 1], else [pool w]. The shape
+    expected by a [--jobs N] command-line flag. *)
+
+val default : unit -> scheduler
+(** [of_int] applied to the [DYNGRAPH_JOBS] environment variable;
+    {!sequential} when unset or unparsable. *)
+
+val workers : scheduler -> int
+(** Worker count: 1 for {!sequential}, the (clamped) pool size
+    otherwise. *)
+
+type ('a, 'b) plan
+(** [jobs] independent computations producing ['a], reduced to a ['b]. *)
+
+val plan : jobs:int -> job:(int -> 'a) -> reduce:('a array -> 'b) -> ('a, 'b) plan
+(** [plan ~jobs ~job ~reduce]: [job i] for [i] in [0 .. jobs - 1];
+    [reduce] receives [[| job 0; ...; job (jobs - 1) |]]. Raises
+    [Invalid_argument] when [jobs < 0]. *)
+
+val run : scheduler -> ('a, 'b) plan -> 'b
+(** Execute a plan. Results reach the reducer in job-index order
+    regardless of the scheduler. If a job raises, the pool drains
+    (no worker is left running), the remaining unclaimed jobs are
+    skipped, and the first exception observed is re-raised with its
+    backtrace — [run] never hangs on a failing job.
+
+    A [pool] run started from inside another pool's worker runs
+    sequentially instead of spawning nested domains, so one scheduler
+    value can be threaded through every layer of a computation without
+    oversubscribing the machine. *)
+
+val map : scheduler -> jobs:int -> (int -> 'a) -> 'a array
+(** [map s ~jobs f] is [run s (plan ~jobs ~job:f ~reduce:Fun.id)]. *)

@@ -137,12 +137,28 @@ let unnormalised_density ~angular_steps ~region ~l x y =
   end
 
 (* Normalisation constants are memoised per (region, l, steps): the 2-D
-   quadrature is ~4k density evaluations. *)
+   quadrature is ~4k density evaluations. The cache is module-level
+   shared state, so it is mutex-guarded: experiments may evaluate
+   densities concurrently from different domains (Exec pool). A missed
+   hit recomputes a pure value, so holding the lock only around table
+   access (not the quadrature) is enough. *)
 let normalisation_cache : (bool * float * int, float) Hashtbl.t = Hashtbl.create 8
+let normalisation_lock = Mutex.create ()
+
+let cache_find key =
+  Mutex.lock normalisation_lock;
+  let found = Hashtbl.find_opt normalisation_cache key in
+  Mutex.unlock normalisation_lock;
+  found
+
+let cache_store key z =
+  Mutex.lock normalisation_lock;
+  Hashtbl.replace normalisation_cache key z;
+  Mutex.unlock normalisation_lock
 
 let normalisation ~angular_steps ~region ~l =
   let key = ((match region with Square -> true | Disk -> false), l, angular_steps) in
-  match Hashtbl.find_opt normalisation_cache key with
+  match cache_find key with
   | Some z -> z
   | None ->
       let grid = 64 in
@@ -155,7 +171,7 @@ let normalisation ~angular_steps ~region ~l =
           total := !total +. (unnormalised_density ~angular_steps ~region ~l x y *. cell *. cell)
         done
       done;
-      Hashtbl.replace normalisation_cache key !total;
+      cache_store key !total;
       !total
 
 let exact_density ?(angular_steps = 180) ?(region = Square) ~l x y =

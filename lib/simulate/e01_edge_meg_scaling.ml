@@ -6,7 +6,7 @@ let claim =
   "Measured flooding time of the classic edge-MEG stays within a constant \
    factor of log n / log(1+np) across n, for p = c/n."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let ns = Runner.pick scale [ 64; 128; 256 ] [ 64; 128; 256; 512; 1024 ] in
   let configs = [ (4.0, 0.5); (1.0, 0.5); (4.0, 0.1) ] in
   let trials = Runner.trials scale in
@@ -20,8 +20,8 @@ let run ~rng ~scale =
       List.iter
         (fun n ->
           let p = c /. float_of_int n in
-          let dyn = Edge_meg.Classic.make ~n ~p ~q () in
-          let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+          let dyn () = Edge_meg.Classic.make ~n ~p ~q () in
+          let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
           let bound = Theory.Bounds.edge_meg_eq2 ~n ~p in
           if c = 4.0 && q = 0.5 then points := (float_of_int n, stats.mean) :: !points;
           Stats.Table.add_row table
@@ -58,8 +58,8 @@ let run ~rng ~scale =
   List.iter
     (fun n ->
       let alpha = 3. /. float_of_int n in
-      let dyn = Edge_meg.Classic.make ~n ~p:alpha ~q:(1. -. alpha) () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials:(trials * 4) dyn in
+      let dyn () = Edge_meg.Classic.make ~n ~p:alpha ~q:(1. -. alpha) () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials:(trials * 4) dyn in
       let exact = Theory.Iid_flooding.expected_time ~n ~alpha in
       Stats.Table.add_row anchor
         [

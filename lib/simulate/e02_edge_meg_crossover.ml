@@ -7,7 +7,7 @@ let claim =
    bound up to polylog when q >= np and degrades below; the generalised \
    EM(n,M,chi) model obeys its Theorem 1 bound."
 
-let crossover_table ~rng ~scale =
+let crossover_table ~sched ~rng ~scale =
   let n = Runner.pick scale 128 512 in
   let c = 0.2 in
   let p = c /. float_of_int n in
@@ -21,8 +21,8 @@ let crossover_table ~rng ~scale =
   in
   List.iter
     (fun q ->
-      let dyn = Edge_meg.Classic.make ~n ~p ~q () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Edge_meg.Classic.make ~n ~p ~q () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let eq2 = Theory.Bounds.edge_meg_eq2 ~n ~p in
       let thm1 = Theory.Bounds.edge_meg_general ~n ~p ~q in
       Stats.Table.add_row table
@@ -46,7 +46,7 @@ let hidden_chain move =
   Markov.Chain.of_rows
     (Array.init 4 (fun s -> [| (s, 1. -. move); ((s + 1) mod 4, move) |]))
 
-let general_table ~rng ~scale =
+let general_table ~sched ~rng ~scale =
   let ns = Runner.pick scale [ 32; 64 ] [ 32; 64; 128; 256 ] in
   let trials = Runner.trials scale in
   let move = 0.25 in
@@ -60,8 +60,8 @@ let general_table ~rng ~scale =
   in
   List.iter
     (fun n ->
-      let dyn = Edge_meg.General.make ~n ~chain ~chi () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Edge_meg.General.make ~n ~chain ~chi () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let bound = Edge_meg.General.bound ~chain ~chi ~n in
       Stats.Table.add_row table
         [
@@ -74,7 +74,8 @@ let general_table ~rng ~scale =
     ns;
   table
 
-let run ~rng ~scale = [ crossover_table ~rng ~scale; general_table ~rng ~scale ]
+let run ~sched ~rng ~scale =
+  [ crossover_table ~sched ~rng ~scale; general_table ~sched ~rng ~scale ]
 
 let assess = function
   | [ crossover; general ] ->

@@ -10,7 +10,7 @@ let claim =
 type model_spec = {
   name : string;
   n : int;
-  dyn : Core.Dynamic.t;
+  dyn : unit -> Core.Dynamic.t;  (* fresh instance per call *)
   m_epochs : float;  (* epoch length: the model's mixing-time scale *)
 }
 
@@ -21,7 +21,7 @@ let models ~scale =
     {
       name = "edge-MEG p=1.5/n q=.5";
       n = n_meg;
-      dyn = Edge_meg.Classic.make ~n:n_meg ~p ~q ();
+      dyn = (fun () -> Edge_meg.Classic.make ~n:n_meg ~p ~q ());
       m_epochs = float_of_int (Markov.Two_state.mixing_time (Markov.Two_state.make ~p ~q));
     }
   in
@@ -31,13 +31,13 @@ let models ~scale =
     {
       name = "waypoint sparse";
       n = n_wp;
-      dyn = Mobility.Waypoint.dynamic ~n:n_wp ~l ~r:1.0 ~v_min:1.0 ~v_max:1.25 ();
+      dyn = (fun () -> Mobility.Waypoint.dynamic ~n:n_wp ~l ~r:1.0 ~v_min:1.0 ~v_max:1.25 ());
       m_epochs = Mobility.Waypoint.mixing_time_formula ~l ~v_max:1.25;
     }
   in
   [ meg; wp ]
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = Runner.trials scale in
   let snapshots = Runner.pick scale 200 600 in
   let table =
@@ -57,9 +57,9 @@ let run ~rng ~scale =
   List.iter
     (fun spec ->
       let est =
-        Core.Stationarity.estimate ~rng:(Prng.Rng.split rng) ~snapshots spec.dyn
+        Core.Stationarity.estimate ~rng:(Prng.Rng.split rng) ~snapshots (spec.dyn ())
       in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials spec.dyn in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials spec.dyn in
       (* Guard against a zero alpha_hat (finite sample): fall back to the
          mean edge probability, which is exact for exchangeable models. *)
       let alpha = if est.alpha_hat > 0. then est.alpha_hat else est.alpha_mean in

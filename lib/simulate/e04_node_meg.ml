@@ -19,7 +19,7 @@ let channel_chain ~k ~eps =
            [| ((s + 1) mod k, 1. -. eps) |]
            (Array.init k (fun t -> (t, jump)))))
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let n = Runner.pick scale 96 256 in
   let eps = 0.1 in
   let w = 1 in
@@ -40,8 +40,8 @@ let run ~rng ~scale =
       in
       let p_nm = Node_meg.Model.p_nm ~chain ~connect in
       let eta = Node_meg.Model.eta ~chain ~connect in
-      let dyn = Node_meg.Model.make ~n ~chain ~connect () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Node_meg.Model.make ~n ~chain ~connect () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let budget = Theory.Bounds.theorem3 ~t_mix ~p_nm ~eta ~n in
       Stats.Table.add_row table
         [

@@ -7,7 +7,7 @@ let claim =
    (a),(b) of Corollary 4) and a pronounced center bias; the random-direction \
    control is near-uniform; the analytic product form tracks the measurement."
 
-let run ~rng ~scale =
+let run ~sched:_ ~rng ~scale =
   let n = Runner.pick scale 100 300 in
   let l = 16. in
   let bins = 8 in

@@ -8,7 +8,7 @@ let claim =
    Omega(sqrt(n)/v)); at fixed n it scales as 1/v; Manhattan trajectories \
    behave alike."
 
-let size_sweep ~rng ~scale =
+let size_sweep ~sched ~rng ~scale =
   let ns = Runner.pick scale [ 64; 128 ] [ 64; 128; 256; 512 ] in
   let trials = Runner.trials scale in
   let r = 1.5 and v = 1.0 in
@@ -21,8 +21,8 @@ let size_sweep ~rng ~scale =
   List.iter
     (fun n ->
       let l = sqrt (float_of_int n) in
-      let dyn = Mobility.Waypoint.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Mobility.Waypoint.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let bound = Theory.Bounds.waypoint ~l ~v_max:(1.25 *. v) ~r ~n in
       let lower = Theory.Bounds.lower_bound_propagation ~l ~r ~v:(1.25 *. v) in
       points := (float_of_int n, stats.mean) :: !points;
@@ -52,7 +52,7 @@ let size_sweep ~rng ~scale =
   Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
   [ table; verdict ]
 
-let speed_sweep ~rng ~scale =
+let speed_sweep ~sched ~rng ~scale =
   let n = Runner.pick scale 96 256 in
   let l = sqrt (float_of_int n) in
   let r = 1.5 in
@@ -65,10 +65,10 @@ let speed_sweep ~rng ~scale =
   in
   List.iter
     (fun v ->
-      let wp = Mobility.Waypoint.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
-      let mh = Mobility.Manhattan.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
-      let swp = Runner.flood ~rng:(Prng.Rng.split rng) ~trials wp in
-      let smh = Runner.flood ~rng:(Prng.Rng.split rng) ~trials mh in
+      let wp () = Mobility.Waypoint.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
+      let mh () = Mobility.Manhattan.dynamic ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) () in
+      let swp = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials wp in
+      let smh = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials mh in
       Stats.Table.add_row table
         [
           Runner.cell v;
@@ -80,7 +80,8 @@ let speed_sweep ~rng ~scale =
     vs;
   [ table ]
 
-let run ~rng ~scale = size_sweep ~rng ~scale @ speed_sweep ~rng ~scale
+let run ~sched ~rng ~scale =
+  size_sweep ~sched ~rng ~scale @ speed_sweep ~sched ~rng ~scale
 
 let assess = function
   | [ size; verdict; speed ] ->

@@ -7,7 +7,7 @@ let claim =
    stationary profile drops below 1/4 after c * L/v steps with c constant \
    across L and v."
 
-let run ~rng ~scale =
+let run ~sched:_ ~rng ~scale =
   let configs =
     Runner.pick scale
       [ (8., 1.); (16., 1.); (16., 2.) ]

@@ -7,7 +7,7 @@ let claim =
    measured flooding divided by the grid diameter D grows only \
    polylogarithmically across grid sizes."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let sides = Runner.pick scale [ 6; 8 ] [ 6; 8; 12; 16; 24 ] in
   let trials = Runner.trials scale in
   let table =
@@ -25,8 +25,8 @@ let run ~rng ~scale =
       let delta = Random_path.Family.delta_regularity family in
       (* hold = 0.5: lazy stepping breaks the grid's bipartite parity,
          without which opposite-parity nodes never co-locate. *)
-      let dyn = Random_path.Rp_model.make ~hold:0.5 ~n ~family () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Random_path.Rp_model.make ~hold:0.5 ~n ~family () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let logn = log (float_of_int n) in
       points := (float_of_int d, stats.mean) :: !points;
       Stats.Table.add_row table

@@ -7,7 +7,7 @@ let claim =
    while the two-walk meeting time stays flat, so the Cor. 6 bound improves \
    with k and the O(T* log n) baseline of [15] cannot."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let side = Runner.pick scale 12 16 in
   let ks = Runner.pick scale [ 1; 2; 4 ] [ 1; 2; 3; 4; 6 ] in
   let trials = Runner.trials scale in
@@ -37,8 +37,8 @@ let run ~rng ~scale =
         | Some t -> float_of_int t
         | None -> nan
       in
-      let dyn = Random_path.Rp_model.random_walk ~n h in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Random_path.Rp_model.random_walk ~n h in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let meeting =
         Markov.Walk.mean_meeting_time ~rng:(Prng.Rng.split rng) ~trials:meeting_trials h
       in

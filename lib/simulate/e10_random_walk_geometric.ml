@@ -7,7 +7,7 @@ let claim =
    transmission radius even while most snapshots remain disconnected; the \
    sparse regime is still only polylog away from the mobility scale."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let m = Runner.pick scale 16 32 in
   let n = Runner.pick scale 64 128 in
   let rs = Runner.pick scale [ 1.0; 2.0; 4.0 ] [ 1.0; 1.5; 2.0; 4.0; 8.0 ] in
@@ -20,20 +20,21 @@ let run ~rng ~scale =
   in
   List.iter
     (fun r ->
-      let dyn = Mobility.Random_walk_model.dynamic ~n ~m ~r () in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Mobility.Random_walk_model.dynamic ~n ~m ~r () in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       (* Snapshot structure in (approximate) steady state. *)
-      Core.Dynamic.reset dyn (Prng.Rng.split rng);
+      let probe = dyn () in
+      Core.Dynamic.reset probe (Prng.Rng.split rng);
       for _ = 1 to 5 * m do
-        Core.Dynamic.step dyn
+        Core.Dynamic.step probe
       done;
-      let snap = Core.Dynamic.snapshot_graph dyn in
+      let snap = Core.Dynamic.snapshot_graph probe in
       Stats.Table.add_row table
         [
           Runner.cell r;
           Runner.cell stats.mean;
           Runner.cell stats.stddev;
-          Fixed (Core.Dynamic.isolated_fraction dyn, 3);
+          Fixed (Core.Dynamic.isolated_fraction probe, 3);
           Int (Graph.Traverse.n_components snap);
         ])
     rs;

@@ -7,7 +7,7 @@ let claim =
    have the same completion-time distribution, and the slowdown over full \
    flooding is mild (O(1/p) at worst)."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = Runner.trials scale * 2 in
   let ps = Runner.pick scale [ 1.0; 0.5; 0.25 ] [ 1.0; 0.5; 0.25; 0.1 ] in
   let n_meg = Runner.pick scale 128 256 in
@@ -30,16 +30,16 @@ let run ~rng ~scale =
           ~columns:
             [ "p"; "push mean"; "push sd"; "virtual mean"; "virtual sd"; "slowdown vs p=1" ]
       in
-      let full = Runner.flood ~rng:(Prng.Rng.split rng) ~trials (make ()) in
+      let full = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials make in
       List.iter
         (fun p ->
           let push =
-            Runner.flood ~rng:(Prng.Rng.split rng) ~trials
-              ~protocol:(Core.Flooding.Push p) (make ())
+            Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials
+              ~protocol:(Core.Flooding.Push p) make
           in
           let virt =
-            Runner.flood ~rng:(Prng.Rng.split rng) ~trials
-              (Core.Dynamic.filter_edges ~p_keep:p (make ()))
+            Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials (fun () ->
+                Core.Dynamic.filter_edges ~p_keep:p (make ()))
           in
           Stats.Table.add_row table
             [

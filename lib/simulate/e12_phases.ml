@@ -7,7 +7,7 @@ let claim =
    (Lemma 13) and the saturation tail is comparable to one doubling period \
    times log n (Lemma 14)."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = max 3 (Runner.trials scale / 2) in
   let n_meg = Runner.pick scale 256 1024 in
   let n_wp = Runner.pick scale 96 256 in
@@ -49,21 +49,26 @@ let run ~rng ~scale =
       let spreads = Stats.Summary.create () in
       let saturates = Stats.Summary.create () in
       let gaps = Stats.Summary.create () in
-      for i = 0 to trials - 1 do
-        let result =
-          Core.Flooding.run ~rng:(Prng.Rng.substream rng i) ~source:0 (make ())
-        in
-        match result.time with
-        | None -> ()
-        | Some t ->
-            let a = Core.Phases.analyze ~n result.trajectory in
-            Stats.Summary.add totals (float_of_int t);
-            Option.iter (fun s -> Stats.Summary.add spreads (float_of_int s)) a.spreading_time;
-            Option.iter
-              (fun s -> Stats.Summary.add saturates (float_of_int s))
-              a.saturation_time;
-            Option.iter (fun g -> Stats.Summary.add gaps (float_of_int g)) a.max_doubling_gap
-      done;
+      let trial_rngs = Array.init trials (Prng.Rng.substream rng) in
+      let results =
+        Exec.map sched ~jobs:trials (fun i ->
+            Core.Flooding.run ~rng:trial_rngs.(i) ~source:0 (make ()))
+      in
+      Array.iter
+        (fun (result : Core.Flooding.result) ->
+          match result.time with
+          | None -> ()
+          | Some t ->
+              let a = Core.Phases.analyze ~n result.trajectory in
+              Stats.Summary.add totals (float_of_int t);
+              Option.iter
+                (fun s -> Stats.Summary.add spreads (float_of_int s))
+                a.spreading_time;
+              Option.iter
+                (fun s -> Stats.Summary.add saturates (float_of_int s))
+                a.saturation_time;
+              Option.iter (fun g -> Stats.Summary.add gaps (float_of_int g)) a.max_doubling_gap)
+        results;
       let mean s = Stats.Summary.mean s in
       Stats.Table.add_row table
         [

@@ -7,16 +7,21 @@ let claim =
    sparser virtual process: push-pull finishes within a small factor of full \
    flooding at a fraction of the message cost."
 
-let gossip_stats ~rng ~trials ~variant dyn =
-  let n = Core.Dynamic.n dyn in
+let gossip_stats ~sched ~rng ~trials ~variant make =
+  let n = Core.Dynamic.n (make ()) in
   let cap = 10_000 + (200 * n) in
   let times = Stats.Summary.create () in
   let msgs = Stats.Summary.create () in
-  for i = 0 to trials - 1 do
-    let r = Core.Gossip.run ~cap ~variant ~rng:(Prng.Rng.substream rng i) ~source:0 dyn in
-    Stats.Summary.add times (float_of_int (match r.time with Some t -> t | None -> cap));
-    Stats.Summary.add msgs (float_of_int r.contacts)
-  done;
+  let trial_rngs = Array.init trials (Prng.Rng.substream rng) in
+  let results =
+    Exec.map sched ~jobs:trials (fun i ->
+        Core.Gossip.run ~cap ~variant ~rng:trial_rngs.(i) ~source:0 (make ()))
+  in
+  Array.iter
+    (fun (r : Core.Gossip.result) ->
+      Stats.Summary.add times (float_of_int (match r.time with Some t -> t | None -> cap));
+      Stats.Summary.add msgs (float_of_int r.contacts))
+    results;
   (times, msgs)
 
 let flood_messages ~rng dyn =
@@ -35,7 +40,7 @@ let flood_messages ~rng dyn =
       done;
       float_of_int !total
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = Runner.trials scale in
   let n_meg = Runner.pick scale 128 512 in
   let n_wp = Runner.pick scale 64 192 in
@@ -57,7 +62,7 @@ let run ~rng ~scale =
           ~title:(Printf.sprintf "E13 %s" name)
           ~columns:[ "protocol"; "rounds mean"; "rounds sd"; "messages mean" ]
       in
-      let flood = Runner.flood ~rng:(Prng.Rng.split rng) ~trials (make ()) in
+      let flood = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials make in
       let flood_msg = flood_messages ~rng:(Prng.Rng.split rng) (make ()) in
       Stats.Table.add_row table
         [ Text "flooding"; Runner.cell flood.mean; Runner.cell flood.stddev;
@@ -65,7 +70,7 @@ let run ~rng ~scale =
       List.iter
         (fun (pname, variant) ->
           let times, msgs =
-            gossip_stats ~rng:(Prng.Rng.split rng) ~trials ~variant (make ())
+            gossip_stats ~sched ~rng:(Prng.Rng.split rng) ~trials ~variant make
           in
           Stats.Table.add_row table
             [

@@ -7,7 +7,7 @@ let claim =
    snapshot is disconnected (a static graph of equal density never does), and \
    cover time grows near-linearly in n at constant per-node density."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = Runner.trials scale in
   let ns = Runner.pick scale [ 32; 64 ] [ 32; 64; 128; 256 ] in
   let c = 2.0 in
@@ -21,14 +21,15 @@ let run ~rng ~scale =
     (fun n ->
       let p = c /. float_of_int n in
       let cap = 400 * n in
-      let add name dyn =
-        Core.Dynamic.reset dyn (Prng.Rng.split rng);
-        let iso = Core.Dynamic.isolated_fraction dyn in
+      let add name mk =
+        let probe = mk () in
+        Core.Dynamic.reset probe (Prng.Rng.split rng);
+        let iso = Core.Dynamic.isolated_fraction probe in
         let hit =
-          Core.Dyn_walk.mean_hitting_time ~cap ~rng:(Prng.Rng.split rng) ~trials dyn
+          Core.Dyn_walk.mean_hitting_time ~cap ~sched ~rng:(Prng.Rng.split rng) ~trials mk
         in
         let cover =
-          Core.Dyn_walk.mean_cover_time ~cap ~rng:(Prng.Rng.split rng) ~trials dyn
+          Core.Dyn_walk.mean_cover_time ~cap ~sched ~rng:(Prng.Rng.split rng) ~trials mk
         in
         let scale_ref = float_of_int n *. log (float_of_int n) in
         if name = "edge-MEG" then points := (float_of_int n, cover) :: !points;
@@ -43,15 +44,13 @@ let run ~rng ~scale =
             (if capped then Missing else Fixed (cover /. scale_ref, 2));
           ]
       in
-      add "edge-MEG" (Edge_meg.Classic.make ~n ~p ~q:0.5 ());
+      add "edge-MEG" (fun () -> Edge_meg.Classic.make ~n ~p ~q:0.5 ());
       (* Static control at the same expected density: frozen G(n, p') with
-         p' = the MEG's stationary alpha. *)
+         p' = the MEG's stationary alpha. The graph is sampled once, up
+         front — the builder must return the same process every call. *)
       let alpha = p /. (p +. 0.5) in
-      let static =
-        Core.Dynamic.of_static
-          (Graph.Builders.erdos_renyi ~rng:(Prng.Rng.split rng) ~n ~p:alpha)
-      in
-      add "static G(n,alpha)" static)
+      let frozen = Graph.Builders.erdos_renyi ~rng:(Prng.Rng.split rng) ~n ~p:alpha in
+      add "static G(n,alpha)" (fun () -> Core.Dynamic.of_static frozen))
     ns;
   let fit = Stats.Regression.loglog !points in
   let verdict =

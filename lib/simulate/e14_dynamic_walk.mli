@@ -10,7 +10,7 @@
 val id : string
 val title : string
 val claim : string
-val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+val run : sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
 
 val assess : Stats.Table.t list -> Assess.check list
 (** Shape checks over the tables produced by [run]. *)

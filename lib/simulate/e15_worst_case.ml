@@ -8,7 +8,7 @@ let claim =
    O(polylog n); interval connectivity is neither necessary nor sufficient \
    for fast flooding."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let n = Runner.pick scale 64 256 in
   let trials = Runner.trials scale in
   let window = 12 in
@@ -26,8 +26,8 @@ let run ~rng ~scale =
         ]
   in
   let log2n = log (float_of_int n) /. log 2. in
-  let add name dyn =
-    let snapshots = Adversarial.Interval.record dyn ~rng:(Prng.Rng.split rng) ~steps:window in
+  let add name mk =
+    let snapshots = Adversarial.Interval.record (mk ()) ~rng:(Prng.Rng.split rng) ~steps:window in
     let first_connected =
       Graph.Traverse.is_connected (Graph.Static.of_edges ~n (List.hd snapshots))
     in
@@ -36,7 +36,7 @@ let run ~rng ~scale =
       List.fold_left (fun acc s -> acc +. float_of_int (List.length s)) 0. snapshots
       /. float_of_int window
     in
-    let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials ~cap:(20 * n) dyn in
+    let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials ~cap:(20 * n) mk in
     Stats.Table.add_row table
       [
         Text name;
@@ -47,15 +47,15 @@ let run ~rng ~scale =
         Fixed (stats.mean /. log2n, 2);
       ]
   in
-  add "rotating star (adversarial)" (Adversarial.Model.rotating_star ~n);
-  add "random matching (memoryless)" (Adversarial.Model.random_matching ~rng_hint:() ~n);
+  add "rotating star (adversarial)" (fun () -> Adversarial.Model.rotating_star ~n);
+  add "random matching (memoryless)" (fun () -> Adversarial.Model.random_matching ~rng_hint:() ~n);
   (* Density-matched edge-MEG: stationary edge count = n - 1. *)
   let alpha = float_of_int (n - 1) /. float_of_int (Graph.Pairs.total n) in
   let q = 0.5 in
   let p = q *. alpha /. (1. -. alpha) in
-  add "edge-MEG (same density)" (Edge_meg.Classic.make ~n ~p ~q ());
+  add "edge-MEG (same density)" (fun () -> Edge_meg.Classic.make ~n ~p ~q ());
   (* n is a power of two at both scales (64 / 256). *)
-  add "rotating matching (hypercube dims)" (Adversarial.Model.rotating_matching ~n);
+  add "rotating matching (hypercube dims)" (fun () -> Adversarial.Model.rotating_matching ~n);
   [ table ]
 
 let assess = function

@@ -7,7 +7,7 @@ let claim =
    (a),(b) of Corollary 4 with O(1) delta and lambda, and floods within a \
    constant factor of the square-region waypoint at equal node density."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let n = Runner.pick scale 96 256 in
   let trials = Runner.trials scale in
   let bins = 8 in
@@ -29,10 +29,10 @@ let run ~rng ~scale =
     let profile = Mobility.Density.estimate ~geo ~rng:(Prng.Rng.split rng) ~bins ~samples () in
     let mask = Mobility.Waypoint.region_contains region ~l in
     let u = Mobility.Density.uniformity ~mask profile in
-    let dyn =
+    let dyn () =
       Mobility.Waypoint.dynamic ~region ~n ~l ~r ~v_min:v ~v_max:(1.25 *. v) ()
     in
-    let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+    let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
     Stats.Table.add_row table
       [
         Text name;

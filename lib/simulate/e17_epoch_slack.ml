@@ -7,7 +7,7 @@ let claim =
    per-step flooding, and the gap — the slack Theorem 1's epoch argument \
    gives away — grows with the epoch length M."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let trials = Runner.trials scale in
   let n = Runner.pick scale 128 256 in
   (* A slowly-mixing edge-MEG: small p + q means long epochs. *)
@@ -30,10 +30,10 @@ let run ~rng ~scale =
     (fun q ->
       let m = Markov.Two_state.mixing_time (Markov.Two_state.make ~p ~q) in
       let m = max 1 m in
-      let fine = Edge_meg.Classic.make ~n ~p ~q () in
-      let coarse = Core.Dynamic.subsample ~every:m (Edge_meg.Classic.make ~n ~p ~q ()) in
-      let fine_stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials fine in
-      let coarse_stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials coarse in
+      let fine () = Edge_meg.Classic.make ~n ~p ~q () in
+      let coarse () = Core.Dynamic.subsample ~every:m (Edge_meg.Classic.make ~n ~p ~q ()) in
+      let fine_stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials fine in
+      let coarse_stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials coarse in
       let epoch_steps = coarse_stats.mean *. float_of_int m in
       Stats.Table.add_row table
         [

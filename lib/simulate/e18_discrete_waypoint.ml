@@ -9,7 +9,7 @@ let claim =
    eta is far smaller than Corollary 4's delta^6/lambda^2 route — the \
    corollary trades tightness for checkability."
 
-let run ~rng ~scale =
+let run ~sched ~rng ~scale =
   let ms = Runner.pick scale [ 4; 6 ] [ 4; 6; 8 ] in
   let trials = Runner.trials scale in
   let n = Runner.pick scale 48 96 in
@@ -38,8 +38,8 @@ let run ~rng ~scale =
       let t_mix =
         Markov.Spectral.mixing_time_upper (Mobility.Discrete_waypoint.chain dw)
       in
-      let dyn = Mobility.Discrete_waypoint.dynamic ~n dw in
-      let stats = Runner.flood ~rng:(Prng.Rng.split rng) ~trials dyn in
+      let dyn () = Mobility.Discrete_waypoint.dynamic ~n dw in
+      let stats = Runner.flood ~sched ~rng:(Prng.Rng.split rng) ~trials dyn in
       let budget = Theory.Bounds.theorem3 ~t_mix ~p_nm ~eta ~n in
       Stats.Table.add_row table
         [

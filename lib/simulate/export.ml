@@ -28,9 +28,10 @@ let ensure_dir dir =
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Export: %s exists and is not a directory" dir)
 
-let export_experiment ~dir ~rng ~scale (e : Registry.experiment) =
+let export_experiment ?(sched = Exec.sequential) ~dir ~rng ~scale
+    (e : Registry.experiment) =
   ensure_dir dir;
-  let tables = e.run ~rng ~scale in
+  let tables = e.run ~sched ~rng ~scale in
   List.mapi
     (fun i table ->
       let path =
@@ -44,9 +45,14 @@ let export_experiment ~dir ~rng ~scale (e : Registry.experiment) =
       path)
     tables
 
-let export_all ~dir ~rng ~scale () =
-  List.concat
-    (List.mapi
-       (fun i e ->
-         export_experiment ~dir ~rng:(Prng.Rng.substream rng (1000 + i)) ~scale e)
-       Registry.all)
+let export_all ?(sched = Exec.sequential) ~dir ~rng ~scale () =
+  (* Create the directory before fanning out: worker domains write
+     disjoint files but must not race on mkdir. *)
+  ensure_dir dir;
+  let exps = Array.of_list Registry.all in
+  let rngs = Array.init (Array.length exps) (Registry.experiment_rng rng) in
+  let job i = export_experiment ~sched ~dir ~rng:rngs.(i) ~scale exps.(i) in
+  let paths =
+    Exec.run sched (Exec.plan ~jobs:(Array.length exps) ~job ~reduce:Array.to_list)
+  in
+  List.concat paths

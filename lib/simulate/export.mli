@@ -8,12 +8,25 @@ val slug : string -> string
     at most 48 characters. *)
 
 val export_experiment :
-  dir:string -> rng:Prng.Rng.t -> scale:Runner.scale -> Registry.experiment -> string list
+  ?sched:Exec.scheduler ->
+  dir:string ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  Registry.experiment ->
+  string list
 (** Run one experiment and write its tables under [dir] (created if
     missing). Returns the paths written. *)
 
 val export_all :
-  dir:string -> rng:Prng.Rng.t -> scale:Runner.scale -> unit -> string list
-(** Export every registered experiment. Independent per-experiment
-    substreams, matching {!Registry.run_all}'s seeding, so exported
-    numbers equal the printed ones for the same seed. *)
+  ?sched:Exec.scheduler ->
+  dir:string ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  unit ->
+  string list
+(** Export every registered experiment, concurrently under a pool
+    scheduler (each experiment writes its own disjoint files; the
+    returned path list is always in registry order). Per-experiment
+    substreams come from {!Registry.experiment_rng}, matching
+    {!Registry.run_all}'s seeding, so exported numbers equal the
+    printed ones for the same seed and any worker count. *)

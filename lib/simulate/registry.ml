@@ -2,7 +2,7 @@ type experiment = {
   id : string;
   title : string;
   claim : string;
-  run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  run : sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
   assess : Stats.Table.t list -> Assess.check list;
 }
 
@@ -10,7 +10,8 @@ module type EXPERIMENT = sig
   val id : string
   val title : string
   val claim : string
-  val run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+  val run :
+    sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
   val assess : Stats.Table.t list -> Assess.check list
 end
 
@@ -43,23 +44,54 @@ let find id =
   let target = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
 
-let run_one ?(out = stdout) ~rng ~scale e =
-  Printf.fprintf out "---- %s: %s ----\n" e.id e.title;
-  Printf.fprintf out "claim: %s\n\n" e.claim;
-  let tables = e.run ~rng ~scale in
-  List.iter (fun t -> Printf.fprintf out "%s\n" (Stats.Table.render t)) tables;
-  let checks = e.assess tables in
-  Printf.fprintf out "%s\n"
-    (Stats.Table.render (Assess.render ~title:(e.id ^ " scorecard") checks));
-  flush out;
-  Assess.all_passed checks
+(* The one experiment-seeding scheme, shared by [run_each] (hence
+   run_all / verify / Export.export_all): experiment [i] always draws
+   from substream 1000 + i of the top-level generator, so every entry
+   point produces the same numbers for the same seed, whatever subset
+   of experiments it runs and in whatever order. *)
+let experiment_rng rng i = Prng.Rng.substream rng (1000 + i)
 
-let run_all ?(out = stdout) ~rng ~scale () =
-  let verdicts =
-    List.mapi
-      (fun i e -> (e, run_one ~out ~rng:(Prng.Rng.substream rng (1000 + i)) ~scale e))
-      all
+type render = Full | Scorecard
+
+(* Render one experiment to a string. Parallel callers buffer rather
+   than print so that concurrent experiments cannot interleave output:
+   emission order (and therefore every byte) is decided by the caller,
+   not the scheduler. *)
+let render_one ?(render = Full) ~sched ~rng ~scale (e : experiment) =
+  let buf = Buffer.create 4096 in
+  let tables = e.run ~sched ~rng ~scale in
+  (match render with
+  | Full ->
+      Buffer.add_string buf (Printf.sprintf "---- %s: %s ----\n" e.id e.title);
+      Buffer.add_string buf (Printf.sprintf "claim: %s\n\n" e.claim);
+      List.iter
+        (fun t ->
+          Buffer.add_string buf (Stats.Table.render t);
+          Buffer.add_char buf '\n')
+        tables
+  | Scorecard -> ());
+  let checks = e.assess tables in
+  Buffer.add_string buf
+    (Stats.Table.render (Assess.render ~title:(e.id ^ " scorecard") checks));
+  Buffer.add_char buf '\n';
+  (Buffer.contents buf, Assess.all_passed checks)
+
+let run_each ?(render = Full) ?(sched = Exec.sequential) ~rng ~scale () =
+  let exps = Array.of_list all in
+  let rngs = Array.init (Array.length exps) (experiment_rng rng) in
+  let job i =
+    let output, ok = render_one ~render ~sched ~rng:rngs.(i) ~scale exps.(i) in
+    (exps.(i), output, ok)
   in
+  Exec.run sched (Exec.plan ~jobs:(Array.length exps) ~job ~reduce:Array.to_list)
+
+let run_one ?(out = stdout) ?(sched = Exec.sequential) ~rng ~scale e =
+  let output, ok = render_one ~render:Full ~sched ~rng ~scale e in
+  output_string out output;
+  flush out;
+  ok
+
+let summary_table verdicts =
   let summary =
     Stats.Table.create ~title:"Reproduction summary"
       ~columns:[ "experiment"; "verdict"; "claim" ]
@@ -69,6 +101,18 @@ let run_all ?(out = stdout) ~rng ~scale () =
       Stats.Table.add_row summary
         [ Text e.id; Text (if ok then "PASS" else "FAIL"); Text e.title ])
     verdicts;
-  Printf.fprintf out "%s\n" (Stats.Table.render summary);
+  summary
+
+let run_all ?(out = stdout) ?sched ~rng ~scale () =
+  let results = run_each ~render:Full ?sched ~rng ~scale () in
+  List.iter (fun (_, output, _) -> output_string out output) results;
+  let verdicts = List.map (fun (e, _, ok) -> (e, ok)) results in
+  Printf.fprintf out "%s\n" (Stats.Table.render (summary_table verdicts));
   flush out;
   List.for_all snd verdicts
+
+let verify ?(out = stdout) ?sched ~rng ~scale () =
+  let results = run_each ~render:Scorecard ?sched ~rng ~scale () in
+  List.iter (fun (_, output, _) -> output_string out output) results;
+  flush out;
+  List.length (List.filter (fun (_, _, ok) -> not ok) results)

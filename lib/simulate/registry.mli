@@ -1,12 +1,21 @@
 (** The experiment registry: every claim-reproduction experiment of
     DESIGN.md, addressable by id, runnable from the CLI and from the
-    benchmark harness, each with machine-checkable assessments. *)
+    benchmark harness, each with machine-checkable assessments.
+
+    All entry points take an {!Exec.scheduler}. [run_all], [verify] and
+    {!Export.export_all} distribute whole experiments over the pool
+    (each with per-experiment output buffered and emitted in registry
+    order), while a single experiment parallelises its own trial plans —
+    either way the rendered bytes are identical for every worker count,
+    because every trial's randomness is a substream indexed by its
+    position, never by schedule (see {!Exec}). *)
 
 type experiment = {
   id : string;           (** "E1" .. "E18" *)
   title : string;
-  claim : string;        (** the paper claim being reproduced *)
-  run : rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  claim : string;
+  run :
+    sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
   assess : Stats.Table.t list -> Assess.check list;
       (** shape checks over the tables produced by [run] *)
 }
@@ -17,12 +26,65 @@ val all : experiment list
 val find : string -> experiment option
 (** Case-insensitive lookup by id. *)
 
+val experiment_rng : Prng.Rng.t -> int -> Prng.Rng.t
+(** [experiment_rng rng i] is the generator for the [i]-th registry
+    entry: substream [1000 + i] of [rng]. The single seeding scheme
+    behind [run_all], [verify] and CSV export — all of them produce the
+    same numbers for the same seed. *)
+
+type render =
+  | Full       (** header, claim, tables, scorecard *)
+  | Scorecard  (** scorecard only (the [verify] view) *)
+
+val render_one :
+  ?render:render ->
+  sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  experiment ->
+  string * bool
+(** Run one experiment and render it to a string; returns whether all
+    checks passed. The building block every printing entry point shares. *)
+
+val run_each :
+  ?render:render ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  unit ->
+  (experiment * string * bool) list
+(** Run every experiment (concurrently under a pool scheduler), each
+    seeded with {!experiment_rng}; results are returned in registry
+    order with their rendered output. *)
+
 val run_one :
-  ?out:out_channel -> rng:Prng.Rng.t -> scale:Runner.scale -> experiment -> bool
+  ?out:out_channel ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  experiment ->
+  bool
 (** Run one experiment, print claim, tables and scorecard to [out]
     (default stdout); returns whether all checks passed. *)
 
 val run_all :
-  ?out:out_channel -> rng:Prng.Rng.t -> scale:Runner.scale -> unit -> bool
+  ?out:out_channel ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  unit ->
+  bool
 (** Run every experiment, then print an overall reproduction summary;
     returns whether every check of every experiment passed. *)
+
+val verify :
+  ?out:out_channel ->
+  ?sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  unit ->
+  int
+(** Run every experiment but print only the scorecards; returns the
+    number of experiments with failing checks. Shares [run_each] with
+    [run_all], so its scorecards match a [run_all] at the same seed
+    line for line. *)

@@ -6,11 +6,11 @@ let pick scale quick full = match scale with Quick -> quick | Full -> full
 
 type flood_stats = { mean : float; stddev : float; max : float; capped : bool }
 
-let flood ~rng ~trials ?cap ?protocol ?source dyn =
-  let n = Core.Dynamic.n dyn in
+let flood ?(sched = Exec.sequential) ~rng ~trials ?cap ?protocol ?source build =
+  let n = Core.Dynamic.n (build ()) in
   let cap_value = match cap with Some c -> c | None -> 10_000 + (200 * n) in
   let summary =
-    Core.Flooding.mean_time ~cap:cap_value ?protocol ~rng ~trials ?source dyn
+    Core.Flooding.mean_time ~cap:cap_value ?protocol ~sched ~rng ~trials ?source build
   in
   let max = Stats.Summary.max summary in
   {

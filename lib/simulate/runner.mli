@@ -20,14 +20,19 @@ type flood_stats = {
 }
 
 val flood :
+  ?sched:Exec.scheduler ->
   rng:Prng.Rng.t ->
   trials:int ->
   ?cap:int ->
   ?protocol:Core.Flooding.protocol ->
   ?source:int ->
-  Core.Dynamic.t ->
+  (unit -> Core.Dynamic.t) ->
   flood_stats
-(** Flooding-time statistics over independent trials. *)
+(** Flooding-time statistics over independent trials. Each trial runs
+    on a fresh instance from the builder; under a parallel [sched]
+    (default {!Exec.sequential}) trials are distributed over the worker
+    pool without changing any statistic — see {!Core.Flooding.mean_time}
+    for the determinism contract. *)
 
 val cell : float -> Stats.Table.cell
 (** Shorthand for a 4-significant-digit float cell. *)

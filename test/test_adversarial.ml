@@ -73,7 +73,7 @@ let test_random_matching_odd_n () =
 
 let test_random_matching_floods_logarithmically () =
   let n = 64 in
-  let dyn = Adversarial.Model.random_matching ~rng_hint:() ~n in
+  let dyn () = Adversarial.Model.random_matching ~rng_hint:() ~n in
   let s = Core.Flooding.mean_time ~rng:(rng_of_seed 8) ~trials:10 dyn in
   check_true "O(log n)-ish" (Stats.Summary.mean s < 30.);
   check_true "at least log2 n" (Stats.Summary.min s >= 6.)

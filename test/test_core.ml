@@ -95,10 +95,10 @@ let test_subsample_flooding_dominates () =
   (* Epoch-sampled flooding (in steps) upper-bounds per-step flooding. *)
   let m = 4 in
   let make () = Edge_meg.Classic.make ~n:48 ~p:(2. /. 48.) ~q:0.4 () in
-  let fine = Core.Flooding.mean_time ~rng:(rng_of_seed 21) ~trials:10 (make ()) in
+  let fine = Core.Flooding.mean_time ~rng:(rng_of_seed 21) ~trials:10 make in
   let coarse =
-    Core.Flooding.mean_time ~rng:(rng_of_seed 22) ~trials:10
-      (Core.Dynamic.subsample ~every:m (make ()))
+    Core.Flooding.mean_time ~rng:(rng_of_seed 22) ~trials:10 (fun () ->
+        Core.Dynamic.subsample ~every:m (make ()))
   in
   check_true "coarse * m >= fine (statistically)"
     (Stats.Summary.mean coarse *. float_of_int m
@@ -276,7 +276,7 @@ let test_push_validation () =
 
 let test_push_slower_on_average () =
   let n = 40 in
-  let dyn = Core.Dynamic.of_static (Graph.Builders.complete n) in
+  let dyn () = Core.Dynamic.of_static (Graph.Builders.complete n) in
   let full = Core.Flooding.mean_time ~rng:(rng_of_seed 8) ~trials:20 dyn in
   let push =
     Core.Flooding.mean_time ~protocol:(Core.Flooding.Push 0.1) ~rng:(rng_of_seed 9) ~trials:20 dyn
@@ -313,12 +313,12 @@ let test_parsimonious_validation () =
 
 let test_mean_time_deterministic () =
   let dyn () = Edge_meg.Classic.make ~n:32 ~p:0.1 ~q:0.3 () in
-  let a = Core.Flooding.mean_time ~rng:(rng_of_seed 11) ~trials:5 (dyn ()) in
-  let b = Core.Flooding.mean_time ~rng:(rng_of_seed 11) ~trials:5 (dyn ()) in
+  let a = Core.Flooding.mean_time ~rng:(rng_of_seed 11) ~trials:5 dyn in
+  let b = Core.Flooding.mean_time ~rng:(rng_of_seed 11) ~trials:5 dyn in
   check_close "same seed, same mean" (Stats.Summary.mean a) (Stats.Summary.mean b)
 
 let test_worst_source_path () =
-  let dyn = Core.Dynamic.of_static (Graph.Builders.path_graph 6) in
+  let dyn () = Core.Dynamic.of_static (Graph.Builders.path_graph 6) in
   Alcotest.(check int) "worst source on path" 5
     (Core.Flooding.worst_source_time ~rng:(rng_of_seed 12) dyn);
   Alcotest.(check int) "restricted sources" 3

@@ -51,7 +51,7 @@ let test_validation () =
      with Invalid_argument _ -> true)
 
 let test_mean_cover_on_meg_completes () =
-  let dyn = Edge_meg.Classic.make ~n:24 ~p:(2. /. 24.) ~q:0.5 () in
+  let dyn () = Edge_meg.Classic.make ~n:24 ~p:(2. /. 24.) ~q:0.5 () in
   let cover = Core.Dyn_walk.mean_cover_time ~cap:20_000 ~rng:(rng_of_seed 8) ~trials:5 dyn in
   check_true "covers a sparse MEG" (cover < 20_000.)
 

@@ -1,0 +1,135 @@
+open Helpers
+
+(* --- scheduler construction --- *)
+
+let test_workers () =
+  Alcotest.(check int) "sequential" 1 (Exec.workers Exec.sequential);
+  Alcotest.(check int) "pool 1 is sequential" 1 (Exec.workers (Exec.pool 1));
+  Alcotest.(check int) "pool 3" 3 (Exec.workers (Exec.pool 3));
+  check_true "pool clamps huge requests" (Exec.workers (Exec.pool 10_000) <= 10_000);
+  check_true "pool 0 rejected"
+    (try
+       ignore (Exec.pool 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_int () =
+  Alcotest.(check int) "of_int 0" 1 (Exec.workers (Exec.of_int 0));
+  Alcotest.(check int) "of_int -3" 1 (Exec.workers (Exec.of_int (-3)));
+  Alcotest.(check int) "of_int 2" 2 (Exec.workers (Exec.of_int 2))
+
+(* --- plan execution --- *)
+
+let square_plan n =
+  Exec.plan ~jobs:n ~job:(fun i -> i * i) ~reduce:(fun a -> Array.to_list a)
+
+(* Results must land at their job's index no matter which domain ran
+   it, and the reducer must see them in index order. *)
+let test_order_preserved () =
+  let expect = List.init 100 (fun i -> i * i) in
+  Alcotest.(check (list int)) "sequential" expect (Exec.run Exec.sequential (square_plan 100));
+  Alcotest.(check (list int)) "pool 2" expect (Exec.run (Exec.pool 2) (square_plan 100));
+  Alcotest.(check (list int)) "pool 4" expect (Exec.run (Exec.pool 4) (square_plan 100))
+
+let test_map () =
+  let a = Exec.map (Exec.pool 3) ~jobs:17 (fun i -> 2 * i) in
+  Alcotest.(check int) "length" 17 (Array.length a);
+  Array.iteri (fun i v -> Alcotest.(check int) "value" (2 * i) v) a
+
+let test_empty_and_tiny () =
+  Alcotest.(check (list int)) "zero jobs" [] (Exec.run (Exec.pool 4) (square_plan 0));
+  Alcotest.(check (list int)) "one job" [ 0 ] (Exec.run (Exec.pool 4) (square_plan 1));
+  Alcotest.(check (list int)) "fewer jobs than workers" [ 0; 1; 4 ]
+    (Exec.run (Exec.pool 4) (square_plan 3))
+
+(* A raising job must propagate out of [run] (not hang the pool, not
+   get swallowed by a worker domain). *)
+exception Boom
+
+let test_exception_propagates () =
+  let plan =
+    Exec.plan ~jobs:50
+      ~job:(fun i -> if i = 31 then raise Boom else i)
+      ~reduce:(fun _ -> ())
+  in
+  check_true "sequential raises"
+    (try
+       Exec.run Exec.sequential plan;
+       false
+     with Boom -> true);
+  check_true "pool raises"
+    (try
+       Exec.run (Exec.pool 4) plan;
+       false
+     with Boom -> true)
+
+(* A plan run from inside a pool job must fall back to sequential and
+   still return the right answer (no nested domain explosion). *)
+let test_nested_plan () =
+  let outer =
+    Exec.plan ~jobs:6
+      ~job:(fun i ->
+        let inner = Exec.plan ~jobs:5 ~job:(fun j -> i * j) ~reduce:(Array.fold_left ( + ) 0) in
+        Exec.run (Exec.pool 4) inner)
+      ~reduce:(fun a -> Array.to_list a)
+  in
+  let expect = List.init 6 (fun i -> i * 10) in
+  Alcotest.(check (list int)) "nested totals" expect (Exec.run (Exec.pool 3) outer)
+
+(* --- determinism of the full pipeline --- *)
+
+(* The tentpole invariant: `run all` output is byte-identical for every
+   worker count. Render every experiment through the one shared code
+   path at quick scale and compare the concatenated bytes. *)
+let rendered ~sched seed =
+  Simulate.Registry.run_each ~sched ~rng:(rng_of_seed seed) ~scale:Simulate.Runner.Quick ()
+  |> List.map (fun (_, output, _) -> output)
+  |> String.concat ""
+
+let test_run_all_bytes_workers_seed42 () =
+  let seq = rendered ~sched:Exec.sequential 42 in
+  check_true "rendered something" (String.length seq > 2_000);
+  Alcotest.(check string) "pool 4 = sequential" seq (rendered ~sched:(Exec.pool 4) 42)
+
+let test_run_all_bytes_workers_seed7 () =
+  let seq = rendered ~sched:Exec.sequential 7 in
+  Alcotest.(check string) "pool 2 = sequential" seq (rendered ~sched:(Exec.pool 2) 7)
+
+(* Same invariant one layer down: a single experiment's trial plans
+   under a pool vs sequentially. E12 fans one job per trial. *)
+let test_single_experiment_bytes () =
+  let e12 =
+    List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E12") Simulate.Registry.all
+  in
+  let render sched =
+    fst
+      (Simulate.Registry.render_one ~sched ~rng:(rng_of_seed 11)
+         ~scale:Simulate.Runner.Quick e12)
+  in
+  Alcotest.(check string) "E12 pool 4 = sequential" (render Exec.sequential)
+    (render (Exec.pool 4))
+
+let suites =
+  [
+    ( "exec.scheduler",
+      [
+        Alcotest.test_case "workers" `Quick test_workers;
+        Alcotest.test_case "of_int" `Quick test_of_int;
+      ] );
+    ( "exec.plan",
+      [
+        Alcotest.test_case "order preserved" `Quick test_order_preserved;
+        Alcotest.test_case "map" `Quick test_map;
+        Alcotest.test_case "empty and tiny" `Quick test_empty_and_tiny;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "nested plan" `Quick test_nested_plan;
+      ] );
+    ( "exec.determinism",
+      [
+        Alcotest.test_case "run all bytes, 4 workers, seed 42" `Slow
+          test_run_all_bytes_workers_seed42;
+        Alcotest.test_case "run all bytes, 2 workers, seed 7" `Slow
+          test_run_all_bytes_workers_seed7;
+        Alcotest.test_case "single experiment bytes" `Slow test_single_experiment_bytes;
+      ] );
+  ]

@@ -6,6 +6,7 @@ let () =
     (List.concat
        [
          Test_prng.suites;
+         Test_exec.suites;
          Test_stats.suites;
          Test_graph.suites;
          Test_markov.suites;

@@ -31,14 +31,14 @@ let test_runner_pick_trials () =
   Alcotest.(check int) "pick full" 2 (Simulate.Runner.pick Simulate.Runner.Full 1 2)
 
 let test_runner_flood_complete_graph () =
-  let dyn = Core.Dynamic.of_static (Graph.Builders.complete 12) in
+  let dyn () = Core.Dynamic.of_static (Graph.Builders.complete 12) in
   let s = Simulate.Runner.flood ~rng:(rng_of_seed 1) ~trials:4 dyn in
   check_close "one step always" 1. s.mean;
   check_close "no spread" 0. s.stddev;
   check_true "not capped" (not s.capped)
 
 let test_runner_flood_capped () =
-  let dyn = Core.Dynamic.of_static (Graph.Static.of_edges ~n:3 [ (0, 1) ]) in
+  let dyn () = Core.Dynamic.of_static (Graph.Static.of_edges ~n:3 [ (0, 1) ]) in
   let s = Simulate.Runner.flood ~rng:(rng_of_seed 2) ~trials:2 ~cap:25 dyn in
   check_true "capped flag set" s.capped;
   check_close "mean is the cap" 25. s.mean
@@ -55,7 +55,7 @@ let test_ratio_cell () =
 let test_e1_end_to_end () =
   let tables =
     (List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E1") Simulate.Registry.all).run
-      ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
+      ~sched:Exec.sequential ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
   in
   Alcotest.(check int) "three tables" 3 (List.length tables);
   let main = List.hd tables in
@@ -66,7 +66,7 @@ let test_e1_end_to_end () =
 let test_e5_end_to_end () =
   let tables =
     (List.find (fun (e : Simulate.Registry.experiment) -> e.id = "E5") Simulate.Registry.all).run
-      ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
+      ~sched:Exec.sequential ~rng:(rng_of_seed 42) ~scale:Simulate.Runner.Quick
   in
   let t = List.hd tables in
   Alcotest.(check int) "four rows" 4 (Stats.Table.n_rows t);

@@ -115,7 +115,7 @@ let test_iid_matches_simulation () =
   let n = 64 in
   let alpha = 3. /. float_of_int n in
   let exact = Theory.Iid_flooding.expected_time ~n ~alpha in
-  let dyn = Edge_meg.Classic.make ~n ~p:alpha ~q:(1. -. alpha) () in
+  let dyn () = Edge_meg.Classic.make ~n ~p:alpha ~q:(1. -. alpha) () in
   let s = Core.Flooding.mean_time ~rng:(rng_of_seed 60) ~trials:300 dyn in
   check_close_rel ~rel:0.05 "simulation matches exact expectation" exact
     (Stats.Summary.mean s)
