@@ -8,8 +8,15 @@
 
    Part 2 is a Bechamel micro-benchmark suite for the hot primitives
    (one Test.make per primitive, grouped in one run): model stepping,
-   snapshot enumeration, flooding end-to-end, chain stepping, pair
-   decoding and spatial hashing. Skip with --no-micro. *)
+   snapshot enumeration (closure and edge-buffer paths), flooding
+   end-to-end, chain stepping, pair decoding and spatial hashing. Skip
+   with --no-micro.
+
+   Pass --json PATH (or --json auto for BENCH_<date>.json in the
+   current directory) to also write a machine-readable baseline: the
+   wall-clock seconds of every claim table plus the Bechamel OLS
+   ns/run estimate of every micro-benchmark. Subsequent PRs regress
+   against the recorded file. *)
 
 open Bechamel
 
@@ -27,14 +34,31 @@ let sched () =
   in
   match from_argv 1 with Some w -> Exec.of_int w | None -> Exec.default ()
 
+let json_path () =
+  let rec from_argv i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else from_argv (i + 1)
+  in
+  match from_argv 1 with
+  | Some "auto" ->
+      let tm = Unix.localtime (Unix.gettimeofday ()) in
+      Some
+        (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+  | p -> p
+
 let claim_tables () =
   let rng = Prng.Rng.of_seed 42 in
   let sched = sched () in
   Printf.printf "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s)) ====\n\n"
     (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick")
     (Exec.workers sched);
-  let all_passed = Simulate.Registry.run_all ~sched ~rng ~scale:(scale ()) () in
-  if not all_passed then print_endline "WARNING: some reproduction checks failed"
+  let all_passed, timed =
+    Simulate.Registry.run_all_timed ~sched ~clock:Unix.gettimeofday ~rng ~scale:(scale ()) ()
+  in
+  if not all_passed then print_endline "WARNING: some reproduction checks failed";
+  timed
 
 (* --- micro-benchmarks --- *)
 
@@ -79,6 +103,7 @@ let micro_tests () =
   let waypoint_dyn = Mobility.Geo.dynamic waypoint in
   let node_meg = prepared_node_meg n in
   let rp = prepared_rp 144 in
+  let fill_buf = Graph.Edge_buffer.create ~capacity:(8 * n) () in
   let chain =
     Markov.Chain.of_rows
       (Array.init 64 (fun s -> Array.init 8 (fun j -> ((s + j + 1) mod 64, 1.))))
@@ -96,15 +121,21 @@ let micro_tests () =
       (Staged.stage (fun () -> Core.Dynamic.step edge_meg));
     Test.make ~name:"edge_meg.snapshot n=256"
       (Staged.stage (fun () -> ignore (Core.Dynamic.edge_count edge_meg)));
+    Test.make ~name:"edge_meg.fill_edges n=256"
+      (Staged.stage (fun () -> Core.Dynamic.fill_edges edge_meg fill_buf));
     Test.make ~name:"waypoint.step n=256" (Staged.stage (fun () -> Mobility.Geo.step waypoint));
     Test.make ~name:"waypoint.step+edges n=256"
       (Staged.stage (fun () ->
            Mobility.Geo.step waypoint;
            ignore (Core.Dynamic.edge_count waypoint_dyn)));
+    Test.make ~name:"waypoint.fill_edges n=256"
+      (Staged.stage (fun () -> Core.Dynamic.fill_edges waypoint_dyn fill_buf));
     Test.make ~name:"node_meg.step n=256 k=16"
       (Staged.stage (fun () -> Core.Dynamic.step node_meg));
     Test.make ~name:"node_meg.snapshot n=256"
       (Staged.stage (fun () -> ignore (Core.Dynamic.edge_count node_meg)));
+    Test.make ~name:"node_meg.fill_edges n=256"
+      (Staged.stage (fun () -> Core.Dynamic.fill_edges node_meg fill_buf));
     Test.make ~name:"rp_model.step n=144 grid 12x12"
       (Staged.stage (fun () -> Core.Dynamic.step rp));
     Test.make ~name:"flooding.end_to_end edge-MEG n=128"
@@ -134,18 +165,73 @@ let run_micro () =
     Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  List.iter
-    (fun (name, result) ->
-      let ns =
-        match Analyze.OLS.estimates result with
-        | Some (e :: _) -> e
-        | Some [] | None -> nan
-      in
-      let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
-      Stats.Table.add_row table [ Text name; Fixed (ns, 1); Fixed (r2, 4) ])
-    rows;
-  print_string (Stats.Table.render table)
+  let numeric =
+    List.map
+      (fun (name, result) ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+        Stats.Table.add_row table [ Text name; Fixed (ns, 1); Fixed (r2, 4) ];
+        (name, ns, r2))
+      rows
+  in
+  print_string (Stats.Table.render table);
+  numeric
+
+(* --- machine-readable baseline --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json path ~claims ~micro =
+  let oc = open_out path in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/1\",\n";
+  Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  Printf.fprintf oc "  \"scale\": \"%s\",\n"
+    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick");
+  Printf.fprintf oc "  \"seed\": 42,\n";
+  Printf.fprintf oc "  \"workers\": %d,\n" (Exec.workers (sched ()));
+  Printf.fprintf oc "  \"claims\": [\n";
+  List.iteri
+    (fun i ((e : Simulate.Registry.experiment), passed, seconds) ->
+      Printf.fprintf oc "    {\"id\": \"%s\", \"title\": \"%s\", \"passed\": %b, \"seconds\": %s}%s\n"
+        (json_escape e.id) (json_escape e.title) passed (json_float seconds)
+        (if i = List.length claims - 1 then "" else ","))
+    claims;
+  Printf.fprintf oc "  ],\n  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
 
 let () =
-  claim_tables ();
-  if not (Array.exists (( = ) "--no-micro") Sys.argv) then run_micro ()
+  let claims = claim_tables () in
+  let micro =
+    if Array.exists (( = ) "--no-micro") Sys.argv then [] else run_micro ()
+  in
+  match json_path () with
+  | None -> ()
+  | Some path ->
+      write_json path ~claims ~micro;
+      Printf.printf "\nwrote %s\n" path

@@ -3,11 +3,22 @@ type t = {
   reset : Prng.Rng.t -> unit;
   step : unit -> unit;
   iter_edges : (int -> int -> unit) -> unit;
+  fill_edges : Graph.Edge_buffer.t -> unit;
+      (* Appends the current snapshot's edges to the buffer, in exactly
+         the order [iter_edges] visits them (consumers draw per-edge
+         randomness in enumeration order, so the two paths must agree).
+         Append — not fill — so that combinators compose; the public
+         [fill_edges] clears first. *)
 }
 
-let make ~n ~reset ~step ~iter_edges =
+let make ?fill_edges ~n ~reset ~step ~iter_edges () =
   if n < 1 then invalid_arg "Dynamic.make: n must be >= 1";
-  { n; reset; step; iter_edges }
+  let fill_edges =
+    match fill_edges with
+    | Some fill -> fill
+    | None -> fun buf -> iter_edges (fun u v -> Graph.Edge_buffer.push buf u v)
+  in
+  { n; reset; step; iter_edges; fill_edges }
 
 let n t = t.n
 
@@ -17,12 +28,19 @@ let step t = t.step ()
 
 let iter_edges t f = t.iter_edges f
 
+let fill_edges t buf =
+  Graph.Edge_buffer.clear buf;
+  t.fill_edges buf
+
 let snapshot_edges t =
   let acc = ref [] in
   t.iter_edges (fun u v -> acc := (min u v, max u v) :: !acc);
   List.sort_uniq compare !acc
 
-let snapshot_graph t = Graph.Static.of_edges ~n:t.n (snapshot_edges t)
+let snapshot_graph t =
+  let buf = Graph.Edge_buffer.create ~capacity:256 () in
+  t.fill_edges buf;
+  Graph.Static.of_buffer ~n:t.n buf
 
 let adjacency t =
   let adj = Array.make t.n [] in
@@ -46,27 +64,32 @@ let isolated_fraction t =
   float_of_int !isolated /. float_of_int t.n
 
 let of_static g =
-  {
-    n = Graph.Static.n g;
-    reset = (fun _ -> ());
-    step = (fun () -> ());
-    iter_edges = (fun f -> Graph.Static.iter_edges g f);
-  }
+  make
+    ~n:(Graph.Static.n g)
+    ~reset:(fun _ -> ())
+    ~step:(fun () -> ())
+    ~iter_edges:(fun f -> Graph.Static.iter_edges g f)
+    ~fill_edges:(fun buf -> Graph.Static.to_buffer g buf)
+    ()
 
 let of_snapshots ~n snapshots =
   if Array.length snapshots = 0 then invalid_arg "Dynamic.of_snapshots: empty sequence";
   let idx = ref 0 in
-  {
-    n;
-    reset = (fun _ -> idx := 0);
-    step = (fun () -> idx := (!idx + 1) mod Array.length snapshots);
-    iter_edges = (fun f -> List.iter (fun (u, v) -> f u v) snapshots.(!idx));
-  }
+  make ~n
+    ~reset:(fun _ -> idx := 0)
+    ~step:(fun () -> idx := (!idx + 1) mod Array.length snapshots)
+    ~iter_edges:(fun f -> List.iter (fun (u, v) -> f u v) snapshots.(!idx))
+    ~fill_edges:(fun buf ->
+      List.iter (fun (u, v) -> Graph.Edge_buffer.push buf u v) snapshots.(!idx))
+    ()
 
 let filter_edges ~p_keep inner =
   if not (p_keep >= 0. && p_keep <= 1.) then
     invalid_arg "Dynamic.filter_edges: p_keep outside [0, 1]";
-  let rng = ref (Prng.Rng.of_seed 0) in
+  (* No RNG exists until the first [reset]: enumerating edges before one
+     is a contract violation and raises, rather than silently drawing
+     from a fixed fallback stream (see dynamic.mli). *)
+  let rng = ref None in
   (* The filter decision for an edge must be stable within one snapshot
      (iter_edges may be called several times between steps), so decisions
      are cached per step and invalidated on step/reset. *)
@@ -77,51 +100,54 @@ let filter_edges ~p_keep inner =
     match Hashtbl.find_opt cache key with
     | Some b -> b
     | None ->
-        let b = Prng.Rng.bernoulli !rng p_keep in
+        let r =
+          match !rng with
+          | Some r -> r
+          | None -> invalid_arg "Dynamic.filter_edges: snapshot read before first reset"
+        in
+        let b = Prng.Rng.bernoulli r p_keep in
         Hashtbl.add cache key b;
         b
   in
-  {
-    n = inner.n;
-    reset =
-      (fun r ->
-        inner.reset (Prng.Rng.split r);
-        rng := Prng.Rng.split r;
-        invalidate ());
-    step =
-      (fun () ->
-        inner.step ();
-        invalidate ());
-    iter_edges = (fun f -> inner.iter_edges (fun u v -> if keep u v then f u v));
-  }
+  let scratch = Graph.Edge_buffer.create ~capacity:256 () in
+  make ~n:inner.n
+    ~reset:(fun r ->
+      inner.reset (Prng.Rng.split r);
+      rng := Some (Prng.Rng.split r);
+      invalidate ())
+    ~step:(fun () ->
+      inner.step ();
+      invalidate ())
+    ~iter_edges:(fun f -> inner.iter_edges (fun u v -> if keep u v then f u v))
+    ~fill_edges:(fun buf ->
+      Graph.Edge_buffer.clear scratch;
+      inner.fill_edges scratch;
+      Graph.Edge_buffer.iter scratch (fun u v ->
+          if keep u v then Graph.Edge_buffer.push buf u v))
+    ()
 
 let subsample ~every inner =
   if every < 1 then invalid_arg "Dynamic.subsample: every must be >= 1";
-  {
-    n = inner.n;
-    reset = inner.reset;
-    step =
-      (fun () ->
-        for _ = 1 to every do
-          inner.step ()
-        done);
-    iter_edges = inner.iter_edges;
-  }
+  make ~n:inner.n ~reset:inner.reset
+    ~step:(fun () ->
+      for _ = 1 to every do
+        inner.step ()
+      done)
+    ~iter_edges:inner.iter_edges ~fill_edges:inner.fill_edges ()
 
 let union a b =
   if a.n <> b.n then invalid_arg "Dynamic.union: node-count mismatch";
-  {
-    n = a.n;
-    reset =
-      (fun r ->
-        a.reset (Prng.Rng.split r);
-        b.reset (Prng.Rng.split r));
-    step =
-      (fun () ->
-        a.step ();
-        b.step ());
-    iter_edges =
-      (fun f ->
-        a.iter_edges f;
-        b.iter_edges f);
-  }
+  make ~n:a.n
+    ~reset:(fun r ->
+      a.reset (Prng.Rng.split r);
+      b.reset (Prng.Rng.split r))
+    ~step:(fun () ->
+      a.step ();
+      b.step ())
+    ~iter_edges:(fun f ->
+      a.iter_edges f;
+      b.iter_edges f)
+    ~fill_edges:(fun buf ->
+      a.fill_edges buf;
+      b.fill_edges buf)
+    ()

@@ -17,12 +17,22 @@
 type t
 
 val make :
+  ?fill_edges:(Graph.Edge_buffer.t -> unit) ->
   n:int ->
   reset:(Prng.Rng.t -> unit) ->
   step:(unit -> unit) ->
   iter_edges:((int -> int -> unit) -> unit) ->
+  unit ->
   t
-(** Wrap a model. [n] is the (fixed) number of nodes. *)
+(** Wrap a model. [n] is the (fixed) number of nodes.
+
+    [fill_edges], when given, must {e append} the current snapshot's
+    edges to the buffer — in exactly the order [iter_edges] visits them,
+    because consumers (Push flooding, {!filter_edges}) draw per-edge
+    randomness in enumeration order, so the two paths must be
+    interchangeable. When omitted it is derived from [iter_edges];
+    models provide a native implementation to skip the closure hop and
+    any per-snapshot list building. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -36,6 +46,13 @@ val step : t -> unit
 
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterate the current snapshot's edges, each exactly once. *)
+
+val fill_edges : t -> Graph.Edge_buffer.t -> unit
+(** [fill_edges t buf] clears [buf] and writes the current snapshot's
+    edges into it, in {!iter_edges} order. The allocation-free snapshot
+    read: with a model-native implementation no intermediate list or
+    closure chain is built, and a caller reusing one buffer across
+    steps enumerates edges with zero steady-state allocation. *)
 
 val snapshot_edges : t -> (int * int) list
 (** Materialise the current snapshot as an edge list with [u < v]. *)
@@ -64,7 +81,14 @@ val filter_edges : p_keep:float -> t -> t
     paper's Section 5: each snapshot edge of [g] is kept independently
     with probability [p_keep], fresh randomness each step. Resetting the
     filtered process resets [g] with a split of the provided generator
-    and re-seeds the filter with another split. *)
+    and re-seeds the filter with another split.
+
+    The filter has no generator until the first {!reset}: enumerating
+    the snapshot before one raises [Invalid_argument] (it used to draw
+    silently from a fixed fallback stream seeded with 0). Within one
+    snapshot, keep decisions are cached per edge, so repeated
+    enumerations agree; the coins are drawn in first-enumeration
+    order. *)
 
 val union : t -> t -> t
 (** Superposition of two processes on the same node set: an edge is

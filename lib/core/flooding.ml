@@ -4,6 +4,15 @@ type result = { time : int option; trajectory : int array; arrivals : int array 
 
 let default_cap n = 10_000 + (200 * n)
 
+(* The kernel allocates its working set once per run and nothing per
+   round: the informed set is a byte-per-node bitset, newly reached
+   nodes go into an int-array frontier (deduplicated through [queued],
+   so its capacity [n] suffices), the trajectory grows into a reused
+   int buffer, and each snapshot is enumerated out of one Edge_buffer
+   refilled in place. Observable behaviour is identical to the original
+   list-based kernel: the frontier holds the same node set the [fresh]
+   list held, and the protocol's coins ([transmits]) are drawn at the
+   same point of the same edge enumeration order. *)
 let run ?cap ?(protocol = Flood) ~rng ~source g =
   let n = Dynamic.n g in
   if source < 0 || source >= n then invalid_arg "Flooding.run: source out of range";
@@ -14,47 +23,67 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   | Flood | Push _ | Parsimonious _ -> ());
   let cap = match cap with Some c -> c | None -> default_cap n in
   Dynamic.reset g (Prng.Rng.split rng);
-  let informed = Array.make n false in
+  let informed = Bytes.make n '\000' in
+  let queued = Bytes.make n '\000' in
   let informed_at = Array.make n max_int in
-  informed.(source) <- true;
+  Bytes.unsafe_set informed source '\001';
   informed_at.(source) <- 0;
   let n_informed = ref 1 in
-  let trajectory = ref [ 1 ] in
-  let fresh = ref [] in
+  let traj = ref (Array.make 256 0) in
+  let traj_len = ref 0 in
+  let push_traj v =
+    if !traj_len = Array.length !traj then begin
+      let bigger = Array.make (2 * !traj_len) 0 in
+      Array.blit !traj 0 bigger 0 !traj_len;
+      traj := bigger
+    end;
+    !traj.(!traj_len) <- v;
+    incr traj_len
+  in
+  push_traj 1;
+  let frontier = Array.make n 0 in
+  let frontier_len = ref 0 in
+  let edges = Graph.Edge_buffer.create ~capacity:(4 * n) () in
   let t = ref 0 in
   let active u =
     match protocol with
-    | Flood | Push _ -> informed.(u)
-    | Parsimonious k -> informed.(u) && !t - informed_at.(u) < k
+    | Flood | Push _ -> Bytes.unsafe_get informed u <> '\000'
+    | Parsimonious k -> Bytes.unsafe_get informed u <> '\000' && !t - informed_at.(u) < k
   in
   let transmits () =
     match protocol with Push p -> Prng.Rng.bernoulli rng p | Flood | Parsimonious _ -> true
   in
   let consider sender receiver =
-    if active sender && (not informed.(receiver)) && transmits () then
-      fresh := receiver :: !fresh
+    if active sender && Bytes.unsafe_get informed receiver = '\000' && transmits () then
+      if Bytes.unsafe_get queued receiver = '\000' then begin
+        Bytes.unsafe_set queued receiver '\001';
+        Array.unsafe_set frontier !frontier_len receiver;
+        incr frontier_len
+      end
   in
   while !n_informed < n && !t < cap do
     (* Edges of E_t determine I_{t+1}. *)
-    fresh := [];
-    Dynamic.iter_edges g (fun u v ->
-        consider u v;
-        consider v u);
+    frontier_len := 0;
+    Dynamic.fill_edges g edges;
+    for i = 0 to Graph.Edge_buffer.length edges - 1 do
+      let u = Graph.Edge_buffer.src edges i and v = Graph.Edge_buffer.dst edges i in
+      consider u v;
+      consider v u
+    done;
     incr t;
-    List.iter
-      (fun v ->
-        if not informed.(v) then begin
-          informed.(v) <- true;
-          informed_at.(v) <- !t;
-          incr n_informed
-        end)
-      !fresh;
-    trajectory := !n_informed :: !trajectory;
+    for i = 0 to !frontier_len - 1 do
+      let v = Array.unsafe_get frontier i in
+      Bytes.unsafe_set queued v '\000';
+      Bytes.unsafe_set informed v '\001';
+      informed_at.(v) <- !t;
+      incr n_informed
+    done;
+    push_traj !n_informed;
     Dynamic.step g
   done;
   {
     time = (if !n_informed = n then Some !t else None);
-    trajectory = Array.of_list (List.rev !trajectory);
+    trajectory = Array.sub !traj 0 !traj_len;
     arrivals = Array.map (fun at -> if at = max_int then -1 else at) informed_at;
   }
 

@@ -62,7 +62,16 @@ let make ?(init = Stationary) ~n ~p ~q () =
         f u v)
       st.present
   in
-  Core.Dynamic.make ~n ~reset ~step ~iter_edges
+  (* Same Hashtbl.iter as [iter_edges] (the enumeration orders must
+     agree), pushing straight into the buffer. *)
+  let fill_edges buf =
+    Hashtbl.iter
+      (fun idx () ->
+        let u, v = Graph.Pairs.decode n idx in
+        Graph.Edge_buffer.push buf u v)
+      st.present
+  in
+  Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges ()
 
 let params ~p ~q = Markov.Two_state.make ~p ~q
 

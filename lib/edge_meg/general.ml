@@ -37,7 +37,15 @@ let make ?(init = `Stationary) ~n ~chain ~chi () =
       end
     done
   in
-  Core.Dynamic.make ~n ~reset ~step ~iter_edges
+  let fill_edges buf =
+    for idx = 0 to total - 1 do
+      if chi states.(idx) then begin
+        let u, v = Graph.Pairs.decode n idx in
+        Graph.Edge_buffer.push buf u v
+      end
+    done
+  in
+  Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges ()
 
 let bound ~chain ~chi ~n =
   let alpha = stationary_alpha ~chain ~chi in

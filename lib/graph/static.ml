@@ -4,6 +4,38 @@ type t = {
   targets : int array;   (* concatenated sorted neighbour lists *)
 }
 
+let of_buffer ~n buf =
+  if n < 0 then invalid_arg "Static.of_buffer: negative n";
+  Edge_buffer.iter buf (fun u v ->
+      if u = v then invalid_arg "Static.of_buffer: self-loop";
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Static.of_buffer: endpoint out of range");
+  Edge_buffer.sort_dedup buf;
+  let e = Edge_buffer.length buf in
+  let deg = Array.make n 0 in
+  for i = 0 to e - 1 do
+    deg.(Edge_buffer.src buf i) <- deg.(Edge_buffer.src buf i) + 1;
+    deg.(Edge_buffer.dst buf i) <- deg.(Edge_buffer.dst buf i) + 1
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + deg.(i)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  for i = 0 to e - 1 do
+    let u = Edge_buffer.src buf i and v = Edge_buffer.dst buf i in
+    targets.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    targets.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  (* Rows come out sorted without a per-row pass: row w first receives
+     its partners u < w, from edges (u, w) in ascending u, then its
+     partners v > w, from edges (w, v) in ascending v — the buffer's
+     lexicographic order sorts every adjacency slice. *)
+  { n; offsets; targets }
+
 let of_edge_array ~n edges =
   if n < 0 then invalid_arg "Static.of_edge_array: negative n";
   Array.iter
@@ -12,40 +44,19 @@ let of_edge_array ~n edges =
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Static.of_edge_array: endpoint out of range")
     edges;
-  (* Deduplicate on normalised orientation. *)
-  let norm = Array.map (fun (u, v) -> if u < v then (u, v) else (v, u)) edges in
-  Array.sort compare norm;
-  let uniq = ref [] in
-  Array.iteri (fun i e -> if i = 0 || e <> norm.(i - 1) then uniq := e :: !uniq) norm;
-  let uniq = Array.of_list (List.rev !uniq) in
-  let deg = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    uniq;
-  let offsets = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    offsets.(i + 1) <- offsets.(i) + deg.(i)
-  done;
-  let targets = Array.make offsets.(n) 0 in
-  let cursor = Array.copy offsets in
-  Array.iter
-    (fun (u, v) ->
-      targets.(cursor.(u)) <- v;
-      cursor.(u) <- cursor.(u) + 1;
-      targets.(cursor.(v)) <- u;
-      cursor.(v) <- cursor.(v) + 1)
-    uniq;
-  for u = 0 to n - 1 do
-    let lo = offsets.(u) and hi = offsets.(u + 1) in
-    let slice = Array.sub targets lo (hi - lo) in
-    Array.sort compare slice;
-    Array.blit slice 0 targets lo (hi - lo)
-  done;
-  { n; offsets; targets }
+  let buf = Edge_buffer.create ~capacity:(max 1 (Array.length edges)) () in
+  Array.iter (fun (u, v) -> Edge_buffer.push buf u v) edges;
+  of_buffer ~n buf
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+let to_buffer g buf =
+  for u = 0 to g.n - 1 do
+    for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      let v = g.targets.(i) in
+      if u < v then Edge_buffer.push buf u v
+    done
+  done
 
 let n g = g.n
 

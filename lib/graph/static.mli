@@ -12,7 +12,20 @@ val of_edges : n:int -> (int * int) list -> t
     or out-of-range endpoints. *)
 
 val of_edge_array : n:int -> (int * int) array -> t
-(** Array variant of {!of_edges}. *)
+(** Array variant of {!of_edges}. Sorting and deduplication happen in
+    place on an int-array edge buffer; no intermediate lists are
+    built. *)
+
+val of_buffer : n:int -> Edge_buffer.t -> t
+(** Build the CSR form straight from an {!Edge_buffer}, with no
+    intermediate lists or tuple arrays. Same contract as {!of_edges}
+    (either orientation, duplicates collapsed, self-loops rejected).
+    The buffer is sorted and deduplicated {e in place} as a side
+    effect; its storage is not retained by the graph. *)
+
+val to_buffer : t -> Edge_buffer.t -> unit
+(** Append every edge to the buffer, with [u < v], in the order of
+    {!iter_edges}. Does not clear the buffer first. *)
 
 val n : t -> int
 (** Number of vertices. *)

@@ -7,7 +7,7 @@ type t = {
   reset_node : Prng.Rng.t -> int -> unit;
   move_node : Prng.Rng.t -> int -> unit;
   mutable node_rngs : Prng.Rng.t array;
-  mutable edges : (int * int) list;
+  edges : Graph.Edge_buffer.t;
   mutable edges_valid : bool;
 }
 
@@ -25,7 +25,7 @@ let make ~n ~l ~r ~xs ~ys ~reset_node ~move_node =
     reset_node;
     move_node;
     node_rngs = Array.init n (fun i -> Prng.Rng.of_seed i);
-    edges = [];
+    edges = Graph.Edge_buffer.create ~capacity:(4 * n) ();
     edges_valid = false;
   }
 
@@ -52,17 +52,27 @@ let step t =
   done;
   t.edges_valid <- false
 
-let current_edges t =
+let refresh_edges t =
   if not t.edges_valid then begin
-    let acc = ref [] in
-    Space.iter_close_pairs ~l:t.l ~r:t.r ~xs:t.xs ~ys:t.ys (fun i j -> acc := (i, j) :: !acc);
-    t.edges <- !acc;
+    Graph.Edge_buffer.clear t.edges;
+    Space.iter_close_pairs ~l:t.l ~r:t.r ~xs:t.xs ~ys:t.ys (fun i j ->
+        Graph.Edge_buffer.push t.edges i j);
+    (* The pre-buffer cache was a cons list, so consumers saw close
+       pairs in reverse visit order; enumeration order feeds RNG-coupled
+       consumers (Push coins, edge filters), so it is pinned by golden
+       tests and preserved here with one in-place reversal. *)
+    Graph.Edge_buffer.reverse_in_place t.edges;
     t.edges_valid <- true
-  end;
-  t.edges
+  end
 
 let dynamic t =
   Core.Dynamic.make ~n:t.n
     ~reset:(fun rng -> reset t rng)
     ~step:(fun () -> step t)
-    ~iter_edges:(fun f -> List.iter (fun (u, v) -> f u v) (current_edges t))
+    ~iter_edges:(fun f ->
+      refresh_edges t;
+      Graph.Edge_buffer.iter t.edges f)
+    ~fill_edges:(fun buf ->
+      refresh_edges t;
+      Graph.Edge_buffer.append t.edges ~into:buf)
+    ()

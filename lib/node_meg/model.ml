@@ -39,33 +39,52 @@ let make_observable ?(init = Stationary) ~n ~chain ~connect () =
       states.(i) <- Markov.Chain.step chain !rng states.(i)
     done
   in
-  let iter_edges f =
-    (* Bucket nodes by state, then emit cross products for connected
-       state pairs (and within-bucket pairs for self-connected states). *)
-    let buckets = Array.make s [] in
-    for i = n - 1 downto 0 do
-      buckets.(states.(i)) <- i :: buckets.(states.(i))
+  (* Bucket nodes by state with a counting sort into reused scratch
+     arrays, then emit cross products for connected state pairs (and
+     within-bucket pairs for self-connected states). Buckets are in
+     ascending state order and ascending node order within a bucket —
+     the same emission order the old per-call list buckets produced,
+     now without any per-snapshot allocation. *)
+  let bucket_start = Array.make (s + 1) 0 in
+  let bucket_cursor = Array.make s 0 in
+  let members = Array.make n 0 in
+  let emit_edges f =
+    Array.fill bucket_cursor 0 s 0;
+    for i = 0 to n - 1 do
+      bucket_cursor.(states.(i)) <- bucket_cursor.(states.(i)) + 1
+    done;
+    bucket_start.(0) <- 0;
+    for x = 0 to s - 1 do
+      bucket_start.(x + 1) <- bucket_start.(x) + bucket_cursor.(x);
+      bucket_cursor.(x) <- bucket_start.(x)
+    done;
+    for i = 0 to n - 1 do
+      members.(bucket_cursor.(states.(i))) <- i;
+      bucket_cursor.(states.(i)) <- bucket_cursor.(states.(i)) + 1
     done;
     for x = 0 to s - 1 do
-      match buckets.(x) with
-      | [] -> ()
-      | bx ->
-          if table.((x * s) + x) then begin
-            let rec within = function
-              | [] -> ()
-              | u :: rest ->
-                  List.iter (fun v -> f u v) rest;
-                  within rest
-            in
-            within bx
-          end;
-          for y = x + 1 to s - 1 do
-            if table.((x * s) + y) then
-              List.iter (fun u -> List.iter (fun v -> f u v) buckets.(y)) bx
-          done
+      let lo_x = bucket_start.(x) and hi_x = bucket_start.(x + 1) in
+      if hi_x > lo_x then begin
+        if table.((x * s) + x) then
+          for a = lo_x to hi_x - 1 do
+            for b = a + 1 to hi_x - 1 do
+              f members.(a) members.(b)
+            done
+          done;
+        for y = x + 1 to s - 1 do
+          if table.((x * s) + y) then
+            for a = lo_x to hi_x - 1 do
+              for b = bucket_start.(y) to bucket_start.(y + 1) - 1 do
+                f members.(a) members.(b)
+              done
+            done
+        done
+      end
     done
   in
-  let dyn = Core.Dynamic.make ~n ~reset ~step ~iter_edges in
+  let iter_edges f = emit_edges f in
+  let fill_edges buf = emit_edges (fun u v -> Graph.Edge_buffer.push buf u v) in
+  let dyn = Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges () in
   (dyn, fun () -> Array.copy states)
 
 let make ?init ~n ~chain ~connect () = fst (make_observable ?init ~n ~chain ~connect ())

@@ -39,25 +39,40 @@ let make_observable ?(init = Stationary) ?(hold = 0.) ~n ~family () =
     done
   in
   let current_point i = Family.point_at family path.(i) pos.(i) in
-  let iter_edges f =
-    (* Co-located nodes form a clique. *)
-    let buckets = Array.make n_points [] in
-    for i = n - 1 downto 0 do
+  (* Co-located nodes form a clique. Nodes are bucketed by point with a
+     counting sort into scratch arrays reused across snapshots — points
+     ascending, nodes ascending within a point, the order the old
+     per-call list buckets emitted. *)
+  let bucket_start = Array.make (n_points + 1) 0 in
+  let bucket_cursor = Array.make n_points 0 in
+  let members = Array.make n 0 in
+  let emit_edges f =
+    Array.fill bucket_cursor 0 n_points 0;
+    for i = 0 to n - 1 do
       let p = current_point i in
-      buckets.(p) <- i :: buckets.(p)
+      bucket_cursor.(p) <- bucket_cursor.(p) + 1
     done;
-    Array.iter
-      (fun members ->
-        let rec within = function
-          | [] -> ()
-          | u :: rest ->
-              List.iter (fun v -> f u v) rest;
-              within rest
-        in
-        within members)
-      buckets
+    bucket_start.(0) <- 0;
+    for p = 0 to n_points - 1 do
+      bucket_start.(p + 1) <- bucket_start.(p) + bucket_cursor.(p);
+      bucket_cursor.(p) <- bucket_start.(p)
+    done;
+    for i = 0 to n - 1 do
+      let p = current_point i in
+      members.(bucket_cursor.(p)) <- i;
+      bucket_cursor.(p) <- bucket_cursor.(p) + 1
+    done;
+    for p = 0 to n_points - 1 do
+      for a = bucket_start.(p) to bucket_start.(p + 1) - 1 do
+        for b = a + 1 to bucket_start.(p + 1) - 1 do
+          f members.(a) members.(b)
+        done
+      done
+    done
   in
-  let dyn = Core.Dynamic.make ~n ~reset ~step ~iter_edges in
+  let iter_edges f = emit_edges f in
+  let fill_edges buf = emit_edges (fun u v -> Graph.Edge_buffer.push buf u v) in
+  let dyn = Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges () in
   (dyn, fun () -> Array.init n current_point)
 
 let make ?init ?hold ~n ~family () = fst (make_observable ?init ?hold ~n ~family ())

@@ -76,12 +76,14 @@ let render_one ?(render = Full) ~sched ~rng ~scale (e : experiment) =
   Buffer.add_char buf '\n';
   (Buffer.contents buf, Assess.all_passed checks)
 
-let run_each ?(render = Full) ?(sched = Exec.sequential) ~rng ~scale () =
+let run_each ?(render = Full) ?(sched = Exec.sequential) ?clock ~rng ~scale () =
   let exps = Array.of_list all in
   let rngs = Array.init (Array.length exps) (experiment_rng rng) in
+  let now () = match clock with Some f -> f () | None -> 0. in
   let job i =
+    let started = now () in
     let output, ok = render_one ~render ~sched ~rng:rngs.(i) ~scale exps.(i) in
-    (exps.(i), output, ok)
+    (exps.(i), output, ok, now () -. started)
   in
   Exec.run sched (Exec.plan ~jobs:(Array.length exps) ~job ~reduce:Array.to_list)
 
@@ -103,16 +105,18 @@ let summary_table verdicts =
     verdicts;
   summary
 
-let run_all ?(out = stdout) ?sched ~rng ~scale () =
-  let results = run_each ~render:Full ?sched ~rng ~scale () in
-  List.iter (fun (_, output, _) -> output_string out output) results;
-  let verdicts = List.map (fun (e, _, ok) -> (e, ok)) results in
+let run_all_timed ?(out = stdout) ?sched ?clock ~rng ~scale () =
+  let results = run_each ~render:Full ?sched ?clock ~rng ~scale () in
+  List.iter (fun (_, output, _, _) -> output_string out output) results;
+  let verdicts = List.map (fun (e, _, ok, _) -> (e, ok)) results in
   Printf.fprintf out "%s\n" (Stats.Table.render (summary_table verdicts));
   flush out;
-  List.for_all snd verdicts
+  (List.for_all snd verdicts, List.map (fun (e, _, ok, seconds) -> (e, ok, seconds)) results)
+
+let run_all ?out ?sched ~rng ~scale () = fst (run_all_timed ?out ?sched ~rng ~scale ())
 
 let verify ?(out = stdout) ?sched ~rng ~scale () =
   let results = run_each ~render:Scorecard ?sched ~rng ~scale () in
-  List.iter (fun (_, output, _) -> output_string out output) results;
+  List.iter (fun (_, output, _, _) -> output_string out output) results;
   flush out;
-  List.length (List.filter (fun (_, _, ok) -> not ok) results)
+  List.length (List.filter (fun (_, _, ok, _) -> not ok) results)

@@ -49,13 +49,17 @@ val render_one :
 val run_each :
   ?render:render ->
   ?sched:Exec.scheduler ->
+  ?clock:(unit -> float) ->
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
-  (experiment * string * bool) list
+  (experiment * string * bool * float) list
 (** Run every experiment (concurrently under a pool scheduler), each
     seeded with {!experiment_rng}; results are returned in registry
-    order with their rendered output. *)
+    order with their rendered output and wall-clock duration in
+    seconds. Durations are measured with [clock] (e.g.
+    [Unix.gettimeofday]); without one they are reported as [0.] —
+    the library takes no clock dependency of its own. *)
 
 val run_one :
   ?out:out_channel ->
@@ -76,6 +80,19 @@ val run_all :
   bool
 (** Run every experiment, then print an overall reproduction summary;
     returns whether every check of every experiment passed. *)
+
+val run_all_timed :
+  ?out:out_channel ->
+  ?sched:Exec.scheduler ->
+  ?clock:(unit -> float) ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  unit ->
+  bool * (experiment * bool * float) list
+(** [run_all] plus the per-experiment verdicts and wall-clock seconds
+    (see {!run_each} for the [clock] contract). The printed bytes are
+    identical to {!run_all} at the same seed; the extra data feeds the
+    benchmark harness's machine-readable baseline ([--json]). *)
 
 val verify :
   ?out:out_channel ->

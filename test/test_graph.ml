@@ -211,6 +211,115 @@ let q_random_geometric_bruteforce =
       done;
       List.sort compare !expected = Graph.Static.edges g)
 
+(* --- Edge_buffer --- *)
+
+let test_buffer_push_clear () =
+  let b = Graph.Edge_buffer.create ~capacity:2 () in
+  Alcotest.(check int) "empty" 0 (Graph.Edge_buffer.length b);
+  for i = 0 to 9 do
+    Graph.Edge_buffer.push b i (i + 1)
+  done;
+  Alcotest.(check int) "ten edges" 10 (Graph.Edge_buffer.length b);
+  check_true "grew" (Graph.Edge_buffer.capacity b >= 10);
+  Alcotest.(check int) "src 3" 3 (Graph.Edge_buffer.src b 3);
+  Alcotest.(check int) "dst 3" 4 (Graph.Edge_buffer.dst b 3);
+  let cap = Graph.Edge_buffer.capacity b in
+  Graph.Edge_buffer.clear b;
+  Alcotest.(check int) "cleared" 0 (Graph.Edge_buffer.length b);
+  Alcotest.(check int) "storage kept" cap (Graph.Edge_buffer.capacity b);
+  Graph.Edge_buffer.push b 7 8;
+  Alcotest.(check (list (pair int int))) "reusable" [ (7, 8) ] (Graph.Edge_buffer.to_list b)
+
+let test_buffer_iter_order () =
+  let b = Graph.Edge_buffer.create () in
+  List.iter (fun (u, v) -> Graph.Edge_buffer.push b u v) [ (3, 1); (0, 2); (3, 1) ];
+  let seen = ref [] in
+  Graph.Edge_buffer.iter b (fun u v -> seen := (u, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "buffer order, orientation kept" [ (3, 1); (0, 2); (3, 1) ] (List.rev !seen)
+
+let test_buffer_append_reverse () =
+  let a = Graph.Edge_buffer.create ~capacity:1 () in
+  let b = Graph.Edge_buffer.create () in
+  List.iter (fun (u, v) -> Graph.Edge_buffer.push a u v) [ (0, 1); (2, 3) ];
+  Graph.Edge_buffer.push b 9 8;
+  Graph.Edge_buffer.append a ~into:b;
+  Alcotest.(check (list (pair int int)))
+    "appended after existing" [ (9, 8); (0, 1); (2, 3) ] (Graph.Edge_buffer.to_list b);
+  Alcotest.(check (list (pair int int)))
+    "source unchanged" [ (0, 1); (2, 3) ] (Graph.Edge_buffer.to_list a);
+  check_true "self-append rejected"
+    (try
+       Graph.Edge_buffer.append a ~into:a;
+       false
+     with Invalid_argument _ -> true);
+  Graph.Edge_buffer.reverse_in_place b;
+  Alcotest.(check (list (pair int int)))
+    "reversed, orientation kept" [ (2, 3); (0, 1); (9, 8) ] (Graph.Edge_buffer.to_list b)
+
+(* sort_dedup against the obvious list-based reference. *)
+let q_buffer_sort_dedup =
+  qtest ~count:200 "sort_dedup = sort_uniq of normalised pairs"
+    QCheck2.Gen.(pair seed_gen (int_range 0 200))
+    (fun (seed, len) ->
+      let rng = Prng.Rng.of_seed seed in
+      let b = Graph.Edge_buffer.create () in
+      let edges = ref [] in
+      for _ = 1 to len do
+        let u = Prng.Rng.int rng 12 and v = Prng.Rng.int rng 12 in
+        Graph.Edge_buffer.push b u v;
+        edges := (min u v, max u v) :: !edges
+      done;
+      Graph.Edge_buffer.sort_dedup b;
+      Graph.Edge_buffer.to_list b = List.sort_uniq compare !edges)
+
+(* of_buffer and of_edge_array build the same CSR as the list path. *)
+let q_of_buffer_consistent =
+  qtest ~count:100 "of_buffer = of_edges" (random_graph_gen ()) (fun g ->
+      let n = Graph.Static.n g in
+      let edges = Graph.Static.edges g in
+      let b = Graph.Edge_buffer.create () in
+      (* Push each edge twice in mixed orientation: of_buffer dedups. *)
+      List.iter
+        (fun (u, v) ->
+          Graph.Edge_buffer.push b v u;
+          Graph.Edge_buffer.push b u v)
+        edges;
+      let g' = Graph.Static.of_buffer ~n b in
+      let g'' = Graph.Static.of_edge_array ~n (Array.of_list edges) in
+      Graph.Static.edges g' = edges
+      && Graph.Static.edges g'' = edges
+      &&
+      let same = ref true in
+      for u = 0 to n - 1 do
+        if Graph.Static.neighbors g' u <> Graph.Static.neighbors g u then same := false
+      done;
+      !same)
+
+let test_of_buffer_errors () =
+  let b = Graph.Edge_buffer.create () in
+  Graph.Edge_buffer.push b 1 1;
+  check_true "self-loop rejected"
+    (try
+       ignore (Graph.Static.of_buffer ~n:3 b);
+       false
+     with Invalid_argument _ -> true);
+  Graph.Edge_buffer.clear b;
+  Graph.Edge_buffer.push b 0 3;
+  check_true "out of range rejected"
+    (try
+       ignore (Graph.Static.of_buffer ~n:3 b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_buffer_roundtrip () =
+  let g = Graph.Builders.augmented_grid ~rows:3 ~cols:4 ~k:2 in
+  let b = Graph.Edge_buffer.create () in
+  Graph.Static.to_buffer g b;
+  let g' = Graph.Static.of_buffer ~n:(Graph.Static.n g) b in
+  Alcotest.(check (list (pair int int)))
+    "roundtrip" (Graph.Static.edges g) (Graph.Static.edges g')
+
 (* --- Pairs --- *)
 
 let q_pairs_roundtrip =
@@ -305,6 +414,16 @@ let suites =
         q_random_regular_simple;
         Alcotest.test_case "G(n,p) density" `Quick test_erdos_renyi_density;
         q_random_geometric_bruteforce;
+      ] );
+    ( "graph.edge_buffer",
+      [
+        Alcotest.test_case "push/clear/reuse" `Quick test_buffer_push_clear;
+        Alcotest.test_case "iter order" `Quick test_buffer_iter_order;
+        Alcotest.test_case "append and reverse" `Quick test_buffer_append_reverse;
+        q_buffer_sort_dedup;
+        q_of_buffer_consistent;
+        Alcotest.test_case "of_buffer errors" `Quick test_of_buffer_errors;
+        Alcotest.test_case "to_buffer roundtrip" `Quick test_to_buffer_roundtrip;
       ] );
     ( "graph.pairs",
       [

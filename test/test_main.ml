@@ -11,6 +11,8 @@ let () =
          Test_graph.suites;
          Test_markov.suites;
          Test_core.suites;
+         Test_fill_edges.suites;
+         Test_golden.suites;
          Test_edge_meg.suites;
          Test_node_meg.suites;
          Test_theory.suites;
