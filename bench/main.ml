@@ -116,6 +116,7 @@ let micro_tests () =
   let space_rng = Prng.Rng.of_seed 8 in
   let xs = Array.init 512 (fun _ -> Prng.Rng.float space_rng 16.) in
   let ys = Array.init 512 (fun _ -> Prng.Rng.float space_rng 16.) in
+  let space_scratch = Mobility.Space.scratch () in
   [
     Test.make ~name:"edge_meg.step n=256"
       (Staged.stage (fun () -> Core.Dynamic.step edge_meg));
@@ -148,7 +149,8 @@ let micro_tests () =
            ignore (Graph.Pairs.decode 1024 (Prng.Rng.int pair_rng (Graph.Pairs.total 1024)))));
     Test.make ~name:"space.close_pairs n=512 r=1.5"
       (Staged.stage (fun () ->
-           Mobility.Space.iter_close_pairs ~l:16. ~r:1.5 ~xs ~ys (fun _ _ -> ())));
+           Mobility.Space.iter_close_pairs ~scratch:space_scratch ~l:16. ~r:1.5 ~xs ~ys
+             (fun _ _ -> ())));
   ]
 
 let run_micro () =
@@ -198,12 +200,27 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
+(* Provenance for the dyngraph-bench/2 schema: which commit and which
+   machine produced the numbers, so baselines are attributable across
+   PRs. Both fields degrade to "unknown" rather than fail. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, line) with Unix.WEXITED 0, rev when rev <> "" -> rev | _ -> "unknown"
+  with _ -> "unknown"
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
 let write_json path ~claims ~micro =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/1\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/2\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.fprintf oc "  \"hostname\": \"%s\",\n" (json_escape (hostname ()));
   Printf.fprintf oc "  \"scale\": \"%s\",\n"
     (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick");
   Printf.fprintf oc "  \"seed\": 42,\n";

@@ -1,0 +1,338 @@
+(* bench_diff: compare two machine-readable bench baselines.
+
+   Usage:
+     dune exec bin/bench_diff.exe -- OLD.json NEW.json [--threshold PCT]
+
+   Reads two BENCH_*.json files (schema dyngraph-bench/1 or /2), prints
+   per-claim wall-clock seconds and per-micro ns/run side by side with
+   the delta as a percentage (positive = slower), and flags claim
+   pass/fail transitions. Without --threshold the run is report-only
+   and always exits 0; with --threshold it exits 1 if any timing
+   regression exceeds PCT percent or any claim flips from pass to
+   fail. *)
+
+(* --- minimal JSON reader (no external dependency) --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < len && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= len then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= len then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code = int_of_string ("0x" ^ hex) in
+              (* ASCII only; the writer never emits anything higher. *)
+              Buffer.add_char buf (Char.chr (code land 0x7f));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < len && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let str_or default j = match j with Some (Str s) -> s | _ -> default
+
+let num_or default j = match j with Some (Num f) -> f | _ -> default
+
+let bool_or default j = match j with Some (Bool b) -> b | _ -> default
+
+(* --- baseline extraction --- *)
+
+type claim = { id : string; passed : bool; seconds : float }
+
+type micro = { name : string; ns_per_run : float }
+
+type baseline = {
+  path : string;
+  schema : string;
+  date : string;
+  git_rev : string;
+  host : string;
+  claims : claim list;
+  micros : micro list;
+}
+
+let load path =
+  let ic = open_in_bin path in
+  let size = in_channel_length ic in
+  let contents = really_input_string ic size in
+  close_in ic;
+  let j = parse_json contents in
+  let claims =
+    match member "claims" j with
+    | Some (Arr l) ->
+        List.map
+          (fun c ->
+            {
+              id = str_or "?" (member "id" c);
+              passed = bool_or false (member "passed" c);
+              seconds = num_or nan (member "seconds" c);
+            })
+          l
+    | _ -> []
+  in
+  let micros =
+    match member "micro" j with
+    | Some (Arr l) ->
+        List.map
+          (fun m ->
+            { name = str_or "?" (member "name" m); ns_per_run = num_or nan (member "ns_per_run" m) })
+          l
+    | _ -> []
+  in
+  {
+    path;
+    schema = str_or "?" (member "schema" j);
+    date = str_or "?" (member "date" j);
+    git_rev = str_or "-" (member "git_rev" j);
+    host = str_or "-" (member "hostname" j);
+    claims;
+    micros;
+  }
+
+(* --- comparison --- *)
+
+let delta_pct old_v new_v =
+  if Float.is_finite old_v && Float.is_finite new_v && old_v > 0. then
+    Some (100. *. (new_v -. old_v) /. old_v)
+  else None
+
+let delta_cell = function
+  | Some d -> Stats.Table.Text (Printf.sprintf "%+.1f%%" d)
+  | None -> Stats.Table.Missing
+
+let () =
+  let files = ref [] in
+  let threshold = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t -> threshold := Some t
+        | None ->
+            prerr_endline "bench_diff: --threshold expects a percentage";
+            exit 2);
+        parse_args rest
+    | arg :: rest ->
+        files := arg :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_b, new_b =
+    match List.rev !files with
+    | [ o; n ] -> (
+        try (load o, load n)
+        with
+        | Sys_error msg ->
+            prerr_endline ("bench_diff: " ^ msg);
+            exit 2
+        | Parse msg ->
+            prerr_endline ("bench_diff: JSON parse error: " ^ msg);
+            exit 2)
+    | _ ->
+        prerr_endline "usage: bench_diff OLD.json NEW.json [--threshold PCT]";
+        exit 2
+  in
+  Printf.printf "old: %s  (%s, %s, rev %s, host %s)\n" old_b.path old_b.schema old_b.date
+    old_b.git_rev old_b.host;
+  Printf.printf "new: %s  (%s, %s, rev %s, host %s)\n\n" new_b.path new_b.schema new_b.date
+    new_b.git_rev new_b.host;
+  let worst = ref neg_infinity in
+  let flipped = ref [] in
+  let claims_table =
+    Stats.Table.create ~title:"claim tables (wall-clock seconds)"
+      ~columns:[ "claim"; "old s"; "new s"; "delta"; "status" ]
+  in
+  List.iter
+    (fun (oc : claim) ->
+      match List.find_opt (fun (nc : claim) -> nc.id = oc.id) new_b.claims with
+      | None -> Stats.Table.add_row claims_table [ Text oc.id; Fixed (oc.seconds, 3); Missing; Missing; Text "missing" ]
+      | Some nc ->
+          let d = delta_pct oc.seconds nc.seconds in
+          (match d with Some d when d > !worst -> worst := d | _ -> ());
+          let status =
+            match (oc.passed, nc.passed) with
+            | true, false ->
+                flipped := oc.id :: !flipped;
+                "PASS->FAIL"
+            | false, true -> "fail->pass"
+            | true, true -> "pass"
+            | false, false -> "fail"
+          in
+          Stats.Table.add_row claims_table
+            [ Text oc.id; Fixed (oc.seconds, 3); Fixed (nc.seconds, 3); delta_cell d; Text status ])
+    old_b.claims;
+  List.iter
+    (fun (nc : claim) ->
+      if not (List.exists (fun (oc : claim) -> oc.id = nc.id) old_b.claims) then
+        Stats.Table.add_row claims_table
+          [ Text nc.id; Missing; Fixed (nc.seconds, 3); Missing; Text "new" ])
+    new_b.claims;
+  print_string (Stats.Table.render claims_table);
+  if old_b.micros <> [] || new_b.micros <> [] then begin
+    let micro_table =
+      Stats.Table.create ~title:"micro-benchmarks (ns/run)"
+        ~columns:[ "benchmark"; "old ns"; "new ns"; "delta" ]
+    in
+    List.iter
+      (fun (om : micro) ->
+        match List.find_opt (fun (nm : micro) -> nm.name = om.name) new_b.micros with
+        | None ->
+            Stats.Table.add_row micro_table
+              [ Text om.name; Fixed (om.ns_per_run, 1); Missing; Text "missing" ]
+        | Some nm ->
+            let d = delta_pct om.ns_per_run nm.ns_per_run in
+            (match d with Some d when d > !worst -> worst := d | _ -> ());
+            Stats.Table.add_row micro_table
+              [ Text om.name; Fixed (om.ns_per_run, 1); Fixed (nm.ns_per_run, 1); delta_cell d ])
+      old_b.micros;
+    List.iter
+      (fun (nm : micro) ->
+        if not (List.exists (fun (om : micro) -> om.name = nm.name) old_b.micros) then
+          Stats.Table.add_row micro_table
+            [ Text nm.name; Missing; Fixed (nm.ns_per_run, 1); Text "new" ])
+      new_b.micros;
+    print_newline ();
+    print_string (Stats.Table.render micro_table)
+  end;
+  if Float.is_finite !worst then Printf.printf "\nworst regression: %+.1f%%\n" !worst;
+  List.iter (Printf.printf "claim %s flipped from pass to fail\n") (List.rev !flipped);
+  match !threshold with
+  | None -> ()
+  | Some t ->
+      if !flipped <> [] || (Float.is_finite !worst && !worst > t) then begin
+        Printf.printf "threshold %.1f%% exceeded\n" t;
+        exit 1
+      end
+      else Printf.printf "within threshold %.1f%%\n" t

@@ -1,10 +1,5 @@
 type init = Stationary | Empty | Full
 
-type state = {
-  mutable rng : Prng.Rng.t;
-  present : (int, unit) Hashtbl.t;   (* pair index -> () *)
-}
-
 let sample_pairs_bernoulli rng n prob f =
   (* Visit each pair index independently with probability [prob], via
      geometric jumps: O(total * prob) expected. *)
@@ -19,23 +14,34 @@ let sample_pairs_bernoulli rng n prob f =
 
 let make ?(init = Stationary) ~n ~p ~q () =
   let chain = Markov.Two_state.make ~p ~q in
-  let st = { rng = Prng.Rng.of_seed 0; present = Hashtbl.create 1024 } in
-  let reset rng =
-    st.rng <- rng;
-    Hashtbl.reset st.present;
+  (* Present edges live in a sparse set over the pair indices: the
+     birth scan's membership check is two array reads, the death scan
+     subsamples the dense array geometrically, and enumeration is a
+     linear walk — no hashing anywhere in the step. *)
+  let present = Graph.Sparse_set.create (Graph.Pairs.total n) in
+  let rng = ref (Prng.Rng.of_seed 0) in
+  (* Birth hits of the current step, reused across steps. *)
+  let births = ref (Array.make 64 0) in
+  let n_births = ref 0 in
+  let push_birth idx =
+    if !n_births = Array.length !births then begin
+      let bigger = Array.make (2 * !n_births) 0 in
+      Array.blit !births 0 bigger 0 !n_births;
+      births := bigger
+    end;
+    !births.(!n_births) <- idx;
+    incr n_births
+  in
+  let reset r =
+    rng := r;
+    Graph.Sparse_set.clear present;
     match init with
     | Empty -> ()
-    | Full ->
-        for idx = 0 to Graph.Pairs.total n - 1 do
-          Hashtbl.replace st.present idx ()
-        done
+    | Full -> Graph.Sparse_set.fill_all present
     | Stationary ->
         let alpha = Markov.Two_state.stationary_on chain in
-        if alpha >= 1. then
-          for idx = 0 to Graph.Pairs.total n - 1 do
-            Hashtbl.replace st.present idx ()
-          done
-        else sample_pairs_bernoulli st.rng n alpha (fun idx -> Hashtbl.replace st.present idx ())
+        if alpha >= 1. then Graph.Sparse_set.fill_all present
+        else sample_pairs_bernoulli !rng n alpha (Graph.Sparse_set.add present)
   in
   (* A step applies, to every edge simultaneously, one transition of its
      two-state chain: absent edges are born with probability p, present
@@ -43,33 +49,20 @@ let make ?(init = Stationary) ~n ~p ~q () =
      pre-step edge set *before* deaths are applied, so an edge that dies
      this step cannot also be resurrected by the birth scan. *)
   let step () =
-    let births = ref [] in
-    sample_pairs_bernoulli st.rng n p (fun idx ->
-        if not (Hashtbl.mem st.present idx) then births := idx :: !births);
-    if q > 0. then begin
-      let deaths = ref [] in
-      Hashtbl.iter
-        (fun idx () -> if Prng.Rng.bernoulli st.rng q then deaths := idx :: !deaths)
-        st.present;
-      List.iter (Hashtbl.remove st.present) !deaths
-    end;
-    List.iter (fun idx -> Hashtbl.replace st.present idx ()) !births
+    n_births := 0;
+    sample_pairs_bernoulli !rng n p (fun idx ->
+        if not (Graph.Sparse_set.mem present idx) then push_birth idx);
+    Graph.Sparse_set.remove_bernoulli present !rng ~p:q (fun _ -> ());
+    for i = 0 to !n_births - 1 do
+      Graph.Sparse_set.add present !births.(i)
+    done
   in
-  let iter_edges f =
-    Hashtbl.iter
-      (fun idx () ->
-        let u, v = Graph.Pairs.decode n idx in
-        f u v)
-      st.present
-  in
-  (* Same Hashtbl.iter as [iter_edges] (the enumeration orders must
+  let iter_edges f = Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx f) in
+  (* Same dense walk as [iter_edges] (the enumeration orders must
      agree), pushing straight into the buffer. *)
   let fill_edges buf =
-    Hashtbl.iter
-      (fun idx () ->
-        let u, v = Graph.Pairs.decode n idx in
-        Graph.Edge_buffer.push buf u v)
-      st.present
+    let push u v = Graph.Edge_buffer.push buf u v in
+    Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx push)
   in
   Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges ()
 

@@ -3,11 +3,13 @@
     absent edge is born with probability [p] per step, a present edge
     dies with probability [q].
 
-    The implementation is sparse: the current edge set is stored
-    explicitly and births are sampled with geometric jumps over the
-    n(n-1)/2 pair indices, so a step costs O(m + n² p) expected time
-    instead of O(n²). This is what makes the E1 sweep (n up to a few
-    thousand with p = Θ(1/n)) cheap. *)
+    The implementation is sparse: the current edge set lives in a
+    {!Graph.Sparse_set} over pair indices, births are sampled with
+    geometric jumps over the n(n-1)/2 pair indices (membership check
+    per hit is O(1)) and deaths with geometric skips over the dense
+    present array, so a step costs O(n² p + m q) expected draws instead
+    of O(n²) — or of m Bernoullis. This is what makes the E1 sweep
+    (n up to a few thousand with p = Θ(1/n)) cheap. *)
 
 type init =
   | Stationary  (** each edge present with probability p/(p+q) *)

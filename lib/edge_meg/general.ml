@@ -7,43 +7,43 @@ let stationary_alpha ~chain ~chi =
 let make ?(init = `Stationary) ~n ~chain ~chi () =
   let total = Graph.Pairs.total n in
   let states = Array.make total 0 in
+  (* The chi-on pairs are mirrored into a sparse set as the hidden
+     chains move, so snapshot enumeration walks m dense slots instead
+     of testing chi on all n(n-1)/2 cells. *)
+  let present = Graph.Sparse_set.create total in
   let rng = ref (Prng.Rng.of_seed 0) in
   let stationary_sampler =
     lazy (Prng.Discrete.of_weights (Markov.Chain.stationary chain))
   in
   let reset r =
     rng := r;
+    Graph.Sparse_set.clear present;
     match init with
     | `State s ->
         if s < 0 || s >= Markov.Chain.n_states chain then
           invalid_arg "General.make: initial state out of range";
-        Array.fill states 0 total s
+        Array.fill states 0 total s;
+        if chi s then Graph.Sparse_set.fill_all present
     | `Stationary ->
         let sampler = Lazy.force stationary_sampler in
         for idx = 0 to total - 1 do
-          states.(idx) <- Prng.Discrete.draw sampler !rng
+          let s = Prng.Discrete.draw sampler !rng in
+          states.(idx) <- s;
+          if chi s then Graph.Sparse_set.add present idx
         done
   in
   let step () =
     for idx = 0 to total - 1 do
-      states.(idx) <- Markov.Chain.step chain !rng states.(idx)
+      let s = Markov.Chain.step chain !rng states.(idx) in
+      states.(idx) <- s;
+      if chi s then Graph.Sparse_set.add present idx
+      else Graph.Sparse_set.remove present idx
     done
   in
-  let iter_edges f =
-    for idx = 0 to total - 1 do
-      if chi states.(idx) then begin
-        let u, v = Graph.Pairs.decode n idx in
-        f u v
-      end
-    done
-  in
+  let iter_edges f = Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx f) in
   let fill_edges buf =
-    for idx = 0 to total - 1 do
-      if chi states.(idx) then begin
-        let u, v = Graph.Pairs.decode n idx in
-        Graph.Edge_buffer.push buf u v
-      end
-    done
+    let push u v = Graph.Edge_buffer.push buf u v in
+    Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx push)
   in
   Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges ()
 

@@ -6,7 +6,9 @@
     α = Σ_{s : chi(s)} π(s).
 
     The per-edge chain state is stored densely (one int per pair), so a
-    step costs O(n²); intended for moderate n (≤ ~1000). *)
+    step costs O(n²); intended for moderate n (≤ ~1000). The chi-on
+    pairs are additionally mirrored in a {!Graph.Sparse_set}, so
+    snapshot enumeration costs O(m), not O(n²). *)
 
 val make :
   ?init:[ `Stationary | `State of int ] ->

@@ -7,14 +7,12 @@ let encode n u v =
   (* Pairs with first coordinate < u number u*n - u*(u+1)/2. *)
   (u * n) - (u * (u + 1) / 2) + (v - u - 1)
 
-let decode n idx =
+let decode_with n idx k =
   if idx < 0 || idx >= total n then invalid_arg "Pairs.decode: index out of range";
   (* Invert base(u) = u*n - u*(u+1)/2 <= idx via the quadratic formula,
      then correct for floating-point rounding. *)
-  let fn = float_of_int n and fi = float_of_int idx in
-  let guess =
-    int_of_float (floor ((2. *. fn -. 1. -. sqrt ((((2. *. fn) -. 1.) ** 2.) -. (8. *. fi))) /. 2.))
-  in
+  let s = float_of_int ((2 * n) - 1) in
+  let guess = int_of_float (floor ((s -. sqrt ((s *. s) -. (8. *. float_of_int idx))) /. 2.)) in
   let base u = (u * n) - (u * (u + 1) / 2) in
   let u = ref (max 0 (min (n - 2) guess)) in
   while base !u > idx do
@@ -24,4 +22,6 @@ let decode n idx =
     incr u
   done;
   let u = !u in
-  (u, u + 1 + (idx - base u))
+  k u (u + 1 + (idx - base u))
+
+let decode n idx = decode_with n idx (fun u v -> (u, v))

@@ -13,3 +13,8 @@ val encode : int -> int -> int -> int
 val decode : int -> int -> int * int
 (** [decode n idx] is the pair [(u, v)] with [u < v]. O(1) via the
     quadratic formula (with a safety adjustment for rounding). *)
+
+val decode_with : int -> int -> (int -> int -> 'a) -> 'a
+(** [decode_with n idx k] is [k u v] for the decoded pair — the same
+    computation as {!decode} without boxing the result, for edge
+    enumeration loops that run once per present edge. *)

@@ -1,0 +1,64 @@
+(** Fixed-universe sparse set: a dense [int array] of members plus a
+    position index, the classic trick giving O(1) [add] / [remove] /
+    [mem] with no hashing, no boxing and no per-operation allocation.
+
+    Members are ints in [\[0, universe)]. The dense array is kept
+    compact by swap-remove, so iteration is a linear walk over exactly
+    [length] slots; the iteration order is the insertion order as
+    perturbed by past swap-removes — deterministic for a deterministic
+    operation sequence, but not sorted.
+
+    This is the state representation behind the edge-Markovian models:
+    the pair index of every present edge lives in the set, membership
+    checks during the birth scan are two array reads, and the death
+    scan subsamples the dense array with geometric skips
+    ({!remove_bernoulli}) so a step draws O(m·q) variates instead of m
+    Bernoullis. *)
+
+type t
+
+val create : int -> t
+(** [create universe] is the empty set over [\[0, universe)].
+    Allocates two [universe]-sized int arrays once; nothing afterwards. *)
+
+val universe : t -> int
+
+val length : t -> int
+
+val mem : t -> int -> bool
+(** O(1). The element must lie in [\[0, universe)]. *)
+
+val add : t -> int -> unit
+(** O(1); no-op if already present. *)
+
+val remove : t -> int -> unit
+(** O(1) swap-remove (the last dense element takes the removed one's
+    slot); no-op if absent. *)
+
+val clear : t -> unit
+(** O(1) — just forgets the length; stale index entries are disarmed by
+    the [mem] validity check. *)
+
+val fill_all : t -> unit
+(** Make the set the whole universe, as one linear identity fill of the
+    two arrays — the bulk path for [Full] / saturated-stationary
+    initialisation, replacing a hash insert per element. *)
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th element in dense order, [0 <= i < length]. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Linear walk of the dense array in its current order. [f] must not
+    mutate the set. *)
+
+val iter_bernoulli : t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
+(** Visit each element independently with probability [p], via
+    geometric jumps over the dense array: O(length·p) expected draws.
+    Requires [p] in [\[0, 1\]]. [f] must not mutate the set. *)
+
+val remove_bernoulli : t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
+(** Remove each element independently with probability [p], calling [f]
+    on every removed element, in O(length·p) expected draws. The scan
+    runs over the dense array from the top down so that swap-remove
+    only moves already-decided survivors into visited slots. Requires
+    [p] in [\[0, 1\]]. *)

@@ -8,6 +8,7 @@ type t = {
   move_node : Prng.Rng.t -> int -> unit;
   mutable node_rngs : Prng.Rng.t array;
   edges : Graph.Edge_buffer.t;
+  grid : Space.scratch;
   mutable edges_valid : bool;
 }
 
@@ -26,6 +27,7 @@ let make ~n ~l ~r ~xs ~ys ~reset_node ~move_node =
     move_node;
     node_rngs = Array.init n (fun i -> Prng.Rng.of_seed i);
     edges = Graph.Edge_buffer.create ~capacity:(4 * n) ();
+    grid = Space.scratch ();
     edges_valid = false;
   }
 
@@ -55,13 +57,11 @@ let step t =
 let refresh_edges t =
   if not t.edges_valid then begin
     Graph.Edge_buffer.clear t.edges;
-    Space.iter_close_pairs ~l:t.l ~r:t.r ~xs:t.xs ~ys:t.ys (fun i j ->
+    (* Enumeration order feeds RNG-coupled consumers (Push coins, edge
+       filters), so it is the grid's deterministic sweep order, pinned
+       by the golden tests regenerated with the CSR grid. *)
+    Space.iter_close_pairs ~scratch:t.grid ~l:t.l ~r:t.r ~xs:t.xs ~ys:t.ys (fun i j ->
         Graph.Edge_buffer.push t.edges i j);
-    (* The pre-buffer cache was a cons list, so consumers saw close
-       pairs in reverse visit order; enumeration order feeds RNG-coupled
-       consumers (Push coins, edge filters), so it is pinned by golden
-       tests and preserved here with one in-place reversal. *)
-    Graph.Edge_buffer.reverse_in_place t.edges;
     t.edges_valid <- true
   end
 

@@ -4,50 +4,112 @@ let dist2 x1 y1 x2 y2 =
   let dx = x1 -. x2 and dy = y1 -. y2 in
   (dx *. dx) +. (dy *. dy)
 
-let iter_close_pairs ~l ~r ~xs ~ys f =
+(* Reusable storage for the counting-sort grid: cell start offsets
+   (CSR row pointers), a fill cursor per cell, each point's cell id and
+   the points ordered by cell. Grown on demand, never shrunk, so a
+   mobility process doing one sweep per step allocates nothing in
+   steady state. *)
+type scratch = {
+  mutable start : int array;   (* ncells + 1 prefix offsets into order *)
+  mutable cursor : int array;  (* ncells fill cursors *)
+  mutable cell_id : int array; (* cell of point i *)
+  mutable order : int array;   (* point ids, grouped by cell, ascending within *)
+  mutable xo : float array;    (* coordinates of order.(s), contiguous per cell *)
+  mutable yo : float array;
+}
+
+let scratch () =
+  { start = [||]; cursor = [||]; cell_id = [||]; order = [||]; xo = [||]; yo = [||] }
+
+let ensure a len = if Array.length a < len then Array.make len 0 else a
+let ensure_f a len = if Array.length a < len then Array.make len 0. else a
+
+let iter_close_pairs ?scratch:sc ~l ~r ~xs ~ys f =
   let n = Array.length xs in
   if Array.length ys <> n then invalid_arg "Space.iter_close_pairs: length mismatch";
   if r < 0. then invalid_arg "Space.iter_close_pairs: negative radius";
+  let sc = match sc with Some sc -> sc | None -> scratch () in
   let cell = Float.max r (Float.max (l /. 1024.) 1e-9) in
   let side = max 1 (int_of_float (ceil (l /. cell))) in
-  let cell_of i =
-    let cx = min (side - 1) (int_of_float (xs.(i) /. cell)) in
-    let cy = min (side - 1) (int_of_float (ys.(i) /. cell)) in
-    (cx * side) + cy
-  in
-  let buckets = Hashtbl.create (2 * n) in
-  for i = n - 1 downto 0 do
-    let key = cell_of i in
-    Hashtbl.replace buckets key (i :: (Option.value ~default:[] (Hashtbl.find_opt buckets key)))
+  let ncells = side * side in
+  sc.start <- ensure sc.start (ncells + 1);
+  sc.cursor <- ensure sc.cursor ncells;
+  sc.cell_id <- ensure sc.cell_id n;
+  sc.order <- ensure sc.order n;
+  sc.xo <- ensure_f sc.xo n;
+  sc.yo <- ensure_f sc.yo n;
+  let start = sc.start and cursor = sc.cursor and cell_id = sc.cell_id and order = sc.order in
+  let xo = sc.xo and yo = sc.yo in
+  (* Counting sort by cell: count (offset by one) -> prefix sum ->
+     ascending fill, so each cell's slice of [order] lists its points in
+     increasing id. Coordinates are scattered alongside the ids so the
+     candidate loops below stream two contiguous unboxed float arrays
+     instead of gathering through [order]. *)
+  Array.fill start 0 (ncells + 1) 0;
+  for i = 0 to n - 1 do
+    let cx = int_of_float (Array.unsafe_get xs i /. cell) in
+    let cx = if cx >= side then side - 1 else cx in
+    let cy = int_of_float (Array.unsafe_get ys i /. cell) in
+    let cy = if cy >= side then side - 1 else cy in
+    let c = (cx * side) + cy in
+    Array.unsafe_set cell_id i c;
+    start.(c + 1) <- start.(c + 1) + 1
+  done;
+  for c = 1 to ncells do
+    start.(c) <- start.(c) + start.(c - 1)
+  done;
+  Array.blit start 0 cursor 0 ncells;
+  for i = 0 to n - 1 do
+    let c = Array.unsafe_get cell_id i in
+    let slot = Array.unsafe_get cursor c in
+    Array.unsafe_set order slot i;
+    Array.unsafe_set xo slot (Array.unsafe_get xs i);
+    Array.unsafe_set yo slot (Array.unsafe_get ys i);
+    Array.unsafe_set cursor c (slot + 1)
   done;
   let r2 = r *. r in
-  let close i j = dist2 xs.(i) ys.(i) xs.(j) ys.(j) <= r2 in
-  Hashtbl.iter
-    (fun key members ->
-      let cx = key / side and cy = key mod side in
-      (* Within-cell pairs. *)
-      let rec within = function
-        | [] -> ()
-        | i :: rest ->
-            List.iter (fun j -> if close i j then f (min i j) (max i j)) rest;
-            within rest
+  (* Emit each unordered pair once: within-cell pairs over the flat
+     slice, then half the 8-neighbourhood so each cell pair is scanned
+     from exactly one side. The outer point's coordinates are hoisted
+     out of the inner loop, and the i/j ordering is an explicit branch
+     (polymorphic min/max would cost a C call per emitted pair). *)
+  for c = 0 to ncells - 1 do
+    let s0 = Array.unsafe_get start c and e0 = Array.unsafe_get start (c + 1) in
+    if e0 > s0 then begin
+      for a = s0 to e0 - 1 do
+        let xa = Array.unsafe_get xo a and ya = Array.unsafe_get yo a in
+        let i = Array.unsafe_get order a in
+        for b = a + 1 to e0 - 1 do
+          let dx = xa -. Array.unsafe_get xo b and dy = ya -. Array.unsafe_get yo b in
+          (* within a cell the slice is ascending, so i < j *)
+          if (dx *. dx) +. (dy *. dy) <= r2 then f i (Array.unsafe_get order b)
+        done
+      done;
+      let cx = c / side and cy = c mod side in
+      let cross dx dy =
+        let cx' = cx + dx and cy' = cy + dy in
+        if cx' >= 0 && cx' < side && cy' >= 0 && cy' < side then begin
+          let c' = (cx' * side) + cy' in
+          let s1 = Array.unsafe_get start c' and e1 = Array.unsafe_get start (c' + 1) in
+          for a = s0 to e0 - 1 do
+            let xa = Array.unsafe_get xo a and ya = Array.unsafe_get yo a in
+            let i = Array.unsafe_get order a in
+            for b = s1 to e1 - 1 do
+              let dx = xa -. Array.unsafe_get xo b and dy = ya -. Array.unsafe_get yo b in
+              if (dx *. dx) +. (dy *. dy) <= r2 then begin
+                let j = Array.unsafe_get order b in
+                if i < j then f i j else f j i
+              end
+            done
+          done
+        end
       in
-      within members;
-      (* Cross-cell pairs: scan half the neighbourhood so each unordered
-         cell pair is visited once. *)
-      let half_neighbours = [ (1, -1); (1, 0); (1, 1); (0, 1) ] in
-      List.iter
-        (fun (dx, dy) ->
-          let cx' = cx + dx and cy' = cy + dy in
-          if cx' >= 0 && cx' < side && cy' >= 0 && cy' < side then
-            match Hashtbl.find_opt buckets ((cx' * side) + cy') with
-            | None -> ()
-            | Some others ->
-                List.iter
-                  (fun i -> List.iter (fun j -> if close i j then f (min i j) (max i j)) others)
-                  members)
-        half_neighbours)
-    buckets
+      cross 1 (-1);
+      cross 1 0;
+      cross 1 1;
+      cross 0 1
+    end
+  done
 
 let cell_index ~l ~bins x y =
   let at v =

@@ -8,12 +8,32 @@ val clamp : float -> float -> float
 val dist2 : float -> float -> float -> float -> float
 (** Squared Euclidean distance between (x1, y1) and (x2, y2). *)
 
+type scratch
+(** Reusable storage for the counting-sort grid (CSR cell offsets plus
+    a point ordering). One sweep per step with a persistent scratch
+    allocates nothing in steady state. A scratch must not be shared
+    across domains. *)
+
+val scratch : unit -> scratch
+(** A fresh, empty scratch; grown on demand by {!iter_close_pairs}. *)
+
 val iter_close_pairs :
-  l:float -> r:float -> xs:float array -> ys:float array -> (int -> int -> unit) -> unit
+  ?scratch:scratch ->
+  l:float ->
+  r:float ->
+  xs:float array ->
+  ys:float array ->
+  (int -> int -> unit) ->
+  unit
 (** Call [f i j] (with [i < j]) for every pair of points at Euclidean
     distance at most [r]. Positions must lie in [\[0, l\]²]. Correct for
     any [r >= 0] (cells are at least [r] wide, neighbours ±1 cell are
-    scanned, and the exact distance test filters candidates). *)
+    scanned, and the exact distance test filters candidates). The grid
+    is a counting-sort CSR index: cells are scanned in row-major order,
+    within-cell pairs in ascending id order, then the four
+    half-neighbourhood cells — a deterministic enumeration order pinned
+    by the golden tests. Without [?scratch] a temporary one is
+    allocated per call. *)
 
 val cell_index : l:float -> bins:int -> float -> float -> int
 (** Index of the [bins]×[bins] coarse cell containing a point; used for

@@ -1,0 +1,54 @@
+(* Test-only reference oracle: the pre-sparse-set classic edge-MEG,
+   verbatim from lib/edge_meg/classic.ml before PR 3 — present edges in
+   a Hashtbl, deaths as one Bernoulli per present edge. The rewrite
+   changed the RNG draw sequence, so the two implementations cannot be
+   compared trajectory for trajectory; test_edge_meg.ml instead checks
+   statistical equivalence (stationary edge counts, flooding means
+   within confidence intervals) against this oracle. *)
+
+type state = { mutable rng : Prng.Rng.t; present : (int, unit) Hashtbl.t }
+
+let sample_pairs_bernoulli rng n prob f =
+  if prob > 0. then begin
+    let total = Graph.Pairs.total n in
+    let idx = ref (Prng.Rng.geometric rng prob) in
+    while !idx < total do
+      f !idx;
+      idx := !idx + 1 + Prng.Rng.geometric rng prob
+    done
+  end
+
+let make ~n ~p ~q () =
+  let chain = Markov.Two_state.make ~p ~q in
+  let st = { rng = Prng.Rng.of_seed 0; present = Hashtbl.create 1024 } in
+  let reset rng =
+    st.rng <- rng;
+    Hashtbl.reset st.present;
+    let alpha = Markov.Two_state.stationary_on chain in
+    if alpha >= 1. then
+      for idx = 0 to Graph.Pairs.total n - 1 do
+        Hashtbl.replace st.present idx ()
+      done
+    else sample_pairs_bernoulli st.rng n alpha (fun idx -> Hashtbl.replace st.present idx ())
+  in
+  let step () =
+    let births = ref [] in
+    sample_pairs_bernoulli st.rng n p (fun idx ->
+        if not (Hashtbl.mem st.present idx) then births := idx :: !births);
+    if q > 0. then begin
+      let deaths = ref [] in
+      Hashtbl.iter
+        (fun idx () -> if Prng.Rng.bernoulli st.rng q then deaths := idx :: !deaths)
+        st.present;
+      List.iter (Hashtbl.remove st.present) !deaths
+    end;
+    List.iter (fun idx -> Hashtbl.replace st.present idx ()) !births
+  in
+  let iter_edges f =
+    Hashtbl.iter
+      (fun idx () ->
+        let u, v = Graph.Pairs.decode n idx in
+        f u v)
+      st.present
+  in
+  Core.Dynamic.make ~n ~reset ~step ~iter_edges ()

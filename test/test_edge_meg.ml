@@ -90,6 +90,72 @@ let test_classic_validation () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: Full init and Stationary init with alpha >= 1 (q = 0)
+   used to loop Hashtbl.replace over all Pairs.total n entries; both now
+   route through the sparse set's bulk fill. The observable contract at
+   small n: the first snapshot is the complete graph. *)
+let test_classic_saturated_inits_bulk_fill () =
+  let n = 20 in
+  let total = Graph.Pairs.total n in
+  let full = Edge_meg.Classic.make ~init:Full ~n ~p:0.1 ~q:0.1 () in
+  Core.Dynamic.reset full (rng_of_seed 21);
+  Alcotest.(check int) "Full starts complete" total (Core.Dynamic.edge_count full);
+  let saturated = Edge_meg.Classic.make ~n ~p:0.3 ~q:0. () in
+  Core.Dynamic.reset saturated (rng_of_seed 22);
+  Alcotest.(check int) "Stationary with alpha >= 1 starts complete" total
+    (Core.Dynamic.edge_count saturated);
+  (* q = 0: saturation is absorbing, and the step must draw nothing
+     that perturbs determinism — the snapshot stays complete. *)
+  Core.Dynamic.step saturated;
+  Alcotest.(check int) "still complete after a step" total (Core.Dynamic.edge_count saturated)
+
+(* --- statistical equivalence against the pre-rewrite oracle --- *)
+
+(* The sparse-set rewrite changed the RNG draw sequence (geometric death
+   skips instead of per-edge Bernoullis), so trajectories differ by
+   design; the process law must not. Compare Monte-Carlo estimates from
+   the new implementation and the Hashtbl oracle within a 3-sigma
+   confidence band at fixed seeds. *)
+
+let check_within_ci name s_new s_old =
+  let k_new = float_of_int (Stats.Summary.count s_new)
+  and k_old = float_of_int (Stats.Summary.count s_old) in
+  let var s = Stats.Summary.stddev s ** 2. in
+  let se = sqrt ((var s_new /. k_new) +. (var s_old /. k_old)) in
+  let diff = abs_float (Stats.Summary.mean s_new -. Stats.Summary.mean s_old) in
+  if diff > (3. *. se) +. 1e-9 then
+    Alcotest.failf "%s: |%.4g - %.4g| = %.4g exceeds 3 se = %.4g" name
+      (Stats.Summary.mean s_new) (Stats.Summary.mean s_old) diff (3. *. se)
+
+let test_classic_oracle_stationary_edges () =
+  let n = 48 and p = 3. /. 48. and q = 0.4 in
+  let sample build seed =
+    let s = Stats.Summary.create () in
+    let dyn = build () in
+    for i = 0 to 39 do
+      Core.Dynamic.reset dyn (Prng.Rng.substream (rng_of_seed seed) i);
+      (* A few steps leave the exactly-sampled stationary init and
+         exercise the birth/death scans. *)
+      for _ = 1 to 5 do
+        Core.Dynamic.step dyn
+      done;
+      Stats.Summary.add s (float_of_int (Core.Dynamic.edge_count dyn))
+    done;
+    s
+  in
+  check_within_ci "stationary edge count, new vs oracle"
+    (sample (fun () -> Edge_meg.Classic.make ~n ~p ~q ()) 31)
+    (sample (fun () -> Oracle_edge_meg.make ~n ~p ~q ()) 32)
+
+let test_classic_oracle_flooding_mean () =
+  let n = 32 and p = 0.15 and q = 0.3 in
+  let mean build seed =
+    Core.Flooding.mean_time ~rng:(rng_of_seed seed) ~trials:60 build
+  in
+  check_within_ci "flooding mean, new vs oracle"
+    (mean (fun () -> Edge_meg.Classic.make ~n ~p ~q ()) 33)
+    (mean (fun () -> Oracle_edge_meg.make ~n ~p ~q ()) 34)
+
 (* --- General --- *)
 
 let on_chain move =
@@ -245,6 +311,12 @@ let suites =
         Alcotest.test_case "p=0 monotone decay" `Quick test_classic_p0_monotone_decay;
         Alcotest.test_case "deterministic per seed" `Quick test_classic_deterministic_per_seed;
         Alcotest.test_case "validation" `Quick test_classic_validation;
+        Alcotest.test_case "saturated inits use bulk fill" `Quick
+          test_classic_saturated_inits_bulk_fill;
+        Alcotest.test_case "oracle: stationary edges within CI" `Quick
+          test_classic_oracle_stationary_edges;
+        Alcotest.test_case "oracle: flooding mean within CI" `Quick
+          test_classic_oracle_flooding_mean;
         q_classic_edges_valid;
       ] );
     ( "edge_meg.general",

@@ -35,6 +35,12 @@ let builders : (string * (unit -> Core.Dynamic.t)) list =
   [
     ("edge_meg.classic", fun () -> Edge_meg.Classic.make ~n:24 ~p:0.08 ~q:0.4 ());
     ("edge_meg.general", fun () -> Edge_meg.Opportunistic.make ~n:16 opportunistic_params);
+    ( "edge_meg.general_direct",
+      fun () ->
+        let chain =
+          Markov.Chain.of_rows (Array.init 4 (fun s -> [| (s, 0.6); ((s + 1) mod 4, 0.4) |]))
+        in
+        Edge_meg.General.make ~n:14 ~chain ~chi:(fun s -> s >= 2) () );
     ("node_meg", fun () -> Node_meg.Model.make ~n:20 ~chain:node_chain ~connect:node_connect ());
     ( "mobility.waypoint",
       fun () -> Mobility.Waypoint.dynamic ~n:20 ~l:5. ~r:1.4 ~v_min:1. ~v_max:1.25 () );

@@ -9,6 +9,7 @@ let () =
          Test_exec.suites;
          Test_stats.suites;
          Test_graph.suites;
+         Test_sparse_set.suites;
          Test_markov.suites;
          Test_core.suites;
          Test_fill_edges.suites;
