@@ -54,11 +54,17 @@ let claim_tables () =
   Printf.printf "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s)) ====\n\n"
     (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick")
     (Exec.workers sched);
-  let all_passed, timed =
+  (* Counters on for the claim phase: each outcome carries its work
+     totals (rounds, snapshots, edges...) into the JSON baseline. The
+     caller turns metrics back off before the micro phase so the
+     ns/run numbers measure the disabled (production) path. *)
+  Obs.Metrics.enable ();
+  let all_passed, outcomes =
     Simulate.Registry.run_all_timed ~sched ~clock:Unix.gettimeofday ~rng ~scale:(scale ()) ()
   in
+  Obs.Metrics.disable ();
   if not all_passed then print_endline "WARNING: some reproduction checks failed";
-  timed
+  outcomes
 
 (* --- micro-benchmarks --- *)
 
@@ -200,7 +206,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-(* Provenance for the dyngraph-bench/2 schema: which commit and which
+(* Provenance for the dyngraph-bench/3 schema: which commit and which
    machine produced the numbers, so baselines are attributable across
    PRs. Both fields degrade to "unknown" rather than fail. *)
 let git_rev () =
@@ -213,10 +219,16 @@ let git_rev () =
 
 let hostname () = try Unix.gethostname () with _ -> "unknown"
 
+let metrics_json (ms : (string * int) list) =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) ms)
+  ^ "}"
+
 let write_json path ~claims ~micro =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/2\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/3\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
   Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
@@ -227,9 +239,12 @@ let write_json path ~claims ~micro =
   Printf.fprintf oc "  \"workers\": %d,\n" (Exec.workers (sched ()));
   Printf.fprintf oc "  \"claims\": [\n";
   List.iteri
-    (fun i ((e : Simulate.Registry.experiment), passed, seconds) ->
-      Printf.fprintf oc "    {\"id\": \"%s\", \"title\": \"%s\", \"passed\": %b, \"seconds\": %s}%s\n"
-        (json_escape e.id) (json_escape e.title) passed (json_float seconds)
+    (fun i (o : Simulate.Registry.outcome) ->
+      let e = o.experiment in
+      Printf.fprintf oc
+        "    {\"id\": \"%s\", \"title\": \"%s\", \"passed\": %b, \"seconds\": %s, \"metrics\": %s}%s\n"
+        (json_escape e.id) (json_escape e.title) o.ok (json_float o.seconds)
+        (metrics_json o.metrics)
         (if i = List.length claims - 1 then "" else ","))
     claims;
   Printf.fprintf oc "  ],\n  \"micro\": [\n";

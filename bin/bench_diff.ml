@@ -3,13 +3,17 @@
    Usage:
      dune exec bin/bench_diff.exe -- OLD.json NEW.json [--threshold PCT]
 
-   Reads two BENCH_*.json files (schema dyngraph-bench/1 or /2), prints
-   per-claim wall-clock seconds and per-micro ns/run side by side with
-   the delta as a percentage (positive = slower), and flags claim
-   pass/fail transitions. Without --threshold the run is report-only
-   and always exits 0; with --threshold it exits 1 if any timing
-   regression exceeds PCT percent or any claim flips from pass to
-   fail. *)
+   Reads two BENCH_*.json files (schema dyngraph-bench/1, /2 or /3),
+   prints per-claim wall-clock seconds and per-micro ns/run side by
+   side with the delta as a percentage (positive = slower), and flags
+   claim pass/fail transitions. Schema /3 baselines additionally carry
+   a per-claim "metrics" object of deterministic work counters; when
+   either file has them, their per-counter totals are diffed in a
+   report-only table (counter changes mean the computation itself
+   changed, so they never trip --threshold, which is about time).
+   Without --threshold the run is report-only and always exits 0; with
+   --threshold it exits 1 if any timing regression exceeds PCT percent
+   or any claim flips from pass to fail. *)
 
 (* --- minimal JSON reader (no external dependency) --- *)
 
@@ -169,7 +173,7 @@ let bool_or default j = match j with Some (Bool b) -> b | _ -> default
 
 (* --- baseline extraction --- *)
 
-type claim = { id : string; passed : bool; seconds : float }
+type claim = { id : string; passed : bool; seconds : float; metrics : (string * float) list }
 
 type micro = { name : string; ns_per_run : float }
 
@@ -194,10 +198,19 @@ let load path =
     | Some (Arr l) ->
         List.map
           (fun c ->
+            let metrics =
+              match member "metrics" c with
+              | Some (Obj fields) ->
+                  List.filter_map
+                    (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+                    fields
+              | _ -> []
+            in
             {
               id = str_or "?" (member "id" c);
               passed = bool_or false (member "passed" c);
               seconds = num_or nan (member "seconds" c);
+              metrics;
             })
           l
     | _ -> []
@@ -325,6 +338,41 @@ let () =
       new_b.micros;
     print_newline ();
     print_string (Stats.Table.render micro_table)
+  end;
+  (* Work-counter totals (schema /3), aggregated over all claims.
+     Report-only: a changed counter means the computation did a
+     different amount of work — worth seeing next to any timing delta,
+     but not a regression by itself. *)
+  let totals b =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (c : claim) ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k (v +. Option.value ~default:0. (Hashtbl.find_opt tbl k)))
+          c.metrics)
+      b.claims;
+    tbl
+  in
+  let old_totals = totals old_b and new_totals = totals new_b in
+  if Hashtbl.length old_totals > 0 || Hashtbl.length new_totals > 0 then begin
+    let names = Hashtbl.create 32 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) old_totals;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) new_totals;
+    let sorted = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) names []) in
+    let metrics_table =
+      Stats.Table.create ~title:"work counters (total over claims, report-only)"
+        ~columns:[ "counter"; "old"; "new"; "delta" ]
+    in
+    List.iter
+      (fun name ->
+        let o = Hashtbl.find_opt old_totals name and n = Hashtbl.find_opt new_totals name in
+        let cell = function Some v -> Stats.Table.Int (int_of_float v) | None -> Stats.Table.Missing in
+        let d = match (o, n) with Some o, Some n -> delta_pct o n | _ -> None in
+        Stats.Table.add_row metrics_table [ Text name; cell o; cell n; delta_cell d ])
+      sorted;
+    print_newline ();
+    print_string (Stats.Table.render metrics_table)
   end;
   if Float.is_finite !worst then Printf.printf "\nworst regression: %+.1f%%\n" !worst;
   List.iter (Printf.printf "claim %s flipped from pass to fail\n") (List.rev !flipped);

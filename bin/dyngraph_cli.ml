@@ -28,6 +28,60 @@ let jobs_arg =
   let env = Cmd.Env.info "DYNGRAPH_JOBS" ~doc:"Default for $(b,--jobs)." in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~env ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Collect work counters (rounds, snapshots, enumerated edges, RNG splits, \
+     jobs) and print them after the results. Counter totals count work items, \
+     so they are identical for every $(b,--jobs); wall-clock timers and gauges \
+     go to stderr instead."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a structured JSONL trace of the run (trial and experiment \
+     boundaries, flooding milestones, worker claims) to $(docv). Event lines \
+     are ordered by structural coordinates, so two runs at different \
+     $(b,--jobs) produce identical files modulo the wall field."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc = "Report job completion progress on stderr (stdout is untouched)." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Observability bracketing shared by run/verify/csv: flip the switches
+   before the work, flush trace and counters after it. Counters go to
+   stdout (they are deterministic); timers and gauges carry wall-clock
+   content and go to stderr so result output stays byte-comparable. *)
+let obs_setup ~metrics ~trace ~progress =
+  Obs.Clock.set Unix.gettimeofday;
+  if metrics then Obs.Metrics.enable ();
+  (match trace with Some _ -> Obs.Trace.enable () | None -> ());
+  if progress then Obs.Progress.enable ()
+
+let obs_finish ~metrics ~trace =
+  (match trace with
+  | Some path ->
+      let oc = open_out path in
+      Obs.Trace.write_jsonl oc;
+      close_out oc;
+      Printf.eprintf "trace: %d events -> %s\n%!"
+        (List.length (Obs.Trace.events ())) path
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_endline "---- metrics (work counters) ----";
+    List.iter (fun (name, v) -> Printf.printf "%-24s %d\n" name v) (Obs.Metrics.snapshot ());
+    let timers = Obs.Metrics.timers () and gauges = Obs.Metrics.gauges () in
+    if timers <> [] || gauges <> [] then begin
+      Printf.eprintf "---- metrics (wall clock, nondeterministic) ----\n";
+      List.iter (fun (name, s) -> Printf.eprintf "%-24s %.6fs\n" name s) timers;
+      List.iter (fun (name, v) -> Printf.eprintf "%-24s %.6f\n" name v) gauges;
+      flush stderr
+    end
+  end
+
 let id_arg =
   (* Derived from the registry so the range can never go stale again. *)
   let doc =
@@ -54,43 +108,61 @@ let resolve id =
   | None -> Error (Printf.sprintf "unknown experiment %S (try 'list')" id)
 
 let run_cmd =
-  let run id seed full jobs =
+  let run id seed full jobs metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
     let sched = Exec.of_int jobs in
-    if String.lowercase_ascii id = "all" then begin
-      let ok = Simulate.Registry.run_all ~sched ~rng ~scale () in
-      if ok then Ok () else Error "some reproduction checks failed"
-    end
-    else
-      match resolve id with
-      | Ok e ->
-          let ok = Simulate.Registry.run_one ~sched ~rng ~scale e in
-          if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
-      | Error m -> Error m
+    obs_setup ~metrics ~trace ~progress;
+    let result =
+      if String.lowercase_ascii id = "all" then begin
+        let ok = Simulate.Registry.run_all ~sched ~rng ~scale () in
+        if ok then Ok () else Error "some reproduction checks failed"
+      end
+      else
+        match resolve id with
+        | Ok e ->
+            let ok = Simulate.Registry.run_one ~sched ~rng ~scale e in
+            if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
+        | Error m -> Error m
+    in
+    obs_finish ~metrics ~trace;
+    result
   in
   let term =
-    Term.(term_result' (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg))
+    Term.(
+      term_result'
+        (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
+       $ progress_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an experiment, print its tables and scorecard")
     term
 
 let verify_cmd =
-  let run seed full jobs =
+  let run seed full jobs metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
     let sched = Exec.of_int jobs in
+    obs_setup ~metrics ~trace ~progress;
     (* Shares Registry.run_each with `run all`: same substream per
        experiment, so these scorecards match `run all --seed N` exactly. *)
     let failed = Simulate.Registry.verify ~sched ~rng ~scale () in
-    if failed = 0 then begin
-      print_endline "all reproduction checks passed";
-      Ok ()
-    end
-    else Error (Printf.sprintf "%d experiment(s) with failing checks" failed)
+    let result =
+      if failed = 0 then begin
+        print_endline "all reproduction checks passed";
+        Ok ()
+      end
+      else Error (Printf.sprintf "%d experiment(s) with failing checks" failed)
+    in
+    obs_finish ~metrics ~trace;
+    result
   in
-  let term = Term.(term_result' (const run $ seed_arg $ full_arg $ jobs_arg)) in
+  let term =
+    Term.(
+      term_result'
+        (const run $ seed_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
+       $ progress_arg))
+  in
   Cmd.v (Cmd.info "verify" ~doc:"Run all experiments, print only the scorecards") term
 
 let outdir_arg =
@@ -98,33 +170,40 @@ let outdir_arg =
   Arg.(value & opt (some string) None & info [ "outdir" ] ~docv:"DIR" ~doc)
 
 let csv_cmd =
-  let run id seed full jobs outdir =
+  let run id seed full jobs outdir metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = scale_of_full full in
     let sched = Exec.of_int jobs in
-    match (String.lowercase_ascii id, outdir) with
-    | "all", Some dir ->
-        let paths = Simulate.Export.export_all ~sched ~dir ~rng ~scale () in
-        List.iter print_endline paths;
-        Ok ()
-    | "all", None -> Error "csv all requires --outdir"
-    | _, _ -> (
-        match resolve id with
-        | Error m -> Error m
-        | Ok e -> (
-            match outdir with
-            | Some dir ->
-                let paths = Simulate.Export.export_experiment ~sched ~dir ~rng ~scale e in
-                List.iter print_endline paths;
-                Ok ()
-            | None ->
-                let tables = e.run ~sched ~rng ~scale in
-                List.iter (fun t -> print_string (Stats.Table.to_csv t)) tables;
-                Ok ()))
+    obs_setup ~metrics ~trace ~progress;
+    let result =
+      match (String.lowercase_ascii id, outdir) with
+      | "all", Some dir ->
+          let paths = Simulate.Export.export_all ~sched ~dir ~rng ~scale () in
+          List.iter print_endline paths;
+          Ok ()
+      | "all", None -> Error "csv all requires --outdir"
+      | _, _ -> (
+          match resolve id with
+          | Error m -> Error m
+          | Ok e -> (
+              match outdir with
+              | Some dir ->
+                  let paths = Simulate.Export.export_experiment ~sched ~dir ~rng ~scale e in
+                  List.iter print_endline paths;
+                  Ok ()
+              | None ->
+                  let tables = e.run ~sched ~rng ~scale in
+                  List.iter (fun t -> print_string (Stats.Table.to_csv t)) tables;
+                  Ok ()))
+    in
+    obs_finish ~metrics ~trace;
+    result
   in
   let term =
     Term.(
-      term_result' (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ outdir_arg))
+      term_result'
+        (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ outdir_arg $ metrics_arg
+       $ trace_arg $ progress_arg))
   in
   Cmd.v (Cmd.info "csv" ~doc:"Run experiments and emit CSV (stdout or --outdir)") term
 

@@ -1,5 +1,11 @@
 let default_cap n = 10_000 + (500 * n)
 
+let c_runs = Obs.Metrics.counter "walk.runs"
+
+let c_steps = Obs.Metrics.counter "walk.steps"
+
+let c_cap_hits = Obs.Metrics.counter "walk.cap_hits"
+
 let step_walk ~hold rng adj u =
   if hold > 0. && Prng.Rng.bernoulli rng hold then u
   else
@@ -12,6 +18,7 @@ let walk_until ?cap ?(hold = 0.5) ~rng ~start ~stop g =
   if start < 0 || start >= n then invalid_arg "Dyn_walk: start out of range";
   if not (hold >= 0. && hold < 1.) then invalid_arg "Dyn_walk: hold outside [0, 1)";
   let cap = match cap with Some c -> c | None -> default_cap n in
+  Obs.Metrics.incr c_runs;
   Dynamic.reset g (Prng.Rng.split rng);
   let position = ref start in
   let t = ref 0 in
@@ -23,6 +30,8 @@ let walk_until ?cap ?(hold = 0.5) ~rng ~start ~stop g =
     incr t;
     finished := stop ~position:!position ~time:!t
   done;
+  Obs.Metrics.add c_steps !t;
+  if not !finished then Obs.Metrics.incr c_cap_hits;
   if !finished then Some !t else None
 
 let hitting_time ?cap ?hold ~rng ~start ~target g =

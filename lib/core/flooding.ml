@@ -4,6 +4,21 @@ type result = { time : int option; trajectory : int array; arrivals : int array 
 
 let default_cap n = 10_000 + (200 * n)
 
+(* Observability. Counters total deterministic work items (rounds,
+   snapshots, enumerated edges), so their values are scheduler- and
+   worker-count-independent; trace events are coarse (run boundaries,
+   quarter milestones, cap hits — never per edge). Disabled, each hook
+   is one atomic load. *)
+let c_runs = Obs.Metrics.counter "flood.runs"
+
+let c_rounds = Obs.Metrics.counter "flood.rounds"
+
+let c_snapshots = Obs.Metrics.counter "flood.snapshots"
+
+let c_edges = Obs.Metrics.counter "flood.edges"
+
+let c_cap_hits = Obs.Metrics.counter "flood.cap_hits"
+
 (* The kernel allocates its working set once per run and nothing per
    round: the informed set is a byte-per-node bitset, newly reached
    nodes go into an int-array frontier (deduplicated through [queued],
@@ -22,6 +37,16 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   | Parsimonious k when k < 1 -> invalid_arg "Flooding.run: parsimonious window must be >= 1"
   | Flood | Push _ | Parsimonious _ -> ());
   let cap = match cap with Some c -> c | None -> default_cap n in
+  Obs.Metrics.incr c_runs;
+  let tracing = Obs.Trace.enabled () in
+  if tracing then Obs.Trace.emit "flood.start" [ ("n", Int n); ("source", Int source) ];
+  (* Quarter milestones |I_t| >= ceil(k n / 4): thresholds the initial
+     informed set already meets (tiny n) are skipped silently. *)
+  let milestones = [| ((n + 3) / 4, 1); ((n + 1) / 2, 2); (((3 * n) + 3) / 4, 3); (n, 4) |] in
+  let next_milestone = ref 0 in
+  while !next_milestone < 4 && fst milestones.(!next_milestone) <= 1 do
+    incr next_milestone
+  done;
   Dynamic.reset g (Prng.Rng.split rng);
   let informed = Bytes.make n '\000' in
   let queued = Bytes.make n '\000' in
@@ -65,6 +90,8 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
     (* Edges of E_t determine I_{t+1}. *)
     frontier_len := 0;
     Dynamic.fill_edges g edges;
+    Obs.Metrics.incr c_snapshots;
+    Obs.Metrics.add c_edges (Graph.Edge_buffer.length edges);
     for i = 0 to Graph.Edge_buffer.length edges - 1 do
       let u = Graph.Edge_buffer.src edges i and v = Graph.Edge_buffer.dst edges i in
       consider u v;
@@ -79,8 +106,25 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
       incr n_informed
     done;
     push_traj !n_informed;
+    Obs.Metrics.incr c_rounds;
+    if tracing then
+      while !next_milestone < 4 && !n_informed >= fst milestones.(!next_milestone) do
+        let _, quarter = milestones.(!next_milestone) in
+        Obs.Trace.emit "flood.milestone"
+          [ ("quarter", Int quarter); ("t", Int !t); ("informed", Int !n_informed) ];
+        incr next_milestone
+      done;
     Dynamic.step g
   done;
+  if !n_informed < n then begin
+    Obs.Metrics.incr c_cap_hits;
+    if tracing then
+      Obs.Trace.emit "flood.cap" [ ("t", Int !t); ("informed", Int !n_informed) ]
+  end;
+  if tracing then
+    (* One snapshot is enumerated per round, so [t] doubles as the
+       snapshots-consumed count of this run. *)
+    Obs.Trace.emit "flood.end" [ ("t", Int !t); ("informed", Int !n_informed) ];
   {
     time = (if !n_informed = n then Some !t else None);
     trajectory = Array.sub !traj 0 !traj_len;

@@ -2,10 +2,19 @@ type variant = Push | Pull | Push_pull
 
 type result = { time : int option; trajectory : int array; contacts : int }
 
+let c_runs = Obs.Metrics.counter "gossip.runs"
+
+let c_rounds = Obs.Metrics.counter "gossip.rounds"
+
+let c_contacts = Obs.Metrics.counter "gossip.contacts"
+
+let c_cap_hits = Obs.Metrics.counter "gossip.cap_hits"
+
 let run ?cap ~variant ~rng ~source g =
   let n = Dynamic.n g in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
   let cap = match cap with Some c -> c | None -> 10_000 + (200 * n) in
+  Obs.Metrics.incr c_runs;
   Dynamic.reset g (Prng.Rng.split rng);
   let informed = Array.make n false in
   informed.(source) <- true;
@@ -48,8 +57,11 @@ let run ?cap ~variant ~rng ~source g =
         end)
       !fresh;
     trajectory := !n_informed :: !trajectory;
+    Obs.Metrics.incr c_rounds;
     Dynamic.step g
   done;
+  Obs.Metrics.add c_contacts !contacts;
+  if !n_informed < n then Obs.Metrics.incr c_cap_hits;
   {
     time = (if !n_informed = n then Some !t else None);
     trajectory = Array.of_list (List.rev !trajectory);

@@ -36,6 +36,58 @@ let plan ~jobs ~job ~reduce =
    rather than spawning domains recursively. *)
 let inside_pool = Domain.DLS.new_key (fun () -> false)
 
+(* Set on the calling domain for the duration of any [run]: together
+   with [inside_pool] it identifies root-level plans, the ones progress
+   reporting is scoped to. *)
+let inside_run = Domain.DLS.new_key (fun () -> false)
+
+(* --- observability --- *)
+
+let c_plans = Obs.Metrics.counter "exec.plans"
+
+let c_claimed = Obs.Metrics.counter "exec.jobs_claimed"
+
+let c_completed = Obs.Metrics.counter "exec.jobs_completed"
+
+let c_failed = Obs.Metrics.counter "exec.jobs_failed"
+
+(* Per-worker heartbeat gauges, interned lazily (racy stores are benign:
+   interning is keyed by name, so both racers get the same gauge). *)
+let heartbeats = Array.make 64 None
+
+let heartbeat w =
+  if w < Array.length heartbeats then begin
+    let g =
+      match heartbeats.(w) with
+      | Some g -> g
+      | None ->
+          let g = Obs.Metrics.gauge (Printf.sprintf "exec.worker%d.heartbeat" w) in
+          heartbeats.(w) <- Some g;
+          g
+    in
+    Obs.Metrics.set_gauge g (Obs.Clock.now ())
+  end
+
+(* Wrap a plan's job with its observability envelope. The wrapper is
+   identical on the sequential and pool paths, so counters, trace
+   coordinates and progress ticks never depend on the scheduler. With
+   everything disabled [Ambient.capture] is [Inactive] and the wrapper
+   costs one match plus four no-op counter calls per job. *)
+let instrument ~ambient ~plan_ord ~progress job i =
+  Obs.Ambient.with_job ambient ~plan:plan_ord ~job:i (fun () ->
+      Obs.Metrics.incr c_claimed;
+      if Obs.Trace.enabled () then Obs.Trace.emit "exec.claim" [];
+      match job i with
+      | v ->
+          Obs.Metrics.incr c_completed;
+          if Obs.Trace.enabled () then Obs.Trace.emit "exec.finish" [];
+          if progress then Obs.Progress.tick ();
+          v
+      | exception e ->
+          Obs.Metrics.incr c_failed;
+          if Obs.Trace.enabled () then Obs.Trace.emit "exec.fail" [];
+          raise e)
+
 let run_sequential p = Array.init p.jobs p.job
 
 (* Fixed pool: [w] workers (w - 1 spawned domains plus the caller) pull
@@ -50,14 +102,15 @@ let run_pool w p =
   let error = Atomic.make None in
   let cursor = Atomic.make 0 in
   let chunk = max 1 (n / (8 * w)) in
-  let worker () =
+  let worker wid () =
     let saved = Domain.DLS.get inside_pool in
     Domain.DLS.set inside_pool true;
     let continue = ref true in
     while !continue do
       let start = Atomic.fetch_and_add cursor chunk in
       if start >= n || Atomic.get error <> None then continue := false
-      else
+      else begin
+        if Obs.Metrics.enabled () then heartbeat wid;
         let stop = min n (start + chunk) in
         let i = ref start in
         while !continue && !i < stop do
@@ -69,11 +122,12 @@ let run_pool w p =
               continue := false);
           incr i
         done
+      end
     done;
     Domain.DLS.set inside_pool saved
   in
-  let spawned = List.init (min w n - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let spawned = List.init (min w n - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
   List.iter Domain.join spawned;
   (match Atomic.get error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -81,12 +135,28 @@ let run_pool w p =
   Array.map (function Some v -> v | None -> assert false) results
 
 let run s p =
+  Obs.Metrics.incr c_plans;
+  let root =
+    (not (Domain.DLS.get inside_run)) && not (Domain.DLS.get inside_pool)
+  in
+  let progress = root && Obs.Progress.enabled () in
+  if progress then Obs.Progress.begin_plan ~jobs:p.jobs;
+  let ambient = Obs.Ambient.capture () in
+  let plan_ord = Obs.Ambient.next_plan () in
+  let p = { p with job = instrument ~ambient ~plan_ord ~progress p.job } in
+  let saved_inside = Domain.DLS.get inside_run in
+  Domain.DLS.set inside_run true;
   let results =
-    match s with
-    | Sequential -> run_sequential p
-    | Pool w ->
-        if p.jobs <= 1 || Domain.DLS.get inside_pool then run_sequential p
-        else run_pool w p
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set inside_run saved_inside;
+        if progress then Obs.Progress.end_plan ())
+      (fun () ->
+        match s with
+        | Sequential -> run_sequential p
+        | Pool w ->
+            if p.jobs <= 1 || Domain.DLS.get inside_pool then run_sequential p
+            else run_pool w p)
   in
   p.reduce results
 

@@ -15,7 +15,18 @@
     results.
 
     Jobs must not share mutable state: a job that needs a stateful model
-    instance must construct its own (take a builder, not an instance). *)
+    instance must construct its own (take a builder, not an instance).
+
+    Observability: every job runs inside an {!Obs.Ambient.with_job}
+    envelope — identical on both schedulers — that charges the
+    [exec.plans] / [exec.jobs_claimed] / [exec.jobs_completed] /
+    [exec.jobs_failed] counters, emits [exec.claim] / [exec.finish] /
+    [exec.fail] trace events at deterministic plan/job coordinates,
+    ticks {!Obs.Progress} for root-level plans, and propagates the
+    caller's metric-attribution scope to pool workers. Pool workers
+    additionally stamp an [exec.worker<k>.heartbeat] gauge each time
+    they claim a chunk. With metrics, tracing and progress all disabled
+    the envelope is a handful of atomic loads per job. *)
 
 type scheduler
 (** How the jobs of a plan are executed. *)

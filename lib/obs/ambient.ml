@@ -1,0 +1,70 @@
+(* Domain-local execution context shared by Metrics (attribution sinks)
+   and Trace (deterministic event coordinates), and propagated across
+   Exec pool workers by the execution engine.
+
+   The trace-determinism scheme: every Exec plan executed while tracing
+   is on receives an ordinal from its enclosing frame (deterministic,
+   because the code that *starts* plans runs sequentially within one
+   frame), and every job of that plan runs under a child frame whose
+   path extends the parent's with [ordinal; job index]. Events carry
+   (path, per-frame sequence number), which depends only on the program
+   structure — never on which worker domain ran the job or in what
+   order — so a flushed trace sorted by (path, seq) is identical for
+   every scheduler. *)
+
+type sink = int Atomic.t array
+(* Per-scope counter cells, indexed by counter id (see Metrics). Shared
+   by every domain working under the scope, hence atomic. *)
+
+type frame = {
+  path : int array;        (* alternating plan ordinal / job index *)
+  mutable next_plan : int; (* ordinals handed to plans started under this frame *)
+  mutable seq : int;       (* trace events emitted under this frame *)
+}
+
+let root_frame () = { path = [||]; next_plan = 0; seq = 0 }
+
+let frame_key = Domain.DLS.new_key root_frame
+
+let sink_key : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Owned here (not in Trace) so that [capture] needs no dependency on
+   the trace module; Trace flips it on enable/disable. *)
+let tracing = Atomic.make false
+
+let frame () = Domain.DLS.get frame_key
+
+let current_sink () = Domain.DLS.get sink_key
+
+let set_sink s = Domain.DLS.set sink_key s
+
+type t = Inactive | Active of { sink : sink option; path : int array }
+
+let capture () =
+  match (current_sink (), Atomic.get tracing) with
+  | None, false -> Inactive
+  | sink, _ -> Active { sink; path = (frame ()).path }
+
+let next_plan () =
+  if Atomic.get tracing then begin
+    let f = frame () in
+    let ord = f.next_plan in
+    f.next_plan <- ord + 1;
+    ord
+  end
+  else 0
+
+let with_job amb ~plan ~job f =
+  match amb with
+  | Inactive -> f ()
+  | Active { sink; path } ->
+      let saved_frame = Domain.DLS.get frame_key in
+      let saved_sink = Domain.DLS.get sink_key in
+      let child_path = Array.append path [| plan; job |] in
+      Domain.DLS.set frame_key { path = child_path; next_plan = 0; seq = 0 };
+      Domain.DLS.set sink_key sink;
+      Fun.protect
+        ~finally:(fun () ->
+          Domain.DLS.set frame_key saved_frame;
+          Domain.DLS.set sink_key saved_sink)
+        f

@@ -1,0 +1,59 @@
+(** Domain-local observability context, and its propagation across the
+    execution engine's worker domains.
+
+    An ambient value bundles what a job inherits from the code that
+    planned it: the metrics attribution sink currently installed (see
+    {!Metrics.with_scope}) and the trace coordinate path of the
+    enclosing frame. [Exec.run] captures the ambient once per plan on
+    the submitting domain and re-installs it around every job — on the
+    submitting domain under the sequential scheduler, on worker domains
+    under a pool — which is what makes metric attribution and trace
+    coordinates independent of the scheduler.
+
+    Only the execution engine should need this module; instrumentation
+    call sites use {!Metrics} and {!Trace} directly. *)
+
+type sink = int Atomic.t array
+(** Scope-local counter cells indexed by counter id; atomic because all
+    domains working under one scope share the same sink. *)
+
+type frame = {
+  path : int array;
+  mutable next_plan : int;
+  mutable seq : int;
+}
+(** The per-domain trace frame: [path] is the job's coordinate
+    (alternating plan ordinal / job index from the root), [next_plan]
+    numbers the plans this frame starts, [seq] numbers the events it
+    emits. All three depend only on program structure, never on
+    scheduling. *)
+
+val frame : unit -> frame
+(** This domain's current frame (a root frame when outside any job). *)
+
+val current_sink : unit -> sink option
+(** The metrics sink installed on this domain, if any. *)
+
+val set_sink : sink option -> unit
+(** Install / remove this domain's metrics sink (used by
+    {!Metrics.with_scope}). *)
+
+val tracing : bool Atomic.t
+(** Whether tracing is enabled; owned here, flipped by {!Trace}. *)
+
+type t = Inactive | Active of { sink : sink option; path : int array }
+(** A captured ambient. [Inactive] (no sink, tracing off) makes
+    {!with_job} a direct call — the instrumentation-off fast path. *)
+
+val capture : unit -> t
+(** Capture the calling domain's ambient for later {!with_job} calls. *)
+
+val next_plan : unit -> int
+(** Ordinal for a plan about to start under the current frame.
+    Increments the frame's counter only while tracing (the ordinal is a
+    trace coordinate; when tracing is off it is a constant 0). *)
+
+val with_job : t -> plan:int -> job:int -> (unit -> 'a) -> 'a
+(** [with_job amb ~plan ~job f] runs [f] with [amb]'s sink installed and
+    a fresh frame at path [amb.path @ [plan; job]], restoring the
+    domain's previous context afterwards (exception-safe). *)

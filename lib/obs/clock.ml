@@ -1,0 +1,10 @@
+(* The one wall-clock source of the observability layer. The library
+   itself takes no clock dependency: the default source returns 0., so
+   timestamps are inert (and trace output is bit-reproducible) until an
+   executable installs a real clock. *)
+
+let source : (unit -> float) Atomic.t = Atomic.make (fun () -> 0.)
+
+let set f = Atomic.set source f
+
+let now () = (Atomic.get source) ()

@@ -1,0 +1,14 @@
+(** Wall-clock source for timers, heartbeats and trace timestamps.
+
+    Defaults to a constant [0.] so the library stays zero-dependency and
+    trace output is bit-reproducible out of the box; executables that
+    want real timestamps install one (e.g.
+    [Obs.Clock.set Unix.gettimeofday]). Timestamps are annotations only:
+    no deterministic output may depend on them. *)
+
+val set : (unit -> float) -> unit
+(** Install a clock. Safe to call from any domain; takes effect for
+    subsequent {!now} calls. *)
+
+val now : unit -> float
+(** Current time according to the installed clock (seconds). *)

@@ -1,0 +1,197 @@
+(* Metrics registry: counters, gauges and monotonic timers.
+
+   Counters are the deterministic kind: they count work items
+   (snapshots, rounds, RNG splits, jobs), so their totals depend only on
+   what was computed, never on scheduling — which is what lets `--jobs 1`
+   and `--jobs 4` runs print identical metrics. Writes go to one of 64
+   striped atomic cells selected by the writing domain's id, so hot-path
+   increments are wait-free and (almost always) uncontended; reads merge
+   the stripes. Gauges and timers carry wall-clock content and are
+   therefore *not* deterministic; they are kept out of {!snapshot} and
+   surfaced separately.
+
+   Attribution: a scope ({!with_scope}) installs a per-scope sink of
+   atomic cells in domain-local storage; Exec propagates the sink to
+   worker domains (see {!Ambient}), so everything computed under the
+   scope — wherever it ran — is charged to it. *)
+
+let on = Atomic.make false
+
+let enable () = Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let enabled () = Atomic.get on
+
+let stripes = 64
+
+let stripe_mask = stripes - 1
+
+type counter = { name : string; id : int; cells : int Atomic.t array }
+
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+type timer = { t_name : string; t_cells : int Atomic.t array (* microseconds *) }
+
+(* Registration is rare (module initialisation) and guarded by one
+   mutex; the hot path never takes it. *)
+let registry_mutex = Mutex.create ()
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let timers_tbl : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let next_id = ref 0
+
+let registered : counter list ref = ref []
+
+let fresh_cells () = Array.init stripes (fun _ -> Atomic.make 0)
+
+let counter name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { name; id = !next_id; cells = fresh_cells () } in
+        incr next_id;
+        Hashtbl.add counters name c;
+        registered := c :: !registered;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let gauge name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt gauges_tbl name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_cell = Atomic.make nan } in
+        Hashtbl.add gauges_tbl name g;
+        g
+  in
+  Mutex.unlock registry_mutex;
+  g
+
+let timer name =
+  Mutex.lock registry_mutex;
+  let t =
+    match Hashtbl.find_opt timers_tbl name with
+    | Some t -> t
+    | None ->
+        let t = { t_name = name; t_cells = fresh_cells () } in
+        Hashtbl.add timers_tbl name t;
+        t
+  in
+  Mutex.unlock registry_mutex;
+  t
+
+let registry_size () =
+  Mutex.lock registry_mutex;
+  let n = !next_id in
+  Mutex.unlock registry_mutex;
+  n
+
+let stripe () = (Domain.self () :> int) land stripe_mask
+
+let add c k =
+  if Atomic.get on then begin
+    ignore (Atomic.fetch_and_add c.cells.(stripe ()) k);
+    match Ambient.current_sink () with
+    | Some sink when c.id < Array.length sink ->
+        ignore (Atomic.fetch_and_add sink.(c.id) k)
+    | Some _ | None -> ()
+  end
+
+let incr c = add c 1
+
+let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let set_gauge g v = if Atomic.get on then Atomic.set g.g_cell v
+
+let gauge_value g = Atomic.get g.g_cell
+
+let add_elapsed t dt =
+  if dt > 0. then
+    ignore (Atomic.fetch_and_add t.t_cells.(stripe ()) (int_of_float (dt *. 1e6)))
+
+let time t f =
+  if Atomic.get on then begin
+    let started = Clock.now () in
+    Fun.protect ~finally:(fun () -> add_elapsed t (Clock.now () -. started)) f
+  end
+  else f ()
+
+let timer_seconds t =
+  float_of_int (Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 t.t_cells)
+  /. 1e6
+
+let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let cs = !registered in
+  Mutex.unlock registry_mutex;
+  by_name fst
+    (List.filter_map
+       (fun c ->
+         let v = value c in
+         if v = 0 then None else Some (c.name, v))
+       cs)
+
+let gauges () =
+  Mutex.lock registry_mutex;
+  let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges_tbl [] in
+  Mutex.unlock registry_mutex;
+  by_name fst
+    (List.filter_map
+       (fun g ->
+         let v = gauge_value g in
+         if Float.is_nan v then None else Some (g.g_name, v))
+       gs)
+
+let timers () =
+  Mutex.lock registry_mutex;
+  let ts = Hashtbl.fold (fun _ t acc -> t :: acc) timers_tbl [] in
+  Mutex.unlock registry_mutex;
+  by_name fst
+    (List.filter_map
+       (fun t ->
+         let v = timer_seconds t in
+         if v = 0. then None else Some (t.t_name, v))
+       ts)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells) !registered;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_cell nan) gauges_tbl;
+  Hashtbl.iter (fun _ t -> Array.iter (fun cell -> Atomic.set cell 0) t.t_cells) timers_tbl;
+  Mutex.unlock registry_mutex
+
+let with_scope f =
+  if not (Atomic.get on) then (f (), [])
+  else begin
+    let sink = Array.init (registry_size ()) (fun _ -> Atomic.make 0) in
+    let saved = Ambient.current_sink () in
+    Ambient.set_sink (Some sink);
+    let result =
+      Fun.protect ~finally:(fun () -> Ambient.set_sink saved) f
+    in
+    Mutex.lock registry_mutex;
+    let cs = !registered in
+    Mutex.unlock registry_mutex;
+    let collected =
+      List.filter_map
+        (fun c ->
+          if c.id < Array.length sink then
+            let v = Atomic.get sink.(c.id) in
+            if v = 0 then None else Some (c.name, v)
+          else None)
+        cs
+    in
+    (result, by_name fst collected)
+  end

@@ -1,0 +1,90 @@
+(** Metrics registry: counters, gauges and monotonic timers, safe under
+    {!Exec.pool} worker domains, allocation-free on the hot paths.
+
+    Two kinds of content with different guarantees:
+
+    - {b Counters} count work items — snapshots generated, flooding
+      rounds, RNG splits, jobs. Their totals depend only on what was
+      computed, so for a deterministic computation they are identical
+      for every scheduler and worker count. {!snapshot} (and per-scope
+      {!with_scope} collection) exposes only counters.
+    - {b Gauges and timers} carry wall-clock content (heartbeats,
+      accumulated elapsed time). They are intrinsically nondeterministic
+      and are surfaced separately ({!gauges}, {!timers}); deterministic
+      output must never include them.
+
+    All instrumentation is gated on a global switch ({!enable}): while
+    disabled, every recording operation is a single atomic load and a
+    branch. Counter writes are striped over 64 atomic cells selected by
+    the writing domain's id (wait-free, no lost updates even when two
+    domains collide on a stripe); reads merge the stripes. *)
+
+val enable : unit -> unit
+(** Turn recording on. Enable before starting the run to be measured:
+    work done while disabled is simply not counted. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter and timer, clear every gauge. Call between
+    independent measured runs of one process. *)
+
+type counter
+
+val counter : string -> counter
+(** Intern a counter by name (same name, same counter). Registration
+    takes a mutex — do it once at module initialisation, not per call. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Merged total. Reading concurrently with writers may miss the very
+    latest increments (each stripe is read atomically, the sum is not a
+    snapshot); totals read after the work completes are exact. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Intern a gauge by name. A gauge holds one float (last write wins);
+    unset gauges read as [nan]. *)
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+type timer
+
+val timer : string -> timer
+(** Intern a timer by name. Timers accumulate elapsed seconds measured
+    with {!Clock.now} (microsecond resolution internally). *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time t f] runs [f], charging its elapsed time to [t] (when
+    enabled). Exception-safe. *)
+
+val timer_seconds : timer -> float
+
+val snapshot : unit -> (string * int) list
+(** All counters with nonzero totals, sorted by name. Deterministic for
+    a deterministic computation, whatever the scheduler. *)
+
+val gauges : unit -> (string * float) list
+(** All set gauges, sorted by name. Nondeterministic content. *)
+
+val timers : unit -> (string * float) list
+(** All timers with nonzero accumulation, sorted by name (seconds).
+    Nondeterministic content. *)
+
+val with_scope : (unit -> 'a) -> 'a * (string * int) list
+(** [with_scope f] runs [f] with a fresh attribution sink installed on
+    the calling domain — inherited by any pool workers [f] fans out to
+    (see {!Ambient}) — and returns [f]'s result with the nonzero
+    counter deltas recorded under the scope, sorted by name. Returns
+    [[]] while disabled. Scopes may nest syntactically but do not
+    accumulate outwards: an inner scope temporarily shadows the outer
+    one. Counters registered after the scope started are not
+    attributed to it. *)

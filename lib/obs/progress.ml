@@ -1,0 +1,63 @@
+(* Optional stderr progress line for long sweeps, ticked by the
+   execution engine as root-plan jobs complete. Writes only to stderr
+   (never stdout), so enabling it cannot perturb byte-identical result
+   output. Throttled to at most ~10 lines a second. *)
+
+let mutex = Mutex.create ()
+
+let active = Atomic.make false
+
+let current_label = ref "jobs"
+
+let total = ref 0
+
+let completed = ref 0
+
+let last_printed = ref neg_infinity
+
+let min_interval = 0.1
+
+let enabled () = Atomic.get active
+
+let enable ?(label = "jobs") () =
+  Mutex.lock mutex;
+  current_label := label;
+  total := 0;
+  completed := 0;
+  last_printed := neg_infinity;
+  Mutex.unlock mutex;
+  Atomic.set active true
+
+let disable () = Atomic.set active false
+
+let print_line final =
+  Printf.eprintf "\r%s: %d/%d jobs%s%!" !current_label !completed !total
+    (if final then "\n" else "")
+
+let begin_plan ~jobs =
+  if enabled () then begin
+    Mutex.lock mutex;
+    total := jobs;
+    completed := 0;
+    last_printed := neg_infinity;
+    Mutex.unlock mutex
+  end
+
+let tick () =
+  if enabled () then begin
+    Mutex.lock mutex;
+    incr completed;
+    let now = Clock.now () in
+    if now -. !last_printed >= min_interval then begin
+      last_printed := now;
+      print_line false
+    end;
+    Mutex.unlock mutex
+  end
+
+let end_plan () =
+  if enabled () then begin
+    Mutex.lock mutex;
+    if !total > 0 then print_line true;
+    Mutex.unlock mutex
+  end

@@ -1,0 +1,24 @@
+(** Optional stderr progress reporting for long sweeps.
+
+    When enabled, {!Exec.run} registers each root-level plan with
+    {!begin_plan} and calls {!tick} as its jobs complete (on whichever
+    domain finished them); a throttled [\r label: k/n jobs] line goes to
+    stderr. Stdout is never touched, so progress can be enabled without
+    perturbing byte-identical result output. Timestamps come from
+    {!Clock}, so install a real clock for useful throttling. *)
+
+val enable : ?label:string -> unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val begin_plan : jobs:int -> unit
+(** Called by the execution engine when a root plan starts. *)
+
+val tick : unit -> unit
+(** Called by the execution engine as each root-plan job completes. *)
+
+val end_plan : unit -> unit
+(** Called by the execution engine when a root plan finishes; prints the
+    final count with a newline. *)

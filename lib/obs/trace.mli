@@ -1,0 +1,56 @@
+(** Structured trace emitter: bounded in-memory event ring, flushed as
+    JSONL (one JSON object per line).
+
+    Event vocabulary (who emits what) is documented in DESIGN.md §7.
+    Every line carries [ev] (event name), [ctx] (dotted plan/job path,
+    see {!Ambient}), [seq] (per-frame sequence number), [wall]
+    (timestamp from {!Clock}, an annotation only) and the emitter's
+    fields.
+
+    Determinism: as long as the ring did not overflow, flushed output is
+    identical modulo the [wall] field for every scheduler and worker
+    count, because events are sorted by their structural coordinates
+    [(ctx, seq)] rather than arrival order. An overflow drops oldest
+    events (arrival order, hence scheduler-dependent) and is reported
+    both by {!dropped_events} and by a final [trace.dropped] line. *)
+
+type field = Int of int | Float of float | Str of string
+
+type event = {
+  name : string;
+  path : int array;
+  seq : int;
+  wall : float;
+  fields : (string * field) list;
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn tracing on with a fresh ring of [capacity] events (default
+    65536). Enable before the traced run starts: plan ordinals are only
+    assigned while tracing is on, so flipping it mid-computation yields
+    unstable coordinates. *)
+
+val disable : unit -> unit
+(** Stop recording. The ring keeps its contents for flushing. *)
+
+val enabled : unit -> bool
+(** Single atomic load — guard any per-event field construction with
+    this at instrumentation sites. *)
+
+val emit : string -> (string * field) list -> unit
+(** Record an event at the current frame's coordinates. No-op while
+    disabled. *)
+
+val events : unit -> event list
+(** Recorded events sorted by [(ctx, seq)]. *)
+
+val render_jsonl : unit -> string
+(** The sorted events as JSONL, plus a trailing [trace.dropped] line
+    when the ring overflowed. *)
+
+val write_jsonl : out_channel -> unit
+
+val dropped_events : unit -> int
+
+val clear : unit -> unit
+(** Empty the ring (keeps the enabled state and capacity). *)

@@ -33,12 +33,19 @@ let next_raw t =
 
 let int64 t = mix64 (next_raw t)
 
+(* Stream derivations are the natural unit of "how much independent
+   randomness did this run consume" — one per trial, model reset, or
+   sweep cell — so they are the one thing the PRNG meters. *)
+let c_splits = Obs.Metrics.counter "rng.splits"
+
 let split t =
+  Obs.Metrics.incr c_splits;
   let s = next_raw t in
   let s' = next_raw t in
   { state = mix64 s; gamma = mix_gamma s' }
 
 let substream t i =
+  Obs.Metrics.incr c_splits;
   let s = mix64 (Int64.logxor t.state (mix64 (Int64.of_int i))) in
   { state = s; gamma = mix_gamma (Int64.add s golden_gamma) }
 

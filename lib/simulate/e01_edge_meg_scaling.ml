@@ -46,6 +46,9 @@ let run ~sched ~rng ~scale =
   Stats.Table.add_row verdict
     [ Text "loglog slope of flood vs n"; Fixed (fit.slope, 3); Text "near 0 (polylog growth)" ];
   Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  if fit.dropped > 0 then
+    Stats.Table.add_row verdict
+      [ Text "dropped points"; Int fit.dropped; Text "non-positive, excluded from fit" ];
   (* Calibration anchor: with q = 1 - p the snapshots are i.i.d.
      G(n, p) and the expected flooding time is computable exactly
      (absorbing-chain analysis); measured means must match to within

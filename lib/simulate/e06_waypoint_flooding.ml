@@ -50,6 +50,9 @@ let size_sweep ~sched ~rng ~scale =
       Text "~0.5 (sqrt n, plus polylog drift)";
     ];
   Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  if fit.dropped > 0 then
+    Stats.Table.add_row verdict
+      [ Text "dropped points"; Int fit.dropped; Text "non-positive, excluded from fit" ];
   [ table; verdict ]
 
 let speed_sweep ~sched ~rng ~scale =

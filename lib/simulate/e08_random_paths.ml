@@ -53,6 +53,9 @@ let run ~sched ~rng ~scale =
       Text "~1 (linear in diameter, plus polylog)";
     ];
   Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  if fit.dropped > 0 then
+    Stats.Table.add_row verdict
+      [ Text "dropped points"; Int fit.dropped; Text "non-positive, excluded from fit" ];
   [ table; verdict ]
 
 let assess = function

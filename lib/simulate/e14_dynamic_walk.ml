@@ -60,6 +60,9 @@ let run ~sched ~rng ~scale =
   Stats.Table.add_row verdict
     [ Text "loglog slope of cover vs n"; Fixed (fit.slope, 3); Text "~1 (n polylog)" ];
   Stats.Table.add_row verdict [ Text "R^2"; Fixed (fit.r2, 3); Text "-" ];
+  if fit.dropped > 0 then
+    Stats.Table.add_row verdict
+      [ Text "dropped points"; Int fit.dropped; Text "non-positive, excluded from fit" ];
   [ table; verdict ]
 
 let assess = function

@@ -76,14 +76,35 @@ let render_one ?(render = Full) ~sched ~rng ~scale (e : experiment) =
   Buffer.add_char buf '\n';
   (Buffer.contents buf, Assess.all_passed checks)
 
+type outcome = {
+  experiment : experiment;
+  output : string;
+  ok : bool;
+  seconds : float;
+  metrics : (string * int) list;
+}
+
+let c_experiments = Obs.Metrics.counter "sim.experiments"
+
 let run_each ?(render = Full) ?(sched = Exec.sequential) ?clock ~rng ~scale () =
   let exps = Array.of_list all in
   let rngs = Array.init (Array.length exps) (experiment_rng rng) in
   let now () = match clock with Some f -> f () | None -> 0. in
   let job i =
+    let e = exps.(i) in
+    Obs.Metrics.incr c_experiments;
+    if Obs.Trace.enabled () then Obs.Trace.emit "exp.start" [ ("id", Str e.id) ];
     let started = now () in
-    let output, ok = render_one ~render ~sched ~rng:rngs.(i) ~scale exps.(i) in
-    (exps.(i), output, ok, now () -. started)
+    (* The scope sink rides the job's domain: nested trial plans run
+       sequentially inside a pool job (see Exec), so every counter
+       increment of this experiment — and only this experiment — lands
+       in its [metrics]. *)
+    let (output, ok), metrics =
+      Obs.Metrics.with_scope (fun () -> render_one ~render ~sched ~rng:rngs.(i) ~scale e)
+    in
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit "exp.end" [ ("id", Str e.id); ("ok", Int (if ok then 1 else 0)) ];
+    { experiment = e; output; ok; seconds = now () -. started; metrics }
   in
   Exec.run sched (Exec.plan ~jobs:(Array.length exps) ~job ~reduce:Array.to_list)
 
@@ -107,16 +128,16 @@ let summary_table verdicts =
 
 let run_all_timed ?(out = stdout) ?sched ?clock ~rng ~scale () =
   let results = run_each ~render:Full ?sched ?clock ~rng ~scale () in
-  List.iter (fun (_, output, _, _) -> output_string out output) results;
-  let verdicts = List.map (fun (e, _, ok, _) -> (e, ok)) results in
+  List.iter (fun o -> output_string out o.output) results;
+  let verdicts = List.map (fun o -> (o.experiment, o.ok)) results in
   Printf.fprintf out "%s\n" (Stats.Table.render (summary_table verdicts));
   flush out;
-  (List.for_all snd verdicts, List.map (fun (e, _, ok, seconds) -> (e, ok, seconds)) results)
+  (List.for_all snd verdicts, results)
 
 let run_all ?out ?sched ~rng ~scale () = fst (run_all_timed ?out ?sched ~rng ~scale ())
 
 let verify ?(out = stdout) ?sched ~rng ~scale () =
   let results = run_each ~render:Scorecard ?sched ~rng ~scale () in
-  List.iter (fun (_, output, _, _) -> output_string out output) results;
+  List.iter (fun o -> output_string out o.output) results;
   flush out;
-  List.length (List.filter (fun (_, _, ok, _) -> not ok) results)
+  List.length (List.filter (fun o -> not o.ok) results)

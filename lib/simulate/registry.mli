@@ -46,6 +46,18 @@ val render_one :
 (** Run one experiment and render it to a string; returns whether all
     checks passed. The building block every printing entry point shares. *)
 
+type outcome = {
+  experiment : experiment;
+  output : string;       (** rendered tables / scorecard *)
+  ok : bool;             (** all assessments passed *)
+  seconds : float;       (** wall-clock duration (0. without a clock) *)
+  metrics : (string * int) list;
+      (** counter deltas attributed to this experiment by
+          {!Obs.Metrics.with_scope} — deterministic work totals like
+          ["flood.rounds"], sorted by name; empty when metrics are
+          disabled *)
+}
+
 val run_each :
   ?render:render ->
   ?sched:Exec.scheduler ->
@@ -53,13 +65,15 @@ val run_each :
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
-  (experiment * string * bool * float) list
+  outcome list
 (** Run every experiment (concurrently under a pool scheduler), each
     seeded with {!experiment_rng}; results are returned in registry
     order with their rendered output and wall-clock duration in
     seconds. Durations are measured with [clock] (e.g.
     [Unix.gettimeofday]); without one they are reported as [0.] —
-    the library takes no clock dependency of its own. *)
+    the library takes no clock dependency of its own. When tracing is
+    enabled, each experiment is bracketed by [exp.start] / [exp.end]
+    events carrying its id. *)
 
 val run_one :
   ?out:out_channel ->
@@ -88,11 +102,11 @@ val run_all_timed :
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
-  bool * (experiment * bool * float) list
-(** [run_all] plus the per-experiment verdicts and wall-clock seconds
-    (see {!run_each} for the [clock] contract). The printed bytes are
-    identical to {!run_all} at the same seed; the extra data feeds the
-    benchmark harness's machine-readable baseline ([--json]). *)
+  bool * outcome list
+(** [run_all] plus the per-experiment outcomes (see {!run_each} for the
+    [clock] contract). The printed bytes are identical to {!run_all} at
+    the same seed; the extra data feeds the benchmark harness's
+    machine-readable baseline ([--json]). *)
 
 val verify :
   ?out:out_channel ->

@@ -12,6 +12,9 @@ let ci ?(resamples = 1000) ?(confidence = 0.95) ~rng ~stat xs =
   if resamples < 1 then invalid_arg "Bootstrap.ci: resamples must be >= 1";
   if not (confidence > 0. && confidence < 1.) then
     invalid_arg "Bootstrap.ci: confidence outside (0, 1)";
+  (* A NaN sample would propagate into every resample statistic and then
+     sort to an arbitrary rank, corrupting both interval endpoints. *)
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg "Bootstrap.ci: NaN in sample") xs;
   let point = stat xs in
   let scratch = Array.make n 0. in
   let stats =
@@ -19,7 +22,7 @@ let ci ?(resamples = 1000) ?(confidence = 0.95) ~rng ~stat xs =
         resample rng xs scratch;
         stat scratch)
   in
-  Array.sort compare stats;
+  Array.sort Float.compare stats;
   let alpha = (1. -. confidence) /. 2. in
   {
     lo = Quantile.of_sorted stats alpha;

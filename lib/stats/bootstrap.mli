@@ -12,7 +12,8 @@ val ci :
   float array ->
   interval
 (** [ci ~rng ~stat xs] is a percentile-bootstrap interval for [stat xs].
-    Defaults: 1000 resamples, 95% confidence. *)
+    Defaults: 1000 resamples, 95% confidence. Raises [Invalid_argument]
+    on an empty sample or a NaN in it. *)
 
 val ci_mean :
   ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> interval

@@ -5,29 +5,54 @@ type t = {
   weights : float array;
   mutable n_obs : int;
   mutable total : float;
+  mutable underflow : float;
+  mutable overflow : float;
 }
 
 let create ~lo ~hi ~bins =
   if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
   if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
-  { lo; hi; n_bins = bins; weights = Array.make bins 0.; n_obs = 0; total = 0. }
+  {
+    lo;
+    hi;
+    n_bins = bins;
+    weights = Array.make bins 0.;
+    n_obs = 0;
+    total = 0.;
+    underflow = 0.;
+    overflow = 0.;
+  }
 
+(* The closed interval [lo, hi]: x = hi belongs to the last bin rather
+   than a phantom bin n_bins. Anything strictly outside is not data for
+   any bin — clamping it in used to inflate edge-bin mass. *)
 let bin_of t x =
+  if x < t.lo || x > t.hi || Float.is_nan x then
+    invalid_arg "Histogram.bin_of: sample outside [lo, hi]";
   let w = (t.hi -. t.lo) /. float_of_int t.n_bins in
   let i = int_of_float (floor ((x -. t.lo) /. w)) in
-  if i < 0 then 0 else if i >= t.n_bins then t.n_bins - 1 else i
+  if i >= t.n_bins then t.n_bins - 1 else if i < 0 then 0 else i
 
 let add_weighted t x w =
-  let i = bin_of t x in
-  t.weights.(i) <- t.weights.(i) +. w;
+  if Float.is_nan x then invalid_arg "Histogram.add: NaN sample";
   t.n_obs <- t.n_obs + 1;
-  t.total <- t.total +. w
+  if x < t.lo then t.underflow <- t.underflow +. w
+  else if x > t.hi then t.overflow <- t.overflow +. w
+  else begin
+    let i = bin_of t x in
+    t.weights.(i) <- t.weights.(i) +. w;
+    t.total <- t.total +. w
+  end
 
 let add t x = add_weighted t x 1.
 
 let count t = t.n_obs
 
 let total_weight t = t.total
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
 
 let bins t = t.n_bins
 
@@ -49,6 +74,8 @@ let render ?(width = 50) t =
   let p = probability t in
   let pmax = Array.fold_left Float.max 0. p in
   let buf = Buffer.create 256 in
+  if t.underflow > 0. then
+    Buffer.add_string buf (Printf.sprintf "%10s | %.4g below range\n" "under" t.underflow);
   Array.iteri
     (fun i pi ->
       let bar_len =
@@ -58,4 +85,6 @@ let render ?(width = 50) t =
       Buffer.add_string buf
         (Printf.sprintf "%10.4g | %s %.4f\n" (bin_center t i) (String.make bar_len '#') pi))
     p;
+  if t.overflow > 0. then
+    Buffer.add_string buf (Printf.sprintf "%10s | %.4g above range\n" "over" t.overflow);
   Buffer.contents buf

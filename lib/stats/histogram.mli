@@ -1,7 +1,12 @@
 (** Fixed-bin histograms over a closed interval.
 
     Used both for positional-distribution estimation of mobility models
-    (occupancy over space) and for visualising flooding-time spreads. *)
+    (occupancy over space) and for visualising flooding-time spreads.
+
+    Samples strictly outside [\[lo, hi\]] are not forced into the edge
+    bins (which silently inflated edge-bin mass); they accumulate in
+    dedicated {!underflow} / {!overflow} tallies that are excluded from
+    {!probability} and {!density}. *)
 
 type t
 
@@ -10,30 +15,48 @@ val create : lo:float -> hi:float -> bins:int -> t
     Requires [lo < hi] and [bins >= 1]. *)
 
 val add : t -> float -> unit
-(** Record an observation. Values outside [\[lo, hi\]] are clamped into
-    the first / last bin. *)
+(** Record an observation. Values below [lo] (resp. above [hi]) are
+    counted as underflow (resp. overflow) rather than clamped into the
+    first / last bin; [x = hi] falls in the last bin. Raises
+    [Invalid_argument] on NaN. *)
 
 val add_weighted : t -> float -> float -> unit
 (** [add_weighted t x w] records [x] with weight [w]. *)
 
 val count : t -> int
-(** Number of [add] calls (weighted adds count once). *)
+(** Number of [add] calls, including out-of-range ones (weighted adds
+    count once). *)
 
 val total_weight : t -> float
+(** In-range weight only — the normaliser of {!probability}. *)
+
+val underflow : t -> float
+(** Accumulated weight of samples strictly below [lo]. *)
+
+val overflow : t -> float
+(** Accumulated weight of samples strictly above [hi]. *)
+
 val bins : t -> int
+
 val bin_of : t -> float -> int
-(** Index of the bin an observation falls into (after clamping). *)
+(** Index of the bin an observation falls into. Raises
+    [Invalid_argument] when the sample lies outside [\[lo, hi\]] or is
+    NaN — out-of-range samples have no bin. *)
 
 val bin_center : t -> int -> float
+
 val weight : t -> int -> float
 (** Raw accumulated weight of a bin. *)
 
 val density : t -> float array
 (** Normalised probability density: weights divided by
-    [total_weight * bin_width], so it integrates to 1. *)
+    [total_weight * bin_width], so it integrates to 1 over the in-range
+    mass. *)
 
 val probability : t -> float array
-(** Normalised probability mass per bin (sums to 1). *)
+(** Normalised probability mass per bin (sums to 1 over in-range mass;
+    underflow/overflow excluded). *)
 
 val render : ?width:int -> t -> string
-(** Crude ASCII bar rendering for logs and examples. *)
+(** Crude ASCII bar rendering for logs and examples; prints [under] /
+    [over] outlier lines when those tallies are nonzero. *)

@@ -1,7 +1,17 @@
+(* NaN poisons order statistics silently: polymorphic [compare] gives
+   NaN an arbitrary total-order position, so a single NaN sample used to
+   shift every quantile by one rank with no error. Reject it up front
+   instead. *)
+let check_no_nan ~who xs =
+  for i = 0 to Array.length xs - 1 do
+    if Float.is_nan xs.(i) then invalid_arg (who ^ ": NaN in sample")
+  done
+
 let of_sorted xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile: empty sample";
   if q < 0. || q > 1. then invalid_arg "Quantile: q outside [0, 1]";
+  check_no_nan ~who:"Quantile.of_sorted" xs;
   if n = 1 then xs.(0)
   else begin
     let h = q *. float_of_int (n - 1) in
@@ -12,8 +22,9 @@ let of_sorted xs q =
   end
 
 let sorted_copy xs =
+  check_no_nan ~who:"Quantile" xs;
   let c = Array.copy xs in
-  Array.sort compare c;
+  Array.sort Float.compare c;
   c
 
 let quantile xs q = of_sorted (sorted_copy xs) q

@@ -4,7 +4,8 @@
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [\[0, 1\]]. The input need not be sorted;
     it is copied and sorted internally. Raises [Invalid_argument] on an
-    empty array or [q] outside [\[0, 1\]]. *)
+    empty array, [q] outside [\[0, 1\]], or a NaN in the sample (NaN has
+    no rank, so any answer would be silently wrong). *)
 
 val quantiles : float array -> float array -> float array
 (** Batch version sharing one sort. *)
@@ -15,4 +16,4 @@ val iqr : float array -> float
 
 val of_sorted : float array -> float -> float
 (** Like {!quantile} but assumes the input is already sorted ascending
-    and does not copy. *)
+    and does not copy. Still scans for (and rejects) NaN. *)

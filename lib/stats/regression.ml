@@ -1,4 +1,4 @@
-type fit = { slope : float; intercept : float; r2 : float; n : int }
+type fit = { slope : float; intercept : float; r2 : float; n : int; dropped : int }
 
 let ols pts =
   let n = List.length pts in
@@ -14,7 +14,7 @@ let ols pts =
   let slope = sxy /. sxx in
   let intercept = my -. (slope *. mx) in
   let r2 = if syy <= 0. then 1. else sxy *. sxy /. (sxx *. syy) in
-  { slope; intercept; r2; n }
+  { slope; intercept; r2; n; dropped = 0 }
 
 let ols_arrays xs ys =
   if Array.length xs <> Array.length ys then
@@ -22,12 +22,22 @@ let ols_arrays xs ys =
   ols (Array.to_list (Array.map2 (fun x y -> (x, y)) xs ys))
 
 let loglog pts =
+  let total = List.length pts in
   let usable =
     List.filter_map
       (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
       pts
   in
-  ols usable
+  let dropped = total - List.length usable in
+  (* The filter is invisible to the caller, so a generic "need at least
+     two points" out of [ols] used to blame the wrong thing when the
+     drop emptied the sample. Name the real cause. *)
+  if List.length usable < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Regression.loglog: need at least two positive points (dropped %d non-positive of %d)"
+         dropped total);
+  { (ols usable) with dropped }
 
 let predict f x = f.intercept +. (f.slope *. x)
 

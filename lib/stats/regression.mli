@@ -6,6 +6,7 @@ type fit = {
   intercept : float;
   r2 : float;         (** coefficient of determination *)
   n : int;            (** number of points used *)
+  dropped : int;      (** points discarded before fitting (0 for {!ols}) *)
 }
 
 val ols : (float * float) list -> fit
@@ -18,7 +19,10 @@ val ols_arrays : float array -> float array -> fit
 val loglog : (float * float) list -> fit
 (** [loglog pts] fits [log y = slope * log x + intercept]; [slope] is the
     empirical scaling exponent. Points with non-positive coordinates are
-    dropped. *)
+    dropped, and their count is reported in the fit's [dropped] field.
+    If fewer than two points survive, raises [Invalid_argument] with a
+    message naming how many were dropped (rather than the generic
+    "need at least two points"). *)
 
 val predict : fit -> float -> float
 (** [predict f x] evaluates the fitted line at [x]. *)

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Trace/metrics smoke test.
+#
+# Runs one experiment with --metrics and --trace at --jobs 1 and
+# --jobs 4 and asserts the observability invariants the design
+# promises:
+#
+#   1. stdout (tables, scorecard, metrics counters) is byte-identical
+#      across worker counts;
+#   2. the trace JSONL files are identical modulo the "wall" field
+#      (timestamps are annotations, event coordinates are structural);
+#   3. every "ev" value in the trace belongs to the documented event
+#      vocabulary (DESIGN.md section 7).
+#
+# Usage: scripts/trace_smoke.sh [EXPERIMENT] (default E1)
+set -eu
+
+exp="${1:-E1}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+  jobs="$1"
+  dune exec bin/dyngraph_cli.exe -- run "$exp" --seed 42 --jobs "$jobs" \
+    --metrics --trace "$tmp/trace_j$jobs.jsonl" >"$tmp/out_j$jobs.txt" 2>/dev/null
+}
+
+run 1
+run 4
+
+if ! diff -q "$tmp/out_j1.txt" "$tmp/out_j4.txt" >/dev/null; then
+  echo "FAIL: stdout (including --metrics counters) differs between --jobs 1 and --jobs 4" >&2
+  diff "$tmp/out_j1.txt" "$tmp/out_j4.txt" >&2 || true
+  exit 1
+fi
+echo "ok: stdout byte-identical across --jobs 1/4"
+
+strip_wall() { sed 's/"wall":[^,}]*//' "$1"; }
+strip_wall "$tmp/trace_j1.jsonl" >"$tmp/t1"
+strip_wall "$tmp/trace_j4.jsonl" >"$tmp/t4"
+if ! diff -q "$tmp/t1" "$tmp/t4" >/dev/null; then
+  echo "FAIL: traces differ beyond the wall field between --jobs 1 and --jobs 4" >&2
+  diff "$tmp/t1" "$tmp/t4" >&2 || true
+  exit 1
+fi
+echo "ok: traces identical modulo wall across --jobs 1/4"
+
+[ -s "$tmp/trace_j1.jsonl" ] || { echo "FAIL: empty trace" >&2; exit 1; }
+
+# The event vocabulary of DESIGN.md section 7. Anything outside it in a
+# trace means an undocumented emitter crept in.
+vocab='exec.claim exec.finish exec.fail exp.start exp.end flood.start flood.milestone flood.cap flood.end gossip.start gossip.end walk.start walk.end trace.dropped'
+bad=0
+for ev in $(sed -n 's/^{"ev":"\([^"]*\)".*/\1/p' "$tmp/trace_j1.jsonl" | sort -u); do
+  known=0
+  for v in $vocab; do
+    [ "$ev" = "$v" ] && known=1
+  done
+  if [ "$known" = 0 ]; then
+    echo "FAIL: event \"$ev\" is not in the documented vocabulary" >&2
+    bad=1
+  fi
+done
+[ "$bad" = 0 ] || exit 1
+echo "ok: all events in the documented vocabulary"
+echo "trace smoke passed ($exp, $(wc -l <"$tmp/trace_j1.jsonl") events)"

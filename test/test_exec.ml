@@ -83,7 +83,7 @@ let test_nested_plan () =
    path at quick scale and compare the concatenated bytes. *)
 let rendered ~sched seed =
   Simulate.Registry.run_each ~sched ~rng:(rng_of_seed seed) ~scale:Simulate.Runner.Quick ()
-  |> List.map (fun (_, output, _, _) -> output)
+  |> List.map (fun (o : Simulate.Registry.outcome) -> o.output)
   |> String.concat ""
 
 let test_run_all_bytes_workers_seed42 () =

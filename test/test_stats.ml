@@ -69,6 +69,15 @@ let test_quantile_errors () =
 
 let test_iqr () = check_close "iqr" 2. (Stats.Quantile.iqr [| 1.; 2.; 3.; 4.; 5. |])
 
+(* Regression test: a NaN used to land at an arbitrary rank under the
+   polymorphic sort and silently shift every quantile; now it raises. *)
+let test_quantile_nan () =
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Quantile: NaN in sample") (fun () ->
+      ignore (Stats.Quantile.median [| 1.; nan; 3. |]));
+  Alcotest.check_raises "of_sorted nan rejected"
+    (Invalid_argument "Quantile.of_sorted: NaN in sample") (fun () ->
+      ignore (Stats.Quantile.of_sorted [| 1.; 2.; nan |] 0.5))
+
 let q_quantile_monotone =
   qtest ~count:200 "quantile monotone in q"
     QCheck2.Gen.(triple float_array_gen (float_range 0. 1.) (float_range 0. 1.))
@@ -99,12 +108,35 @@ let test_histogram_basic () =
   check_close "weight bin 1" 2. (Stats.Histogram.weight h 1);
   check_close "weight bin 9" 1. (Stats.Histogram.weight h 9)
 
-let test_histogram_clamp () =
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Regression test: out-of-range samples used to be clamped into the
+   edge bins, inflating their mass; they now accrue to dedicated
+   underflow/overflow tallies excluded from the distribution. *)
+let test_histogram_outliers () =
   let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
   Stats.Histogram.add h (-5.);
   Stats.Histogram.add h 42.;
-  check_close "below clamps to first" 1. (Stats.Histogram.weight h 0);
-  check_close "above clamps to last" 1. (Stats.Histogram.weight h 3)
+  Stats.Histogram.add h 0.6;
+  check_close "below counts as underflow" 1. (Stats.Histogram.underflow h);
+  check_close "above counts as overflow" 1. (Stats.Histogram.overflow h);
+  check_close "first bin untouched" 0. (Stats.Histogram.weight h 0);
+  check_close "last bin untouched" 0. (Stats.Histogram.weight h 3);
+  Alcotest.(check int) "count includes outliers" 3 (Stats.Histogram.count h);
+  check_close "total weight is in-range only" 1. (Stats.Histogram.total_weight h);
+  let p = Stats.Histogram.probability h in
+  check_close "probability sums over in-range mass" 1. (Array.fold_left ( +. ) 0. p);
+  check_close "all in-range mass in bin 2" 1. p.(2);
+  Alcotest.(check int) "x = hi belongs to the last bin" 3 (Stats.Histogram.bin_of h 1.);
+  Alcotest.check_raises "bin_of rejects out-of-range"
+    (Invalid_argument "Histogram.bin_of: sample outside [lo, hi]") (fun () ->
+      ignore (Stats.Histogram.bin_of h 2.));
+  let rendered = Stats.Histogram.render h in
+  check_true "render shows underflow" (contains rendered "below range");
+  check_true "render shows overflow" (contains rendered "above range")
 
 let test_histogram_normalisation () =
   let h = Stats.Histogram.create ~lo:0. ~hi:2. ~bins:8 in
@@ -144,7 +176,18 @@ let test_loglog_exponent () =
 
 let test_loglog_drops_nonpositive () =
   let f = Stats.Regression.loglog [ (-1., 5.); (0., 2.); (1., 1.); (2., 2.); (4., 4.) ] in
-  Alcotest.(check int) "kept 3 points" 3 f.n
+  Alcotest.(check int) "kept 3 points" 3 f.n;
+  Alcotest.(check int) "reported 2 dropped" 2 f.dropped
+
+(* Regression test: when the non-positive filter emptied the sample the
+   error used to be the generic "need at least two points", blaming the
+   caller for data the filter removed. *)
+let test_loglog_too_few_positive () =
+  Alcotest.check_raises "error names the dropped count"
+    (Invalid_argument
+       "Regression.loglog: need at least two positive points (dropped 2 non-positive of 3)")
+    (fun () -> ignore (Stats.Regression.loglog [ (-1., 1.); (0., 1.); (2., 2.) ]));
+  check_true "ols reports zero dropped" ((Stats.Regression.ols [ (1., 1.); (2., 2.) ]).dropped = 0)
 
 let test_ols_errors () =
   Alcotest.check_raises "too few" (Invalid_argument "Regression.ols: need at least two points")
@@ -194,6 +237,13 @@ let test_bootstrap_constant () =
   check_close "constant point" 5. iv.point;
   check_close "constant lo" 5. iv.lo;
   check_close "constant hi" 5. iv.hi
+
+(* Regression test: NaN samples used to poison every resample statistic
+   and then sort unpredictably into the interval endpoints. *)
+let test_bootstrap_nan () =
+  let rng = rng_of_seed 5 in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Bootstrap.ci: NaN in sample")
+    (fun () -> ignore (Stats.Bootstrap.ci_mean ~rng [| 1.; nan; 3. |]))
 
 let test_bootstrap_ordering () =
   let rng = rng_of_seed 3 in
@@ -314,13 +364,14 @@ let suites =
         Alcotest.test_case "unsorted input" `Quick test_quantile_unsorted;
         Alcotest.test_case "errors" `Quick test_quantile_errors;
         Alcotest.test_case "iqr" `Quick test_iqr;
+        Alcotest.test_case "nan rejected" `Quick test_quantile_nan;
         q_quantile_monotone;
         q_quantile_bounds;
       ] );
     ( "stats.histogram",
       [
         Alcotest.test_case "basic" `Quick test_histogram_basic;
-        Alcotest.test_case "clamping" `Quick test_histogram_clamp;
+        Alcotest.test_case "outliers" `Quick test_histogram_outliers;
         Alcotest.test_case "normalisation" `Quick test_histogram_normalisation;
         Alcotest.test_case "bin centers" `Quick test_histogram_bin_center;
       ] );
@@ -329,6 +380,7 @@ let suites =
         Alcotest.test_case "exact line" `Quick test_ols_exact_line;
         Alcotest.test_case "loglog exponent" `Quick test_loglog_exponent;
         Alcotest.test_case "loglog drops nonpositive" `Quick test_loglog_drops_nonpositive;
+        Alcotest.test_case "loglog too few positive" `Quick test_loglog_too_few_positive;
         Alcotest.test_case "errors" `Quick test_ols_errors;
       ] );
     ( "stats.distance",
@@ -342,6 +394,7 @@ let suites =
     ( "stats.bootstrap",
       [
         Alcotest.test_case "constant data" `Quick test_bootstrap_constant;
+        Alcotest.test_case "nan rejected" `Quick test_bootstrap_nan;
         Alcotest.test_case "ordering" `Quick test_bootstrap_ordering;
         Alcotest.test_case "narrows with n" `Quick test_bootstrap_narrows;
       ] );
