@@ -118,6 +118,18 @@ let micro_tests () =
   let chain_state = ref 0 in
   let flood_rng = Prng.Rng.of_seed 6 in
   let flood_model = Edge_meg.Classic.make ~n:128 ~p:(4. /. 128.) ~q:0.5 () in
+  (* Delta-step: one model step plus the O(Δ) adjacency maintenance a
+     delta-driven kernel does per round — the incremental counterpart
+     of step + fill_edges + rebuild. *)
+  let delta_meg = prepared_edge_meg n in
+  let delta_sync = Core.Adj_sync.create delta_meg in
+  Core.Adj_sync.ensure delta_sync;
+  (* Frontier-scan flooding in a stickier regime (lower churn, sparser
+     graph) than end_to_end: longer runs whose later rounds are
+     dominated by the Σ deg(active) row scans rather than by model
+     steps. *)
+  let frontier_rng = Prng.Rng.of_seed 9 in
+  let frontier_model = Edge_meg.Classic.make ~n:128 ~p:(1. /. 256.) ~q:0.25 () in
   let pair_rng = Prng.Rng.of_seed 7 in
   let space_rng = Prng.Rng.of_seed 8 in
   let xs = Array.init 512 (fun _ -> Prng.Rng.float space_rng 16.) in
@@ -130,6 +142,10 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Core.Dynamic.edge_count edge_meg)));
     Test.make ~name:"edge_meg.fill_edges n=256"
       (Staged.stage (fun () -> Core.Dynamic.fill_edges edge_meg fill_buf));
+    Test.make ~name:"edge_meg.delta_step n=256"
+      (Staged.stage (fun () ->
+           Core.Dynamic.step delta_meg;
+           Core.Adj_sync.advance delta_sync));
     Test.make ~name:"waypoint.step n=256" (Staged.stage (fun () -> Mobility.Geo.step waypoint));
     Test.make ~name:"waypoint.step+edges n=256"
       (Staged.stage (fun () ->
@@ -148,6 +164,9 @@ let micro_tests () =
     Test.make ~name:"flooding.end_to_end edge-MEG n=128"
       (Staged.stage (fun () ->
            ignore (Core.Flooding.time ~rng:flood_rng ~source:0 flood_model)));
+    Test.make ~name:"flooding.frontier_scan n=128"
+      (Staged.stage (fun () ->
+           ignore (Core.Flooding.time ~rng:frontier_rng ~source:0 frontier_model)));
     Test.make ~name:"chain.step 64 states"
       (Staged.stage (fun () -> chain_state := Markov.Chain.step chain chain_rng !chain_state));
     Test.make ~name:"pairs.decode n=1024"

@@ -1,7 +1,8 @@
 (* bench_diff: compare two machine-readable bench baselines.
 
    Usage:
-     dune exec bin/bench_diff.exe -- OLD.json NEW.json [--threshold PCT]
+     dune exec bin/bench_diff.exe -- OLD.json NEW.json \
+       [--threshold PCT] [--gate NAME]...
 
    Reads two BENCH_*.json files (schema dyngraph-bench/1, /2 or /3),
    prints per-claim wall-clock seconds and per-micro ns/run side by
@@ -13,7 +14,17 @@
    changed, so they never trip --threshold, which is about time).
    Without --threshold the run is report-only and always exits 0; with
    --threshold it exits 1 if any timing regression exceeds PCT percent
-   or any claim flips from pass to fail. *)
+   or any claim flips from pass to fail.
+
+   --gate NAME (repeatable) restricts the threshold to the named
+   claims / micro-benchmarks: only their regressions can trip it,
+   everything else stays report-only — the shape for CI, where a few
+   stable hot-path micros gate and the noisier full table is for
+   reading. Micro names match with or without their "dyngraph/" group
+   prefix. A gated name absent from the comparison (dropped benchmark,
+   renamed claim) is itself a failure: a gate that silently stops
+   gating is worse than a red build. Pass/fail flips of any claim
+   remain fatal regardless of gating. *)
 
 (* --- minimal JSON reader (no external dependency) --- *)
 
@@ -248,6 +259,7 @@ let delta_cell = function
 let () =
   let files = ref [] in
   let threshold = ref None in
+  let gates = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--threshold" :: v :: rest ->
@@ -257,11 +269,32 @@ let () =
             prerr_endline "bench_diff: --threshold expects a percentage";
             exit 2);
         parse_args rest
+    | "--gate" :: v :: rest ->
+        gates := v :: !gates;
+        parse_args rest
     | arg :: rest ->
         files := arg :: !files;
         parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  (* A name is gated if it (or, for micros, its group-stripped form)
+     was named by --gate; with no --gate everything gates, preserving
+     the original all-or-nothing threshold. [gates_seen] records which
+     gates actually matched a compared row. *)
+  let gates_seen = Hashtbl.create 8 in
+  let gated name =
+    match !gates with
+    | [] -> true
+    | l ->
+        let stripped =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
+        let hit = List.filter (fun g -> g = name || g = stripped) l in
+        List.iter (fun g -> Hashtbl.replace gates_seen g ()) hit;
+        hit <> []
+  in
   let old_b, new_b =
     match List.rev !files with
     | [ o; n ] -> (
@@ -293,7 +326,7 @@ let () =
       | None -> Stats.Table.add_row claims_table [ Text oc.id; Fixed (oc.seconds, 3); Missing; Missing; Text "missing" ]
       | Some nc ->
           let d = delta_pct oc.seconds nc.seconds in
-          (match d with Some d when d > !worst -> worst := d | _ -> ());
+          (match d with Some d when gated oc.id && d > !worst -> worst := d | _ -> ());
           let status =
             match (oc.passed, nc.passed) with
             | true, false ->
@@ -326,7 +359,7 @@ let () =
               [ Text om.name; Fixed (om.ns_per_run, 1); Missing; Text "missing" ]
         | Some nm ->
             let d = delta_pct om.ns_per_run nm.ns_per_run in
-            (match d with Some d when d > !worst -> worst := d | _ -> ());
+            (match d with Some d when gated om.name && d > !worst -> worst := d | _ -> ());
             Stats.Table.add_row micro_table
               [ Text om.name; Fixed (om.ns_per_run, 1); Fixed (nm.ns_per_run, 1); delta_cell d ])
       old_b.micros;
@@ -374,12 +407,17 @@ let () =
     print_newline ();
     print_string (Stats.Table.render metrics_table)
   end;
-  if Float.is_finite !worst then Printf.printf "\nworst regression: %+.1f%%\n" !worst;
+  if Float.is_finite !worst then
+    Printf.printf "\nworst %sregression: %+.1f%%\n"
+      (if !gates = [] then "" else "gated ")
+      !worst;
   List.iter (Printf.printf "claim %s flipped from pass to fail\n") (List.rev !flipped);
+  let missing_gates = List.filter (fun g -> not (Hashtbl.mem gates_seen g)) (List.rev !gates) in
+  List.iter (Printf.printf "gated name not found in comparison: %s\n") missing_gates;
   match !threshold with
   | None -> ()
   | Some t ->
-      if !flipped <> [] || (Float.is_finite !worst && !worst > t) then begin
+      if !flipped <> [] || missing_gates <> [] || (Float.is_finite !worst && !worst > t) then begin
         Printf.printf "threshold %.1f%% exceeded\n" t;
         exit 1
       end

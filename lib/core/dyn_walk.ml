@@ -9,9 +9,8 @@ let c_cap_hits = Obs.Metrics.counter "walk.cap_hits"
 let step_walk ~hold rng adj u =
   if hold > 0. && Prng.Rng.bernoulli rng hold then u
   else
-    match adj.(u) with
-    | [] -> u
-    | neighbours -> List.nth neighbours (Prng.Rng.int rng (List.length neighbours))
+    let d = Graph.Mutable_adj.degree adj u in
+    if d = 0 then u else Graph.Mutable_adj.neighbor adj u (Prng.Rng.int rng d)
 
 let walk_until ?cap ?(hold = 0.5) ~rng ~start ~stop g =
   let n = Dynamic.n g in
@@ -23,10 +22,15 @@ let walk_until ?cap ?(hold = 0.5) ~rng ~start ~stop g =
   let position = ref start in
   let t = ref 0 in
   let finished = ref (stop ~position:!position ~time:0) in
+  (* The walk only ever reads one node's row per step, but keeping the
+     whole adjacency in delta-sync is still O(Δ) per step — against the
+     O(n + m) list-array the loop used to build each step. *)
+  let sync = Adj_sync.create g in
   while (not !finished) && !t < cap do
-    let adj = Dynamic.adjacency g in
-    position := step_walk ~hold rng adj !position;
+    Adj_sync.ensure sync;
+    position := step_walk ~hold rng (Adj_sync.adj sync) !position;
     Dynamic.step g;
+    Adj_sync.advance sync;
     incr t;
     finished := stop ~position:!position ~time:!t
   done;

@@ -18,6 +18,9 @@ type t
 
 val make :
   ?fill_edges:(Graph.Edge_buffer.t -> unit) ->
+  ?deltas:(birth:(int -> int -> unit) -> death:(int -> int -> unit) -> bool) ->
+  ?delta_size:(unit -> int) ->
+  ?expected_edges:int ->
   n:int ->
   reset:(Prng.Rng.t -> unit) ->
   step:(unit -> unit) ->
@@ -32,7 +35,27 @@ val make :
     randomness in enumeration order, so the two paths must be
     interchangeable. When omitted it is derived from [iter_edges];
     models provide a native implementation to skip the closure hop and
-    any per-snapshot list building. *)
+    any per-snapshot list building.
+
+    [deltas], when given, makes the model {e delta-capable}: after each
+    [step] it reports the edge changes of that step — every born edge
+    through [birth], every died edge through [death] — and returns
+    [true], or returns [false] to decline (any callbacks already issued
+    may then be discarded; the consumer must re-enumerate). The full
+    contract is documented on the {!deltas} accessor and in DESIGN.md
+    section 8.
+
+    [delta_size], when given, must be O(1) and estimate how many
+    birth/death events the pending [deltas] report would emit (0 when
+    the report would decline). It is purely advisory — consumers use
+    it to choose between applying deltas and rebuilding from the
+    snapshot, so an approximate value only ever costs performance,
+    never correctness.
+
+    [expected_edges] is a hint — a typical snapshot's edge count — used
+    to size snapshot buffers ({!snapshot_graph}, the kernels' working
+    buffers). Purely a capacity guess; correctness never depends on
+    it. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -53,6 +76,52 @@ val fill_edges : t -> Graph.Edge_buffer.t -> unit
     read: with a model-native implementation no intermediate list or
     closure chain is built, and a caller reusing one buffer across
     steps enumerates edges with zero steady-state allocation. *)
+
+val delta_size : t -> int option
+(** [delta_size t] is the model's O(1) estimate of how many birth/death
+    events {!deltas} would currently emit, or [None] when the model
+    offers no estimate. Advisory (see {!make}): consumers compare it
+    against the cost of a snapshot rebuild and may skip consuming the
+    report entirely when applying it would be slower. *)
+
+val has_deltas : t -> bool
+(** Whether the model carries a native delta hook. A static capability:
+    it never changes over the life of the value, so consumers can pick
+    their scan strategy once per run. Even a capable model may still
+    {e decline} individual steps (see {!deltas}). *)
+
+val deltas : t -> birth:(int -> int -> unit) -> death:(int -> int -> unit) -> bool
+(** [deltas t ~birth ~death] reports the edge changes of the most
+    recent {!step} and returns [true], or returns [false] — always, for
+    a model without the hook ({!has_deltas}), and per-step when a
+    capable model declines (e.g. right after {!reset}, or when the
+    change set would be more expensive to emit than a re-enumeration).
+
+    Contract, for implementors and consumers alike:
+    {ul
+    {- Valid only between a [step] and the next [reset]/[step], and
+       must be consumed at most once per step: the reported changes
+       turn the {e previous} snapshot's edge multiset into the current
+       one, so a consumer that skips (or double-consumes) a step must
+       re-enumerate instead.}
+    {- Births and deaths are disjoint {e as multisets}: an edge is
+       reported dead once per disappearing copy and born once per
+       appearing copy (copies arise under {!union}). Order within the
+       report is unspecified but deterministic.}
+    {- On [false], callbacks may already have fired; the consumer must
+       treat its incremental state as garbage and rebuild from
+       {!iter_edges}/{!fill_edges}.}
+    {- Combinators forward deltas when their operands support them
+       ({!union}, {!subsample}); {!filter_edges} synthesises its own
+       from its keep-decision caches. Enumerating a {!filter_edges}
+       snapshot through this hook draws the same coins in the same
+       order as {!iter_edges} would have, so golden results of
+       enumeration-order-independent protocols are unaffected.}} *)
+
+val expected_edges : t -> int
+(** The model's {!make}-supplied edge-count hint, or a [4 * n]
+    heuristic when absent. Always at least 1. A buffer-sizing guess,
+    nothing more. *)
 
 val snapshot_edges : t -> (int * int) list
 (** Materialise the current snapshot as an edge list with [u < v]. *)
@@ -86,14 +155,22 @@ val filter_edges : p_keep:float -> t -> t
     The filter has no generator until the first {!reset}: enumerating
     the snapshot before one raises [Invalid_argument] (it used to draw
     silently from a fixed fallback stream seeded with 0). Within one
-    snapshot, keep decisions are cached per edge, so repeated
+    snapshot, keep decisions are cached per edge (int-keyed by
+    {!Graph.Pairs} index — no allocation per query), so repeated
     enumerations agree; the coins are drawn in first-enumeration
-    order. *)
+    order.
+
+    Always delta-capable regardless of the inner model: the hook diffs
+    this step's keep decisions against the previous step's, declining
+    only when the previous snapshot was never fully enumerated. *)
 
 val union : t -> t -> t
 (** Superposition of two processes on the same node set: an edge is
     present when present in either. Both advance in lock-step. Edges may
-    be reported twice (consumers tolerate duplicates). *)
+    be reported twice (consumers tolerate duplicates — the delta
+    protocol and {!Graph.Mutable_adj} treat snapshots as multisets for
+    exactly this reason). Delta-capable iff both operands are: the
+    operands' streams are forwarded verbatim. *)
 
 val subsample : every:int -> t -> t
 (** [subsample ~every:m g] observes only every m-th snapshot of [g]:
@@ -102,4 +179,8 @@ val subsample : every:int -> t -> t
     lemmas only look at the graph at times τM); flooding on the
     subsampled process, multiplied by [m], upper-bounds flooding on
     [g], and the gap measures the slack the epoch argument gives
-    away. *)
+    away.
+
+    Delta-capable iff [g] is: one observed step nets [g]'s per-substep
+    births and deaths per edge, so churn that cancels within the window
+    is not reported. *)

@@ -5,10 +5,15 @@ type result = { time : int option; trajectory : int array; arrivals : int array 
 let default_cap n = 10_000 + (200 * n)
 
 (* Observability. Counters total deterministic work items (rounds,
-   snapshots, enumerated edges), so their values are scheduler- and
+   snapshots, scanned edges), so their values are scheduler- and
    worker-count-independent; trace events are coarse (run boundaries,
    quarter milestones, cap hits — never per edge). Disabled, each hook
-   is one atomic load. *)
+   is one atomic load. [flood.edges] counts edge slots the kernel
+   actually scanned: full snapshot lengths on the enumeration path,
+   Σ deg(active) on the frontier path — so the counter itself shows the
+   frontier kernel touching less of the graph. [flood.delta_edges]
+   totals the births + deaths applied incrementally instead of being
+   re-enumerated. *)
 let c_runs = Obs.Metrics.counter "flood.runs"
 
 let c_rounds = Obs.Metrics.counter "flood.rounds"
@@ -17,17 +22,76 @@ let c_snapshots = Obs.Metrics.counter "flood.snapshots"
 
 let c_edges = Obs.Metrics.counter "flood.edges"
 
+let c_delta_edges = Obs.Metrics.counter "flood.delta_edges"
+
 let c_cap_hits = Obs.Metrics.counter "flood.cap_hits"
 
-(* The kernel allocates its working set once per run and nothing per
-   round: the informed set is a byte-per-node bitset, newly reached
-   nodes go into an int-array frontier (deduplicated through [queued],
-   so its capacity [n] suffices), the trajectory grows into a reused
-   int buffer, and each snapshot is enumerated out of one Edge_buffer
-   refilled in place. Observable behaviour is identical to the original
-   list-based kernel: the frontier holds the same node set the [fresh]
-   list held, and the protocol's coins ([transmits]) are drawn at the
-   same point of the same edge enumeration order. *)
+(* The kernel allocates its working set once per domain, not per run:
+   the byte-per-node informed/queued bitsets, the arrival-order and
+   frontier arrays, the trajectory buffer, the legacy path's edge
+   buffer and the delta path's {!Adj_sync} all live in a domain-local
+   scratch, re-initialised (O(n)) and reused whenever consecutive runs
+   agree on [n] — which is every iteration of a trial loop. Domain-
+   local state never crosses workers, so parallel determinism is
+   untouched; the adjacency view is re-keyed by physical model
+   identity and invalidated per run, so only its grown row storage
+   survives, never stale topology.
+
+   Two scan strategies, chosen once per run:
+
+   - Delta-capable models ({!Dynamic.has_deltas}) keep an incremental
+     adjacency in sync through {!Adj_sync} (which itself chooses
+     between O(Δ) patching and an O(n + m) rebuild per round — see its
+     docs) and scan rows instead of whole snapshots. Plain flooding
+     draws no coins, so it may scan whichever side of the cut is
+     smaller: the active rows, or — once most nodes are informed — the
+     remaining uninformed rows with early exit on the first informed
+     neighbour. Push and Parsimonious scan the active rows in arrival
+     order; arrival times are nondecreasing along [order], so the
+     Parsimonious window's expired nodes form a prefix and one
+     monotone pointer maintains the active suffix.
+
+   - Everything else takes the original path: enumerate the snapshot
+     into a reused Edge_buffer and consider both directions of every
+     edge. Observable behaviour on this path is identical to the
+     original kernel (same sets, same coin order).
+
+   The two paths reach the same informed sets at the same times; they
+   differ only in the order protocol coins are drawn (frontier scans by
+   arriving sender, enumeration by edge), which is why Push goldens on
+   delta-capable models were regenerated when the frontier path
+   landed — see DESIGN.md section 8. *)
+type scratch = {
+  mutable s_n : int;  (* node count the arrays are sized for; -1 initially *)
+  mutable informed : Bytes.t;
+  mutable queued : Bytes.t;
+  mutable informed_at : int array;
+  mutable order : int array;
+  mutable frontier : int array;
+  mutable unf : int array;      (* uninformed nodes, compact *)
+  mutable unf_pos : int array;  (* position of node v in [unf] while uninformed *)
+  mutable traj : int array;
+  mutable edges : Graph.Edge_buffer.t;
+  mutable sync_for : Dynamic.t option;  (* physical key for [sync] *)
+  mutable sync : Adj_sync.t option;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_n = -1;
+        informed = Bytes.empty;
+        queued = Bytes.empty;
+        informed_at = [||];
+        order = [||];
+        frontier = [||];
+        unf = [||];
+        unf_pos = [||];
+        traj = Array.make 256 0;
+        edges = Graph.Edge_buffer.create ~capacity:16 ();
+        sync_for = None;
+        sync = None;
+      })
 let run ?cap ?(protocol = Flood) ~rng ~source g =
   let n = Dynamic.n g in
   if source < 0 || source >= n then invalid_arg "Flooding.run: source out of range";
@@ -48,28 +112,60 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
     incr next_milestone
   done;
   Dynamic.reset g (Prng.Rng.split rng);
-  let informed = Bytes.make n '\000' in
-  let queued = Bytes.make n '\000' in
-  let informed_at = Array.make n max_int in
+  let sc = Domain.DLS.get scratch_key in
+  if sc.s_n <> n then begin
+    sc.s_n <- n;
+    sc.informed <- Bytes.make n '\000';
+    sc.queued <- Bytes.make n '\000';
+    sc.informed_at <- Array.make n max_int;
+    sc.order <- Array.make n 0;
+    sc.frontier <- Array.make n 0;
+    sc.unf <- Array.make n 0;
+    sc.unf_pos <- Array.make n 0
+  end
+  else begin
+    Bytes.fill sc.informed 0 n '\000';
+    Bytes.fill sc.queued 0 n '\000';
+    Array.fill sc.informed_at 0 n max_int
+  end;
+  let informed = sc.informed in
+  let queued = sc.queued in
+  let informed_at = sc.informed_at in
   Bytes.unsafe_set informed source '\001';
   informed_at.(source) <- 0;
   let n_informed = ref 1 in
-  let traj = ref (Array.make 256 0) in
+  (* Informed nodes in arrival order; length is [n_informed]. *)
+  let order = sc.order in
+  order.(0) <- source;
   let traj_len = ref 0 in
   let push_traj v =
-    if !traj_len = Array.length !traj then begin
+    if !traj_len = Array.length sc.traj then begin
       let bigger = Array.make (2 * !traj_len) 0 in
-      Array.blit !traj 0 bigger 0 !traj_len;
-      traj := bigger
+      Array.blit sc.traj 0 bigger 0 !traj_len;
+      sc.traj <- bigger
     end;
-    !traj.(!traj_len) <- v;
+    sc.traj.(!traj_len) <- v;
     incr traj_len
   in
   push_traj 1;
-  let frontier = Array.make n 0 in
+  let frontier = sc.frontier in
   let frontier_len = ref 0 in
-  let edges = Graph.Edge_buffer.create ~capacity:(4 * n) () in
   let t = ref 0 in
+  (* Uninformed-node list for plain flooding's min-side scan; compact
+     with swap-remove, mirrored by [unf_pos]. Only maintained when
+     [track_unf] is on (Flood on the delta path). *)
+  let unf = sc.unf in
+  let unf_pos = sc.unf_pos in
+  let unf_len = ref 0 in
+  let track_unf = ref false in
+  let remove_unf v =
+    let p = Array.unsafe_get unf_pos v in
+    let last = !unf_len - 1 in
+    let w = Array.unsafe_get unf last in
+    Array.unsafe_set unf p w;
+    Array.unsafe_set unf_pos w p;
+    unf_len := last
+  in
   let active u =
     match protocol with
     | Flood | Push _ -> Bytes.unsafe_get informed u <> '\000'
@@ -78,32 +174,28 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   let transmits () =
     match protocol with Push p -> Prng.Rng.bernoulli rng p | Flood | Parsimonious _ -> true
   in
+  let enqueue v =
+    if Bytes.unsafe_get queued v = '\000' then begin
+      Bytes.unsafe_set queued v '\001';
+      Array.unsafe_set frontier !frontier_len v;
+      incr frontier_len
+    end
+  in
   let consider sender receiver =
     if active sender && Bytes.unsafe_get informed receiver = '\000' && transmits () then
-      if Bytes.unsafe_get queued receiver = '\000' then begin
-        Bytes.unsafe_set queued receiver '\001';
-        Array.unsafe_set frontier !frontier_len receiver;
-        incr frontier_len
-      end
+      enqueue receiver
   in
-  while !n_informed < n && !t < cap do
-    (* Edges of E_t determine I_{t+1}. *)
-    frontier_len := 0;
-    Dynamic.fill_edges g edges;
-    Obs.Metrics.incr c_snapshots;
-    Obs.Metrics.add c_edges (Graph.Edge_buffer.length edges);
-    for i = 0 to Graph.Edge_buffer.length edges - 1 do
-      let u = Graph.Edge_buffer.src edges i and v = Graph.Edge_buffer.dst edges i in
-      consider u v;
-      consider v u
-    done;
+  (* Close the round: I_{t+1} = I_t ∪ frontier. *)
+  let commit () =
     incr t;
     for i = 0 to !frontier_len - 1 do
       let v = Array.unsafe_get frontier i in
       Bytes.unsafe_set queued v '\000';
       Bytes.unsafe_set informed v '\001';
       informed_at.(v) <- !t;
-      incr n_informed
+      Array.unsafe_set order !n_informed v;
+      incr n_informed;
+      if !track_unf then remove_unf v
     done;
     push_traj !n_informed;
     Obs.Metrics.incr c_rounds;
@@ -113,21 +205,146 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
         Obs.Trace.emit "flood.milestone"
           [ ("quarter", Int quarter); ("t", Int !t); ("informed", Int !n_informed) ];
         incr next_milestone
+      done
+  in
+  if not (Dynamic.has_deltas g) then begin
+    let edges = sc.edges in
+    while !n_informed < n && !t < cap do
+      (* Edges of E_t determine I_{t+1}. *)
+      frontier_len := 0;
+      Dynamic.fill_edges g edges;
+      Obs.Metrics.incr c_snapshots;
+      Obs.Metrics.add c_edges (Graph.Edge_buffer.length edges);
+      for i = 0 to Graph.Edge_buffer.length edges - 1 do
+        let u = Graph.Edge_buffer.src edges i and v = Graph.Edge_buffer.dst edges i in
+        consider u v;
+        consider v u
       done;
-    Dynamic.step g
-  done;
+      commit ();
+      Dynamic.step g
+    done
+  end
+  else begin
+    let sync =
+      match (sc.sync_for, sc.sync) with
+      | Some g', Some s when g' == g -> s
+      | _ ->
+          let s = Adj_sync.create g in
+          sc.sync_for <- Some g;
+          sc.sync <- Some s;
+          s
+    in
+    (* The reused view's topology belongs to the previous trajectory. *)
+    Adj_sync.invalidate sync;
+    let refreshes0 = Adj_sync.refreshes sync in
+    let delta_ops0 = Adj_sync.delta_ops sync in
+    let scanned = ref 0 in
+    (match protocol with
+    | Flood ->
+        (* Coin-free, so scan whichever side of the informed/uninformed
+           cut is smaller. Uninformed-side scans exit a row at the first
+           informed neighbour; [scanned] counts entries actually read,
+           so the counter reflects the real work either way. *)
+        track_unf := true;
+        for i = 0 to n - 1 do
+          Array.unsafe_set unf i i;
+          Array.unsafe_set unf_pos i i
+        done;
+        unf_len := n;
+        remove_unf source;
+        while !n_informed < n && !t < cap do
+          frontier_len := 0;
+          Adj_sync.ensure sync;
+          let adj = Adj_sync.adj sync in
+          if !unf_len < !n_informed then
+            for ui = 0 to !unf_len - 1 do
+              let v = Array.unsafe_get unf ui in
+              let d = Graph.Mutable_adj.degree adj v in
+              let row = Graph.Mutable_adj.row adj v in
+              let j = ref 0 in
+              let hit = ref false in
+              while (not !hit) && !j < d do
+                if Bytes.unsafe_get informed (Array.unsafe_get row !j) <> '\000' then
+                  hit := true;
+                incr j
+              done;
+              scanned := !scanned + !j;
+              if !hit then enqueue v
+            done
+          else
+            for oi = 0 to !n_informed - 1 do
+              let u = Array.unsafe_get order oi in
+              let d = Graph.Mutable_adj.degree adj u in
+              let row = Graph.Mutable_adj.row adj u in
+              scanned := !scanned + d;
+              for j = 0 to d - 1 do
+                let v = Array.unsafe_get row j in
+                if Bytes.unsafe_get informed v = '\000' then enqueue v
+              done
+            done;
+          commit ();
+          Dynamic.step g;
+          Adj_sync.advance sync
+        done
+    | Push p ->
+        (* Every informed node is active; coins are drawn in arrival-
+           then-row order, exactly the sequence the goldens pin. *)
+        while !n_informed < n && !t < cap do
+          frontier_len := 0;
+          Adj_sync.ensure sync;
+          let adj = Adj_sync.adj sync in
+          for oi = 0 to !n_informed - 1 do
+            let u = Array.unsafe_get order oi in
+            let d = Graph.Mutable_adj.degree adj u in
+            let row = Graph.Mutable_adj.row adj u in
+            scanned := !scanned + d;
+            for j = 0 to d - 1 do
+              let v = Array.unsafe_get row j in
+              if Bytes.unsafe_get informed v = '\000' && Prng.Rng.bernoulli rng p then
+                enqueue v
+            done
+          done;
+          commit ();
+          Dynamic.step g;
+          Adj_sync.advance sync
+        done
+    | Parsimonious k ->
+        let lo = ref 0 in
+        while !n_informed < n && !t < cap do
+          frontier_len := 0;
+          Adj_sync.ensure sync;
+          let adj = Adj_sync.adj sync in
+          while !lo < !n_informed && !t - informed_at.(Array.unsafe_get order !lo) >= k do
+            incr lo
+          done;
+          for oi = !lo to !n_informed - 1 do
+            let u = Array.unsafe_get order oi in
+            let d = Graph.Mutable_adj.degree adj u in
+            let row = Graph.Mutable_adj.row adj u in
+            scanned := !scanned + d;
+            for j = 0 to d - 1 do
+              let v = Array.unsafe_get row j in
+              if Bytes.unsafe_get informed v = '\000' then enqueue v
+            done
+          done;
+          commit ();
+          Dynamic.step g;
+          Adj_sync.advance sync
+        done);
+    Obs.Metrics.add c_edges !scanned;
+    Obs.Metrics.add c_snapshots (Adj_sync.refreshes sync - refreshes0);
+    Obs.Metrics.add c_delta_edges (Adj_sync.delta_ops sync - delta_ops0)
+  end;
   if !n_informed < n then begin
     Obs.Metrics.incr c_cap_hits;
     if tracing then
       Obs.Trace.emit "flood.cap" [ ("t", Int !t); ("informed", Int !n_informed) ]
   end;
   if tracing then
-    (* One snapshot is enumerated per round, so [t] doubles as the
-       snapshots-consumed count of this run. *)
     Obs.Trace.emit "flood.end" [ ("t", Int !t); ("informed", Int !n_informed) ];
   {
     time = (if !n_informed = n then Some !t else None);
-    trajectory = Array.sub !traj 0 !traj_len;
+    trajectory = Array.sub sc.traj 0 !traj_len;
     arrivals = Array.map (fun at -> if at = max_int then -1 else at) informed_at;
   }
 

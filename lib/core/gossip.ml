@@ -22,31 +22,39 @@ let run ?cap ~variant ~rng ~source g =
   let trajectory = ref [ 1 ] in
   let contacts = ref 0 in
   let t = ref 0 in
+  (* Neighbour picks read the maintained adjacency's rows directly: a
+     pick is one bounds-free array index instead of a List.nth walk,
+     and delta-capable models keep the rows fresh in O(Δ) per round
+     (others rebuild — still cheaper than the int-list adjacency the
+     loop used to allocate every round). *)
+  let sync = Adj_sync.create g in
   while !n_informed < n && !t < cap do
-    let adj = Dynamic.adjacency g in
+    Adj_sync.ensure sync;
+    let adj = Adj_sync.adj sync in
     let fresh = ref [] in
     for u = 0 to n - 1 do
-      match adj.(u) with
-      | [] -> ()
-      | neighbours ->
-          let pick () =
-            incr contacts;
-            List.nth neighbours (Prng.Rng.int rng (List.length neighbours))
-          in
-          (match variant with
-          | Push | Push_pull ->
-              if informed.(u) then begin
-                let v = pick () in
-                if not informed.(v) then fresh := v :: !fresh
-              end
-          | Pull -> ());
-          (match variant with
-          | Pull | Push_pull ->
-              if not informed.(u) then begin
-                let v = pick () in
-                if informed.(v) then fresh := u :: !fresh
-              end
-          | Push -> ())
+      let d = Graph.Mutable_adj.degree adj u in
+      if d > 0 then begin
+        let row = Graph.Mutable_adj.row adj u in
+        let pick () =
+          incr contacts;
+          Array.unsafe_get row (Prng.Rng.int rng d)
+        in
+        (match variant with
+        | Push | Push_pull ->
+            if informed.(u) then begin
+              let v = pick () in
+              if not informed.(v) then fresh := v :: !fresh
+            end
+        | Pull -> ());
+        match variant with
+        | Pull | Push_pull ->
+            if not informed.(u) then begin
+              let v = pick () in
+              if informed.(v) then fresh := u :: !fresh
+            end
+        | Push -> ()
+      end
     done;
     incr t;
     List.iter
@@ -58,7 +66,8 @@ let run ?cap ~variant ~rng ~source g =
       !fresh;
     trajectory := !n_informed :: !trajectory;
     Obs.Metrics.incr c_rounds;
-    Dynamic.step g
+    Dynamic.step g;
+    Adj_sync.advance sync
   done;
   Obs.Metrics.add c_contacts !contacts;
   if !n_informed < n then Obs.Metrics.incr c_cap_hits;

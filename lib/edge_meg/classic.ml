@@ -1,47 +1,147 @@
 type init = Stationary | Empty | Full
 
-let sample_pairs_bernoulli rng n prob f =
-  (* Visit each pair index independently with probability [prob], via
-     geometric jumps: O(total * prob) expected. *)
-  if prob > 0. then begin
-    let total = Graph.Pairs.total n in
-    let idx = ref (Prng.Rng.geometric rng prob) in
-    while !idx < total do
-      f !idx;
-      idx := !idx + 1 + Prng.Rng.geometric rng prob
-    done
-  end
-
 let make ?(init = Stationary) ~n ~p ~q () =
   let chain = Markov.Two_state.make ~p ~q in
+  let total = Graph.Pairs.total n in
   (* Present edges live in a sparse set over the pair indices: the
      birth scan's membership check is two array reads, the death scan
      subsamples the dense array geometrically, and enumeration is a
      linear walk — no hashing anywhere in the step. *)
-  let present = Graph.Sparse_set.create (Graph.Pairs.total n) in
+  let present = Graph.Sparse_set.create total in
   let rng = ref (Prng.Rng.of_seed 0) in
-  (* Birth hits of the current step, reused across steps. *)
-  let births = ref (Array.make 64 0) in
+  (* Tabulated geometric samplers (one per scan probability), built
+     once per model: every skip draw of the birth, death and
+     stationary-init scans becomes two table reads instead of a
+     logarithm — the scans' dominant per-draw cost. [None] disables
+     the scan (prob = 0) or routes prob = 1 through the exact
+     exhaustive branches. *)
+  let geo prob = if prob > 0. && prob < 1. then Some (Prng.Rng.Geo.make ~p:prob) else None in
+  let geo_p = geo p in
+  let geo_q = geo q in
+  let alpha = Markov.Two_state.stationary_on chain in
+  let geo_alpha = geo alpha in
+  (* Endpoint mirror: eu.(i) / ev.(i) are the decoded endpoints of the
+     pair index at dense slot [i] of [present], maintained through
+     every add and swap-remove. Enumeration reads them back instead of
+     decoding (no sqrt per edge); only births decode, and those arrive
+     in ascending index order, so an incremental row cursor decodes
+     each in O(1). Grown on demand to the peak live-edge count. *)
+  let eu = ref (Array.make 64 0) in
+  let ev = ref (Array.make 64 0) in
+  let ensure_ends needed =
+    if needed > Array.length !eu then begin
+      let cap = max needed (2 * Array.length !eu) in
+      let bu = Array.make cap 0 and bv = Array.make cap 0 in
+      Array.blit !eu 0 bu 0 (Array.length !eu);
+      Array.blit !ev 0 bv 0 (Array.length !ev);
+      eu := bu;
+      ev := bv
+    end
+  in
+  (* Visit each pair index independently with probability [prob] via
+     geometric jumps (O(total · prob) expected draws), handing the
+     callback the decoded endpoints from the monotone cursor. Only the
+     prob = 1 paths land here (the tabulated samplers cover (0, 1) and
+     the hot scans are written out at their call sites); [geometric]
+     then returns 0 every draw, an exhaustive walk. *)
+  let scan_pairs r prob f =
+    if prob > 0. then begin
+      let idx = ref (Prng.Rng.geometric r prob) in
+      if !idx < total then begin
+        let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+        while !idx < total do
+          while !idx >= !next do
+            incr u;
+            base := !next;
+            next := !next + (n - 1 - !u)
+          done;
+          f !idx !u (!u + 1 + (!idx - !base));
+          idx := !idx + 1 + Prng.Rng.geometric r prob
+        done
+      end
+    end
+  in
+  let add_present idx u v =
+    (* Both call sites (reset's stationary scan, step's birth apply)
+       only ever pass absent indices, so skip [add]'s membership
+       re-check. *)
+    let pos = Graph.Sparse_set.length present in
+    ensure_ends (pos + 1);
+    Graph.Sparse_set.add_unchecked present idx;
+    Array.unsafe_set !eu pos u;
+    Array.unsafe_set !ev pos v
+  in
+  (* Birth hits of the current step (index + endpoints), reused across
+     steps; deaths are collected into a reused edge buffer. Together
+     they are the step's delta report. *)
+  let b_idx = ref (Array.make 64 0) in
+  let b_u = ref (Array.make 64 0) in
+  let b_v = ref (Array.make 64 0) in
   let n_births = ref 0 in
-  let push_birth idx =
-    if !n_births = Array.length !births then begin
-      let bigger = Array.make (2 * !n_births) 0 in
-      Array.blit !births 0 bigger 0 !n_births;
-      births := bigger
+  let push_birth idx u v =
+    let k = !n_births in
+    if k = Array.length !b_idx then begin
+      let cap = 2 * k in
+      let grow a = let b = Array.make cap 0 in Array.blit !a 0 b 0 k; a := b in
+      grow b_idx;
+      grow b_u;
+      grow b_v
     end;
-    !births.(!n_births) <- idx;
-    incr n_births
+    Array.unsafe_set !b_idx k idx;
+    Array.unsafe_set !b_u k u;
+    Array.unsafe_set !b_v k v;
+    n_births := k + 1
+  in
+  let deaths = Graph.Edge_buffer.create ~capacity:64 () in
+  let deltas_valid = ref false in
+  (* Saturated initialisation: the whole universe, mirror decoded by
+     one monotone walk (dense slot i holds pair index i after
+     fill_all). *)
+  let reset_full () =
+    ensure_ends total;
+    Graph.Sparse_set.fill_all present;
+    let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+    for idx = 0 to total - 1 do
+      while idx >= !next do
+        incr u;
+        base := !next;
+        next := !next + (n - 1 - !u)
+      done;
+      Array.unsafe_set !eu idx !u;
+      Array.unsafe_set !ev idx (!u + 1 + (idx - !base))
+    done
   in
   let reset r =
     rng := r;
     Graph.Sparse_set.clear present;
+    deltas_valid := false;
     match init with
     | Empty -> ()
-    | Full -> Graph.Sparse_set.fill_all present
+    | Full -> reset_full ()
     | Stationary ->
-        let alpha = Markov.Two_state.stationary_on chain in
-        if alpha >= 1. then Graph.Sparse_set.fill_all present
-        else sample_pairs_bernoulli !rng n alpha (Graph.Sparse_set.add present)
+        if alpha >= 1. then reset_full ()
+        else (
+          match geo_alpha with
+          | Some geo ->
+              (* [scan_pairs]'s loop with the insert call written
+                 directly — reset is once per trial but still
+                 ~alpha·total events of the run's budget. *)
+              let r = !rng in
+              let idx = ref (Prng.Rng.Geo.draw geo r) in
+              if !idx < total then begin
+                let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+                while !idx < total do
+                  while !idx >= !next do
+                    incr u;
+                    base := !next;
+                    next := !next + (n - 1 - !u)
+                  done;
+                  let i = !idx in
+                  add_present i !u (!u + 1 + (i - !base));
+                  idx := i + 1 + Prng.Rng.Geo.draw geo r
+                done
+              end
+          | None -> scan_pairs !rng alpha (fun idx u v -> add_present idx u v))
   in
   (* A step applies, to every edge simultaneously, one transition of its
      two-state chain: absent edges are born with probability p, present
@@ -50,21 +150,101 @@ let make ?(init = Stationary) ~n ~p ~q () =
      this step cannot also be resurrected by the birth scan. *)
   let step () =
     n_births := 0;
-    sample_pairs_bernoulli !rng n p (fun idx ->
-        if not (Graph.Sparse_set.mem present idx) then push_birth idx);
-    Graph.Sparse_set.remove_bernoulli present !rng ~p:q (fun _ -> ());
-    for i = 0 to !n_births - 1 do
-      Graph.Sparse_set.add present !births.(i)
+    Graph.Edge_buffer.clear deaths;
+    (* Birth scan, written out instead of going through [scan_pairs]:
+       this is the hottest loop in the model and the closure per event
+       (callback + capture reads) costs as much as the membership test
+       itself. Same cursor walk, same draw sequence. *)
+    (match geo_p with
+    | Some geo ->
+        let r = !rng in
+        let idx = ref (Prng.Rng.Geo.draw geo r) in
+        if !idx < total then begin
+          let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+          while !idx < total do
+            while !idx >= !next do
+              incr u;
+              base := !next;
+              next := !next + (n - 1 - !u)
+            done;
+            let i = !idx in
+            if not (Graph.Sparse_set.mem present i) then
+              push_birth i !u (!u + 1 + (i - !base));
+            idx := i + 1 + Prng.Rng.Geo.draw geo r
+          done
+        end
+    | None ->
+        scan_pairs !rng p (fun idx u v ->
+            if not (Graph.Sparse_set.mem present idx) then push_birth idx u v));
+    (* The death scan never grows the mirror, so its arrays can be
+       hoisted out of the callback. *)
+    let us = !eu and vs = !ev in
+    let on_death _ i =
+      (* The dying edge's endpoints still sit at mirror slot [i]; the
+         survivor swapped into [i] has its payload at the old last
+         slot, [length present]. *)
+      Graph.Edge_buffer.push deaths (Array.unsafe_get us i) (Array.unsafe_get vs i);
+      let last = Graph.Sparse_set.length present in
+      Array.unsafe_set us i (Array.unsafe_get us last);
+      Array.unsafe_set vs i (Array.unsafe_get vs last)
+    in
+    (match geo_q with
+    | Some geo -> Graph.Sparse_set.remove_geo_pos present geo !rng on_death
+    | None -> Graph.Sparse_set.remove_bernoulli_pos present !rng ~p:q on_death);
+    (* Apply the buffered births in one batch: a single capacity check
+       for the whole block, then straight unsafe stores. *)
+    let nb = !n_births in
+    if nb > 0 then begin
+      let pos0 = Graph.Sparse_set.length present in
+      ensure_ends (pos0 + nb);
+      let us = !eu and vs = !ev in
+      let bi = !b_idx and bu = !b_u and bv = !b_v in
+      for k = 0 to nb - 1 do
+        let pos = pos0 + k in
+        Graph.Sparse_set.add_unchecked present (Array.unsafe_get bi k);
+        Array.unsafe_set us pos (Array.unsafe_get bu k);
+        Array.unsafe_set vs pos (Array.unsafe_get bv k)
+      done
+    end;
+    deltas_valid := true
+  in
+  let iter_edges f =
+    let len = Graph.Sparse_set.length present in
+    let us = !eu and vs = !ev in
+    for i = 0 to len - 1 do
+      f (Array.unsafe_get us i) (Array.unsafe_get vs i)
     done
   in
-  let iter_edges f = Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx f) in
   (* Same dense walk as [iter_edges] (the enumeration orders must
      agree), pushing straight into the buffer. *)
   let fill_edges buf =
-    let push u v = Graph.Edge_buffer.push buf u v in
-    Graph.Sparse_set.iter present (fun idx -> Graph.Pairs.decode_with n idx push)
+    let len = Graph.Sparse_set.length present in
+    let us = !eu and vs = !ev in
+    for i = 0 to len - 1 do
+      Graph.Edge_buffer.push buf (Array.unsafe_get us i) (Array.unsafe_get vs i)
+    done
   in
-  Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges ()
+  let deltas ~birth ~death =
+    !deltas_valid
+    && begin
+         let us = !b_u and vs = !b_v in
+         for k = 0 to !n_births - 1 do
+           birth (Array.unsafe_get us k) (Array.unsafe_get vs k)
+         done;
+         Graph.Edge_buffer.iter deaths (fun u v -> death u v);
+         true
+       end
+  in
+  let expected_edges =
+    match init with
+    | Full -> total
+    | Empty | Stationary -> int_of_float (ceil (alpha *. float_of_int total))
+  in
+  let delta_size () =
+    if !deltas_valid then !n_births + Graph.Edge_buffer.length deaths else 0
+  in
+  Core.Dynamic.make ~fill_edges ~deltas ~delta_size ~expected_edges ~n ~reset ~step
+    ~iter_edges ()
 
 let params ~p ~q = Markov.Two_state.make ~p ~q
 

@@ -1,0 +1,89 @@
+type t = {
+  n : int;
+  deg : int array;
+  rows : int array array;  (* rows.(u) has capacity >= deg.(u); spare slots are garbage *)
+  mutable entries : int;
+}
+
+let create ~n () =
+  if n < 0 then invalid_arg "Mutable_adj.create: negative n";
+  { n; deg = Array.make (max 1 n) 0; rows = Array.make (max 1 n) [||]; entries = 0 }
+
+let n t = t.n
+
+let degree t u = t.deg.(u)
+
+let entries t = t.entries
+
+let edge_count t = t.entries / 2
+
+let clear t =
+  Array.fill t.deg 0 t.n 0;
+  t.entries <- 0
+
+let push_row t u v =
+  let d = Array.unsafe_get t.deg u in
+  let row = Array.unsafe_get t.rows u in
+  let row =
+    if d = Array.length row then begin
+      let bigger = Array.make (max 8 (2 * d)) 0 in
+      Array.blit row 0 bigger 0 d;
+      Array.unsafe_set t.rows u bigger;
+      bigger
+    end
+    else row
+  in
+  Array.unsafe_set row d v;
+  Array.unsafe_set t.deg u (d + 1)
+
+let add t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n || u = v then invalid_arg "Mutable_adj.add";
+  push_row t u v;
+  push_row t v u;
+  t.entries <- t.entries + 2
+
+(* Swap-remove of one copy of [v] from [u]'s row. A linear scan, not a
+   position index: positions of the same (u, v) entry in the two
+   endpoint rows differ and edges may occur with multiplicity (union
+   double-reports), so an O(1) index would need per-copy bookkeeping
+   that costs more than scanning rows whose expected degree is small in
+   every hot model. See DESIGN.md section 8. *)
+let remove_row t u v =
+  let d = Array.unsafe_get t.deg u in
+  let row = Array.unsafe_get t.rows u in
+  let i = ref 0 in
+  while !i < d && Array.unsafe_get row !i <> v do
+    incr i
+  done;
+  if !i >= d then invalid_arg "Mutable_adj.remove: edge not present";
+  Array.unsafe_set row !i (Array.unsafe_get row (d - 1));
+  Array.unsafe_set t.deg u (d - 1)
+
+let remove t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n then invalid_arg "Mutable_adj.remove";
+  remove_row t u v;
+  remove_row t v u;
+  t.entries <- t.entries - 2
+
+let row t u = t.rows.(u)
+
+let neighbor t u i =
+  if i < 0 || i >= t.deg.(u) then invalid_arg "Mutable_adj.neighbor: index out of range";
+  t.rows.(u).(i)
+
+let iter_neighbors t u f =
+  let d = t.deg.(u) in
+  let row = t.rows.(u) in
+  for i = 0 to d - 1 do
+    f (Array.unsafe_get row i)
+  done
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    let d = Array.unsafe_get t.deg u in
+    let row = Array.unsafe_get t.rows u in
+    for i = 0 to d - 1 do
+      let v = Array.unsafe_get row i in
+      if u < v then f u v
+    done
+  done

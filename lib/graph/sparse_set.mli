@@ -31,6 +31,12 @@ val mem : t -> int -> bool
 val add : t -> int -> unit
 (** O(1); no-op if already present. *)
 
+val add_unchecked : t -> int -> unit
+(** [add] without the membership pre-check. The caller must guarantee
+    [not (mem t x)] — inserting a present element corrupts the set.
+    For bulk insertion paths that have just tested membership anyway
+    (e.g. a birth scan over reported-absent elements). *)
+
 val remove : t -> int -> unit
 (** O(1) swap-remove (the last dense element takes the removed one's
     slot); no-op if absent. *)
@@ -47,18 +53,45 @@ val fill_all : t -> unit
 val get : t -> int -> int
 (** [get t i] is the [i]-th element in dense order, [0 <= i < length]. *)
 
+val find : t -> int -> int
+(** [find t x] is the dense position of member [x] (so
+    [get t (find t x) = x]); raises [Invalid_argument] if [x] is not a
+    member. Lets callers that mirror per-member payload in a parallel
+    array locate the slot a swap-remove will touch. *)
+
 val iter : t -> (int -> unit) -> unit
 (** Linear walk of the dense array in its current order. [f] must not
     mutate the set. *)
 
-val iter_bernoulli : t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
+val iter_bernoulli : ?log1mp:float -> t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
 (** Visit each element independently with probability [p], via
     geometric jumps over the dense array: O(length·p) expected draws.
-    Requires [p] in [\[0, 1\]]. [f] must not mutate the set. *)
+    Requires [p] in [\[0, 1\]]. [f] must not mutate the set.
 
-val remove_bernoulli : t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
+    [log1mp], when given, must equal [log (1. -. p)]: the scan then
+    skips recomputing the logarithm per draw (the stream is unchanged
+    bit-for-bit — see {!Prng.Rng.geometric_log1mp}). *)
+
+val remove_bernoulli : ?log1mp:float -> t -> Prng.Rng.t -> p:float -> (int -> unit) -> unit
 (** Remove each element independently with probability [p], calling [f]
     on every removed element, in O(length·p) expected draws. The scan
     runs over the dense array from the top down so that swap-remove
     only moves already-decided survivors into visited slots. Requires
-    [p] in [\[0, 1\]]. *)
+    [p] in [\[0, 1\]]. [log1mp] as in {!iter_bernoulli}. *)
+
+val remove_bernoulli_pos :
+  ?log1mp:float -> t -> Prng.Rng.t -> p:float -> (int -> int -> unit) -> unit
+(** {!remove_bernoulli} with positions: [f x i] receives each removed
+    element [x] together with the dense slot [i] it was removed from,
+    after the swap-remove has compacted the set. A caller mirroring
+    per-member payload in a parallel array reads its slot [i] (the
+    dying member's payload, untouched on the payload side) and then
+    copies slot [length t] — the survivor just swapped into [i] — over
+    it; when [i = length t] the copy is a harmless self-copy. *)
+
+val remove_geo_pos : t -> Prng.Rng.Geo.sampler -> Prng.Rng.t -> (int -> int -> unit) -> unit
+(** {!remove_bernoulli_pos} with the geometric skips drawn from a
+    tabulated {!Prng.Rng.Geo} sampler (built for the same removal
+    probability) instead of inversion — about half the cost per draw
+    on hot death scans. The stream differs from the inversion scan's,
+    so switching a model between the two regenerates goldens. *)

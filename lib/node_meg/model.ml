@@ -18,8 +18,30 @@ let make_observable ?(init = Stationary) ~n ~chain ~connect () =
   let states = Array.make n 0 in
   let rng = ref (Prng.Rng.of_seed 0) in
   let stationary_sampler = lazy (Prng.Discrete.of_weights (Markov.Chain.stationary chain)) in
+  (* Delta support: a step only moves edges incident to nodes whose
+     chain state actually changed, so the step records which nodes
+     moved (plus a full copy of the pre-step states) and the delta hook
+     reconstructs the edge changes by comparing connection-table rows.
+     Cost is n_changed * n lookups; when that exceeds a small multiple
+     of the full-rebuild cost the hook declines and lets the consumer
+     re-enumerate. *)
+  let old_states = Array.make n 0 in
+  let changed = Array.make n 0 in
+  let n_changed = ref 0 in
+  let is_changed = Bytes.make n '\000' in
+  let deltas_valid = ref false in
+  (* Edge-count estimate from the connection map's density — a sizing
+     hint and decline budget, nothing correctness-bearing. *)
+  let m_est =
+    let on = ref 0 in
+    Array.iter (fun c -> if c then incr on) table;
+    let frac = float_of_int !on /. float_of_int (s * s) in
+    int_of_float (ceil (frac *. float_of_int (Graph.Pairs.total n)))
+  in
+  let delta_budget = 2 * (n + m_est) in
   let reset r =
     rng := r;
+    deltas_valid := false;
     match init with
     | All_in x ->
         if x < 0 || x >= s then invalid_arg "Node_meg.make: initial state out of range";
@@ -35,9 +57,40 @@ let make_observable ?(init = Stationary) ~n ~chain ~connect () =
         done
   in
   let step () =
+    Array.blit states 0 old_states 0 n;
+    Bytes.fill is_changed 0 n '\000';
+    n_changed := 0;
     for i = 0 to n - 1 do
-      states.(i) <- Markov.Chain.step chain !rng states.(i)
-    done
+      let s' = Markov.Chain.step chain !rng states.(i) in
+      if s' <> states.(i) then begin
+        states.(i) <- s';
+        changed.(!n_changed) <- i;
+        incr n_changed;
+        Bytes.unsafe_set is_changed i '\001'
+      end
+    done;
+    deltas_valid := true
+  in
+  let deltas ~birth ~death =
+    !deltas_valid
+    && !n_changed * n <= delta_budget
+    && begin
+         for k = 0 to !n_changed - 1 do
+           let i = changed.(k) in
+           let old_row = old_states.(i) * s and new_row = states.(i) * s in
+           for j = 0 to n - 1 do
+             (* Pairs of two changed nodes are handled once, by the
+                larger endpoint (whose scan sees the smaller one). *)
+             if j <> i && not (Bytes.unsafe_get is_changed j = '\001' && j > i) then begin
+               let was = table.(old_row + old_states.(j)) in
+               let now = table.(new_row + states.(j)) in
+               if was <> now then
+                 if now then birth (min i j) (max i j) else death (min i j) (max i j)
+             end
+           done
+         done;
+         true
+       end
   in
   (* Bucket nodes by state with a counting sort into reused scratch
      arrays, then emit cross products for connected state pairs (and
@@ -84,7 +137,7 @@ let make_observable ?(init = Stationary) ~n ~chain ~connect () =
   in
   let iter_edges f = emit_edges f in
   let fill_edges buf = emit_edges (fun u v -> Graph.Edge_buffer.push buf u v) in
-  let dyn = Core.Dynamic.make ~fill_edges ~n ~reset ~step ~iter_edges () in
+  let dyn = Core.Dynamic.make ~fill_edges ~deltas ~expected_edges:m_est ~n ~reset ~step ~iter_edges () in
   (dyn, fun () -> Array.copy states)
 
 let make ?init ~n ~chain ~connect () = fst (make_observable ?init ~n ~chain ~connect ())

@@ -59,6 +59,34 @@ val geometric : t -> float -> int
     Bernoulli([p]) trials, i.e. supported on [0, 1, 2, ...]. Requires
     [0 < p <= 1]. Sampled by inversion, O(1). *)
 
+val geometric_log1mp : t -> log1mp:float -> int
+(** [geometric_log1mp t ~log1mp] is {!geometric} with the success
+    probability supplied as a precomputed [log (1. -. p)] (must be
+    negative; [neg_infinity], i.e. p = 1, yields 0). Hoisting the
+    logarithm out of a scan halves the float work per draw; the stream
+    is bit-for-bit identical to [geometric t p]. *)
+
+(** Tabulated geometric sampling for hot scan loops with a fixed
+    success probability. {!Geo.draw} replaces inversion's per-draw
+    logarithm with two table reads (Vose's alias method) off one mixed
+    word — roughly half the cost at scan rates — at the price of a
+    different (still deterministic) stream: one raw word per draw
+    instead of one 53-bit uniform, and a support truncated where the
+    tail mass drops below 2^-60. Probabilities too small to tabulate
+    fall back to inversion internally. *)
+module Geo : sig
+  type sampler
+  (** Immutable sampling tables for one success probability. Safe to
+      share across generators and domains. *)
+
+  val make : p:float -> sampler
+  (** [make ~p] tabulates Geometric([p]) (failures before the first
+      success). Requires [0 < p < 1] — callers handle the degenerate
+      endpoints, as they already must for scan setup. *)
+
+  val draw : sampler -> t -> int
+end
+
 val exponential : t -> float -> float
 (** [exponential t rate] samples Exp([rate]). *)
 

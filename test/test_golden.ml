@@ -9,9 +9,13 @@ open Helpers
    enumeration order regenerates these literals once with
    `dune exec bin/regen_golden.exe` and says so in the changelog
    (policy: DESIGN.md, "Golden tests and regeneration policy").
-   Last regenerated for PR 3: the sparse-set edge-MEG step draws
-   geometric death skips instead of per-edge Bernoullis, and the
-   counting-sort CSR grid enumerates close pairs in sweep order. *)
+   Last regenerated for PR 5, for two deliberate stream changes: the
+   frontier flooding kernel draws Push coins in active-node scan order
+   (and its adjacency rebuilds re-order rows under high churn), moving
+   the push.* suites on delta-capable models; and {!Edge_meg.Classic}
+   switched its scan skips to the tabulated {!Prng.Rng.Geo} sampler,
+   moving every edge_meg_classic golden (flood, push, parsimonious,
+   mean_time). All other literals are unchanged. *)
 
 let node_chain =
   Markov.Chain.of_rows
@@ -98,12 +102,12 @@ let pars name =
 (* --- plain flooding, seed 42, source 0 --- *)
 
 let test_flood_edge_meg_classic () =
-  check_result "edge_meg_classic" ~time:(Some 4)
-    ~trajectory:[| 1; 4; 24; 47; 48 |]
+  check_result "edge_meg_classic" ~time:(Some 3)
+    ~trajectory:[| 1; 10; 40; 48 |]
     ~arrivals:
       [|
-        0; 2; 2; 2; 2; 2; 3; 2; 2; 3; 3; 3; 3; 3; 3; 2; 2; 1; 3; 2; 3; 3; 1; 3; 2; 2; 3; 3; 3; 4;
-        2; 3; 3; 3; 1; 2; 3; 2; 3; 3; 2; 2; 3; 3; 2; 2; 2; 3;
+        0; 1; 3; 1; 1; 2; 2; 2; 2; 3; 2; 2; 3; 1; 2; 1; 3; 2; 3; 2; 3; 2; 2; 2; 2; 2; 2; 2; 2; 1;
+        2; 2; 1; 2; 2; 3; 2; 2; 2; 2; 2; 2; 2; 3; 2; 1; 2; 1;
       |]
     (flood "edge_meg_classic")
 
@@ -174,28 +178,28 @@ let test_flood_union () =
 (* --- Push(0.35), seed 42, source 0: enumeration-order sensitive --- *)
 
 let test_push_edge_meg_classic () =
-  check_result "push.edge_meg_classic" ~time:(Some 6)
-    ~trajectory:[| 1; 3; 13; 29; 43; 45; 48 |]
+  check_result "push.edge_meg_classic" ~time:(Some 7)
+    ~trajectory:[| 1; 7; 20; 36; 45; 46; 47; 48 |]
     ~arrivals:
       [|
-        0; 2; 2; 2; 3; 2; 4; 4; 3; 4; 4; 3; 3; 5; 5; 3; 2; 1; 6; 2; 3; 3; 1; 3; 6; 2; 4; 3; 3; 4;
-        4; 4; 3; 4; 4; 2; 6; 3; 4; 3; 2; 4; 3; 4; 3; 2; 4; 3;
+        0; 1; 3; 1; 2; 3; 7; 4; 4; 3; 4; 6; 3; 1; 3; 1; 4; 3; 3; 3; 5; 2; 4; 3; 2; 2; 3; 2; 3; 1;
+        2; 3; 4; 2; 2; 4; 4; 2; 2; 4; 2; 3; 2; 3; 3; 1; 3; 2;
       |]
     (push "edge_meg_classic")
 
 let test_push_opportunistic () =
   check_result "push.edge_meg_opportunistic" ~time:(Some 3)
-    ~trajectory:[| 1; 7; 20; 24 |]
-    ~arrivals:[| 0; 2; 2; 2; 2; 1; 1; 3; 1; 2; 2; 1; 3; 3; 1; 2; 2; 2; 2; 3; 2; 1; 2; 2 |]
+    ~trajectory:[| 1; 7; 19; 24 |]
+    ~arrivals:[| 0; 3; 2; 2; 2; 1; 1; 3; 1; 2; 3; 1; 2; 3; 1; 2; 2; 2; 2; 3; 2; 1; 2; 2 |]
     (push "edge_meg_opportunistic")
 
 let test_push_node_meg () =
   check_result "push.node_meg" ~time:(Some 4)
-    ~trajectory:[| 1; 12; 27; 39; 40 |]
+    ~trajectory:[| 1; 12; 31; 37; 40 |]
     ~arrivals:
       [|
-        0; 3; 1; 1; 2; 1; 3; 2; 1; 2; 2; 3; 2; 3; 2; 1; 1; 3; 2; 2; 3; 1; 3; 2; 2; 2; 1; 4; 2; 1;
-        3; 3; 2; 3; 2; 2; 1; 1; 3; 3;
+        0; 2; 1; 1; 2; 1; 2; 3; 1; 3; 2; 3; 2; 2; 2; 1; 1; 2; 2; 2; 4; 1; 3; 2; 2; 2; 1; 4; 3; 1;
+        2; 2; 2; 3; 2; 2; 1; 1; 4; 2;
       |]
     (push "node_meg")
 
@@ -232,8 +236,8 @@ let test_push_rp_model () =
 
 let test_push_filtered () =
   check_result "push.filtered_complete" ~time:(Some 4)
-    ~trajectory:[| 1; 6; 14; 16; 20 |]
-    ~arrivals:[| 0; 2; 1; 4; 1; 2; 4; 4; 2; 2; 3; 3; 2; 4; 1; 2; 2; 2; 1; 1 |]
+    ~trajectory:[| 1; 6; 14; 17; 20 |]
+    ~arrivals:[| 0; 2; 1; 2; 1; 3; 4; 4; 2; 2; 3; 2; 2; 2; 1; 4; 2; 3; 1; 1 |]
     (push "filtered_complete")
 
 let test_push_union () =
@@ -246,11 +250,11 @@ let test_push_union () =
 
 let test_pars_edge_meg_classic () =
   check_result "pars.edge_meg_classic" ~time:(Some 3)
-    ~trajectory:[| 1; 5; 25; 48 |]
+    ~trajectory:[| 1; 10; 38; 48 |]
     ~arrivals:
       [|
-        3; 0; 2; 3; 2; 2; 1; 3; 2; 2; 3; 3; 3; 2; 2; 3; 2; 3; 3; 3; 3; 1; 2; 3; 2; 1; 2; 2; 3; 3;
-        1; 3; 2; 3; 2; 3; 2; 2; 3; 3; 2; 2; 2; 3; 3; 2; 3; 3;
+        2; 0; 3; 2; 2; 2; 2; 3; 1; 2; 2; 2; 2; 3; 2; 3; 1; 3; 2; 2; 3; 2; 1; 3; 2; 2; 1; 2; 1; 2;
+        2; 2; 2; 2; 1; 1; 1; 3; 2; 2; 2; 2; 2; 2; 3; 1; 3; 2;
       |]
     (pars "edge_meg_classic")
 
@@ -318,12 +322,12 @@ let check_mean_time ~seed ~jobs ~mean ~stddev ~max =
   check_close ~eps:0. (name "max") max (Stats.Summary.max s)
 
 let test_mean_time_seed42 () =
-  check_mean_time ~seed:42 ~jobs:1 ~mean:3.5 ~stddev:0.5222329678670935 ~max:4.;
-  check_mean_time ~seed:42 ~jobs:4 ~mean:3.5 ~stddev:0.5222329678670935 ~max:4.
+  check_mean_time ~seed:42 ~jobs:1 ~mean:3.5000000000000004 ~stddev:0.52223296786709339 ~max:4.;
+  check_mean_time ~seed:42 ~jobs:4 ~mean:3.5000000000000004 ~stddev:0.52223296786709339 ~max:4.
 
 let test_mean_time_seed7 () =
-  check_mean_time ~seed:7 ~jobs:1 ~mean:3.5000000000000004 ~stddev:0.52223296786709328 ~max:4.;
-  check_mean_time ~seed:7 ~jobs:4 ~mean:3.5000000000000004 ~stddev:0.52223296786709328 ~max:4.
+  check_mean_time ~seed:7 ~jobs:1 ~mean:3.3333333333333339 ~stddev:0.4923659639173309 ~max:4.;
+  check_mean_time ~seed:7 ~jobs:4 ~mean:3.3333333333333339 ~stddev:0.4923659639173309 ~max:4.
 
 (* Regeneration recipe: `dune exec bin/regen_golden.exe` prints every
    literal above in paste-ready form (its builders mirror this file);

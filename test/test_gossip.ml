@@ -39,8 +39,11 @@ let test_pull_from_leaf_on_star () =
      remaining leaves learn in the next round. *)
   let g = Graph.Builders.star 20 in
   let r = run_variant Core.Gossip.Pull g 3 in
+  (* Phase 1 is a geometric wait with mean 19 (the centre must pull the
+     one informed leaf), so the bound leaves it a few means of headroom
+     while still ruling out anything slower than two-phase behaviour. *)
   match r.time with
-  | Some t -> check_true "two-phase pull" (t <= 25)
+  | Some t -> check_true "two-phase pull" (t <= 60)
   | None -> Alcotest.fail "pull from leaf did not finish"
 
 let test_gossip_cap () =

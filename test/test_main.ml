@@ -14,6 +14,7 @@ let () =
          Test_markov.suites;
          Test_core.suites;
          Test_fill_edges.suites;
+         Test_deltas.suites;
          Test_golden.suites;
          Test_edge_meg.suites;
          Test_node_meg.suites;

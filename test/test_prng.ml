@@ -92,6 +92,40 @@ let test_geometric_mean () =
   (* Mean of failures-before-success is (1-p)/p = 4. *)
   check_close_rel ~rel:0.05 "geometric mean" 4.0 (Stats.Summary.mean s)
 
+(* The alias sampler must agree with inversion in distribution across
+   its regimes: tabulated (moderate p), tabulated with a wide table
+   (small p), and the internal inversion fallback (p below the table
+   cutoff). Mean and variance of Geometric(p) are (1-p)/p and
+   (1-p)/p^2. *)
+let test_geo_alias_moments () =
+  List.iter
+    (fun (seed, p) ->
+      let rng = rng_of_seed seed in
+      let geo = Prng.Rng.Geo.make ~p in
+      let s = Stats.Summary.create () in
+      for _ = 1 to 60_000 do
+        let v = Prng.Rng.Geo.draw geo rng in
+        check_true "non-negative" (v >= 0);
+        Stats.Summary.add s (float_of_int v)
+      done;
+      let m = (1. -. p) /. p in
+      let name what = Printf.sprintf "geo p=%g %s" p what in
+      check_close_rel ~rel:0.05 (name "mean") m (Stats.Summary.mean s);
+      check_close_rel ~rel:0.1 (name "stddev") (sqrt (m /. p)) (Stats.Summary.stddev s))
+    [ (11, 0.5); (12, 0.03125); (13, 1e-3); (14, 1e-6) ]
+
+let test_geo_deterministic () =
+  let geo = Prng.Rng.Geo.make ~p:0.1 in
+  let draw seed = Array.init 50 (fun _ -> Prng.Rng.Geo.draw geo (rng_of_seed seed)) in
+  Alcotest.(check (array int)) "same seed, same stream" (draw 3) (draw 3);
+  check_true "different seeds differ" (draw 3 <> draw 4)
+
+let test_geo_errors () =
+  let raises p = try ignore (Prng.Rng.Geo.make ~p); false with Invalid_argument _ -> true in
+  check_true "p=0 rejected" (raises 0.);
+  check_true "p=1 rejected" (raises 1.);
+  check_true "p<0 rejected" (raises (-0.5))
+
 let test_exponential_mean () =
   let rng = rng_of_seed 6 in
   let s = Stats.Summary.create () in
@@ -247,6 +281,9 @@ let suites =
         Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
         Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
         Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        Alcotest.test_case "geo alias moments" `Quick test_geo_alias_moments;
+        Alcotest.test_case "geo deterministic" `Quick test_geo_deterministic;
+        Alcotest.test_case "geo errors" `Quick test_geo_errors;
         Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
         Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
         Alcotest.test_case "choice member" `Quick test_choice_member;
