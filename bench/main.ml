@@ -2,15 +2,26 @@
 
    Part 1 regenerates every claim table of the reproduction (E1..E18,
    the "tables and figures" of this theory paper — see DESIGN.md and
-   EXPERIMENTS.md). Pass --full (or set BENCH_SCALE=full) for the
-   paper-scale sweeps recorded in EXPERIMENTS.md; the default quick
-   scale finishes in a few minutes.
+   EXPERIMENTS.md). --scale selects the tier: "quick" (default,
+   CI-sized), "full" (the paper-scale sweeps recorded in
+   EXPERIMENTS.md; --full is the legacy spelling), or "large"
+   (quick-sized sweeps plus the off-heap million-node tier below).
+   BENCH_SCALE is the environment fallback for all three.
+
+   The large tier runs an end-to-end flood on an off-heap edge-MEG at
+   n = 2^20 nodes (BENCH_LARGE_N overrides — CI smokes it at 2^18) and
+   records GC gauges (major words allocated, top-heap words,
+   compactions) through Obs.Metrics into the JSON baseline: the
+   off-heap storage claim is precisely that these stay n-independent.
 
    Part 2 is a Bechamel micro-benchmark suite for the hot primitives
    (one Test.make per primitive, grouped in one run): model stepping,
    snapshot enumeration (closure and edge-buffer paths), flooding
    end-to-end, chain stepping, pair decoding and spatial hashing. Skip
-   with --no-micro.
+   with --no-micro. At --scale large one extra micro joins the suite:
+   flooding.frontier_scan_large, a full flood on the off-heap backing
+   at a fixed n = 2^18 (never scaled by BENCH_LARGE_N, so baselines
+   and CI gate like-for-like).
 
    Pass --json PATH (or --json auto for BENCH_<date>.json in the
    current directory) to also write a machine-readable baseline: the
@@ -21,9 +32,42 @@
 open Bechamel
 
 let scale () =
-  let env = try Sys.getenv "BENCH_SCALE" with Not_found -> "" in
-  let full = Array.exists (( = ) "--full") Sys.argv || String.lowercase_ascii env = "full" in
-  if full then Simulate.Runner.Full else Simulate.Runner.Quick
+  let rec from_argv i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--scale" then Some Sys.argv.(i + 1)
+    else from_argv (i + 1)
+  in
+  let named =
+    match from_argv 1 with
+    | Some s -> Some s
+    | None ->
+        if Array.exists (( = ) "--full") Sys.argv then Some "full"
+        else ( match Sys.getenv_opt "BENCH_SCALE" with Some "" | None -> None | s -> s )
+  in
+  match Option.map String.lowercase_ascii named with
+  | None | Some "quick" -> Simulate.Runner.Quick
+  | Some "full" -> Simulate.Runner.Full
+  | Some "large" -> Simulate.Runner.Large
+  | Some other ->
+      Printf.eprintf "bench: unknown scale %S (expected quick|full|large)\n" other;
+      exit 2
+
+let scale_name = function
+  | Simulate.Runner.Quick -> "quick"
+  | Simulate.Runner.Full -> "full"
+  | Simulate.Runner.Large -> "large"
+
+(* The large tier's end-to-end size. Only the e2e claim scales with
+   this; the frontier_scan_large micro stays at its fixed n. *)
+let large_n () =
+  match Sys.getenv_opt "BENCH_LARGE_N" with
+  | None | Some "" -> 1 lsl 20
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 1 -> n
+      | _ ->
+          Printf.eprintf "bench: BENCH_LARGE_N must be an integer > 1, got %S\n" s;
+          exit 2)
 
 (* --jobs N on the command line, falling back to DYNGRAPH_JOBS. *)
 let sched () =
@@ -52,7 +96,7 @@ let claim_tables () =
   let rng = Prng.Rng.of_seed 42 in
   let sched = sched () in
   Printf.printf "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s)) ====\n\n"
-    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick")
+    (scale_name (scale ()))
     (Exec.workers sched);
   (* Counters on for the claim phase: each outcome carries its work
      totals (rounds, snapshots, edges...) into the JSON baseline. The
@@ -65,6 +109,82 @@ let claim_tables () =
   Obs.Metrics.disable ();
   if not all_passed then print_endline "WARNING: some reproduction checks failed";
   outcomes
+
+(* --- large tier: the million-node off-heap run --- *)
+
+(* One row of the JSON "claims" array, whether it came from the
+   registry or from the large tier. *)
+type claim_row = {
+  row_id : string;
+  row_title : string;
+  row_ok : bool;
+  row_seconds : float;
+  row_metrics : (string * int) list;
+}
+
+let row_of_outcome (o : Simulate.Registry.outcome) =
+  let e = o.experiment in
+  {
+    row_id = e.id;
+    row_title = e.title;
+    row_ok = o.ok;
+    row_seconds = o.seconds;
+    row_metrics = o.metrics;
+  }
+
+(* GC gauges for the large tier. Gauges (not counters) because their
+   values are wall-clock-ish facts about one run of one process — the
+   off-heap storage claim is that major words and top-heap words stay
+   n-independent, which the JSON baseline lets a reader (and a future
+   PR) check. *)
+let g_gc_major = Obs.Metrics.gauge "gc.major_words"
+
+let g_gc_top_heap = Obs.Metrics.gauge "gc.top_heap_words"
+
+let g_gc_compactions = Obs.Metrics.gauge "gc.compactions"
+
+let large_tier () =
+  let n = large_n () in
+  let p = 4. /. float_of_int n and q = 0.5 in
+  Printf.printf "\n==== Large tier (off-heap edge-MEG flood, n = %d, seed 42) ====\n\n" n;
+  Obs.Metrics.enable ();
+  Gc.full_major ();
+  let before = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  (* Model construction is inside the measured window on purpose: the
+     stationary init draws the ~alpha*n^2/2 initial edges, and its
+     allocation behaviour is part of what the gauges certify. *)
+  let model = Edge_meg.Classic.make ~n ~p ~q () in
+  let time = Core.Flooding.time ~rng:(Prng.Rng.of_seed 42) ~source:0 model in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let after = Gc.quick_stat () in
+  let major_words = after.Gc.major_words -. before.Gc.major_words in
+  let top_heap_words = after.Gc.top_heap_words in
+  let compactions = after.Gc.compactions - before.Gc.compactions in
+  Obs.Metrics.set_gauge g_gc_major major_words;
+  Obs.Metrics.set_gauge g_gc_top_heap (float_of_int top_heap_words);
+  Obs.Metrics.set_gauge g_gc_compactions (float_of_int compactions);
+  Obs.Metrics.disable ();
+  Printf.printf "flood time: %s in %.3f s\n"
+    (match time with Some t -> Printf.sprintf "%d rounds" t | None -> "CAPPED")
+    seconds;
+  Printf.printf "gc: %.3g major words allocated, top heap %d words, %d compaction(s)\n"
+    major_words top_heap_words compactions;
+  [
+    {
+      row_id = "large.flood_e2e";
+      row_title = Printf.sprintf "end-to-end flood, off-heap edge-MEG n=%d p=4/n q=0.5" n;
+      row_ok = time <> None;
+      row_seconds = seconds;
+      row_metrics =
+        [
+          ("flood.time", (match time with Some t -> t | None -> -1));
+          ("gc.major_words", int_of_float major_words);
+          ("gc.top_heap_words", top_heap_words);
+          ("gc.compactions", compactions);
+        ];
+    };
+  ]
 
 (* --- micro-benchmarks --- *)
 
@@ -178,33 +298,63 @@ let micro_tests () =
              (fun _ _ -> ())));
   ]
 
-let run_micro () =
-  Printf.printf "\n==== Micro-benchmarks (Bechamel, OLS time per call) ====\n\n";
-  let tests = Test.make_grouped ~name:"dyngraph" (micro_tests ()) in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+(* The large-tier micro: a full flood per call on the off-heap backing
+   at a fixed n = 2^18 (deliberately NOT BENCH_LARGE_N: the gated
+   baseline and the CI smoke run must measure the same thing). The
+   sticky sparse regime mirrors flooding.frontier_scan — later rounds
+   are dominated by the tiled Sigma deg(informed) frontier scans. *)
+let large_micro_tests () =
+  let n = 1 lsl 18 in
+  let rng = Prng.Rng.of_seed 11 in
+  (* alpha ~ 2/n: expected degree ~2 keeps a single call in the
+     hundreds of milliseconds, and the low churn (edges persist ~1/q
+     steps) makes the informed-side frontier scans the dominant term. *)
+  let model = Edge_meg.Classic.make ~n ~p:(0.25 /. float_of_int n) ~q:0.125 () in
+  [
+    Test.make
+      ~name:(Printf.sprintf "flooding.frontier_scan_large n=%d" n)
+      (Staged.stage (fun () -> ignore (Core.Flooding.time ~rng ~source:0 model)));
+  ]
+
+let run_group ~cfg tests =
+  let tests = Test.make_grouped ~name:"dyngraph" tests in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (name, result) ->
+         let ns =
+           match Analyze.OLS.estimates result with
+           | Some (e :: _) -> e
+           | Some [] | None -> nan
+         in
+         let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+         (name, ns, r2))
+
+let run_micro sc =
+  Printf.printf "\n==== Micro-benchmarks (Bechamel, OLS time per call) ====\n\n";
+  let base =
+    run_group ~cfg:(Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()) (micro_tests ())
+  in
+  let numeric =
+    if sc <> Simulate.Runner.Large then base
+    else
+      (* A call is a whole off-heap flood (~1.5 s at n=2^18, floored
+         by the stationary init's ~m geometric draws): its own group
+         with a quota wide enough for several samples, so the OLS
+         estimate is stable enough to gate at 10%. *)
+      base
+      @ run_group
+          ~cfg:(Benchmark.cfg ~limit:8 ~quota:(Time.second 8.0) ~kde:None ())
+          (large_micro_tests ())
+  in
   let table =
     Stats.Table.create ~title:"time per call" ~columns:[ "benchmark"; "ns/run"; "r^2" ]
   in
-  let rows =
-    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  let numeric =
-    List.map
-      (fun (name, result) ->
-        let ns =
-          match Analyze.OLS.estimates result with
-          | Some (e :: _) -> e
-          | Some [] | None -> nan
-        in
-        let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
-        Stats.Table.add_row table [ Text name; Fixed (ns, 1); Fixed (r2, 4) ];
-        (name, ns, r2))
-      rows
-  in
+  List.iter
+    (fun (name, ns, r2) -> Stats.Table.add_row table [ Text name; Fixed (ns, 1); Fixed (r2, 4) ])
+    numeric;
   print_string (Stats.Table.render table);
   numeric
 
@@ -225,7 +375,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-(* Provenance for the dyngraph-bench/3 schema: which commit and which
+(* Provenance for the dyngraph-bench/4 schema: which commit and which
    machine produced the numbers, so baselines are attributable across
    PRs. Both fields degrade to "unknown" rather than fail. *)
 let git_rev () =
@@ -247,23 +397,21 @@ let metrics_json (ms : (string * int) list) =
 let write_json path ~claims ~micro =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/3\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/4\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
   Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.fprintf oc "  \"hostname\": \"%s\",\n" (json_escape (hostname ()));
-  Printf.fprintf oc "  \"scale\": \"%s\",\n"
-    (match scale () with Simulate.Runner.Full -> "full" | Quick -> "quick");
+  Printf.fprintf oc "  \"scale\": \"%s\",\n" (scale_name (scale ()));
   Printf.fprintf oc "  \"seed\": 42,\n";
   Printf.fprintf oc "  \"workers\": %d,\n" (Exec.workers (sched ()));
   Printf.fprintf oc "  \"claims\": [\n";
   List.iteri
-    (fun i (o : Simulate.Registry.outcome) ->
-      let e = o.experiment in
+    (fun i r ->
       Printf.fprintf oc
         "    {\"id\": \"%s\", \"title\": \"%s\", \"passed\": %b, \"seconds\": %s, \"metrics\": %s}%s\n"
-        (json_escape e.id) (json_escape e.title) o.ok (json_float o.seconds)
-        (metrics_json o.metrics)
+        (json_escape r.row_id) (json_escape r.row_title) r.row_ok (json_float r.row_seconds)
+        (metrics_json r.row_metrics)
         (if i = List.length claims - 1 then "" else ","))
     claims;
   Printf.fprintf oc "  ],\n  \"micro\": [\n";
@@ -277,12 +425,14 @@ let write_json path ~claims ~micro =
   close_out oc
 
 let () =
-  let claims = claim_tables () in
+  let sc = scale () in
+  let rows = List.map row_of_outcome (claim_tables ()) in
+  let rows = if sc = Simulate.Runner.Large then rows @ large_tier () else rows in
   let micro =
-    if Array.exists (( = ) "--no-micro") Sys.argv then [] else run_micro ()
+    if Array.exists (( = ) "--no-micro") Sys.argv then [] else run_micro sc
   in
   match json_path () with
   | None -> ()
   | Some path ->
-      write_json path ~claims ~micro;
+      write_json path ~claims:rows ~micro;
       Printf.printf "\nwrote %s\n" path

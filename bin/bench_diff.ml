@@ -4,7 +4,7 @@
      dune exec bin/bench_diff.exe -- OLD.json NEW.json \
        [--threshold PCT] [--gate NAME]...
 
-   Reads two BENCH_*.json files (schema dyngraph-bench/1, /2 or /3),
+   Reads two BENCH_*.json files (schema dyngraph-bench/1 through /4),
    prints per-claim wall-clock seconds and per-micro ns/run side by
    side with the delta as a percentage (positive = slower), and flags
    claim pass/fail transitions. Schema /3 baselines additionally carry
@@ -23,8 +23,11 @@
    reading. Micro names match with or without their "dyngraph/" group
    prefix. A gated name absent from the comparison (dropped benchmark,
    renamed claim) is itself a failure: a gate that silently stops
-   gating is worse than a red build. Pass/fail flips of any claim
-   remain fatal regardless of gating. *)
+   gating is worse than a red build. A gated name present only in the
+   NEW file is fine — it is reported as a "new" row with no delta, so
+   the gate on a first-appearance benchmark passes and starts biting
+   on the next comparison. Pass/fail flips of any claim remain fatal
+   regardless of gating. *)
 
 (* --- minimal JSON reader (no external dependency) --- *)
 
@@ -341,9 +344,13 @@ let () =
     old_b.claims;
   List.iter
     (fun (nc : claim) ->
-      if not (List.exists (fun (oc : claim) -> oc.id = nc.id) old_b.claims) then
+      if not (List.exists (fun (oc : claim) -> oc.id = nc.id) old_b.claims) then begin
+        (* Mark the gate as seen: a first-appearance claim has no old
+           value to regress against, so its gate passes vacuously. *)
+        ignore (gated nc.id);
         Stats.Table.add_row claims_table
-          [ Text nc.id; Missing; Fixed (nc.seconds, 3); Missing; Text "new" ])
+          [ Text nc.id; Missing; Fixed (nc.seconds, 3); Missing; Text "new" ]
+      end)
     new_b.claims;
   print_string (Stats.Table.render claims_table);
   if old_b.micros <> [] || new_b.micros <> [] then begin
@@ -365,9 +372,13 @@ let () =
       old_b.micros;
     List.iter
       (fun (nm : micro) ->
-        if not (List.exists (fun (om : micro) -> om.name = nm.name) old_b.micros) then
+        if not (List.exists (fun (om : micro) -> om.name = nm.name) old_b.micros) then begin
+          (* Same vacuous pass as for new claims: gating a micro that
+             first appears in NEW must not fail as "gate not found". *)
+          ignore (gated nm.name);
           Stats.Table.add_row micro_table
-            [ Text nm.name; Missing; Fixed (nm.ns_per_run, 1); Text "new" ])
+            [ Text nm.name; Missing; Fixed (nm.ns_per_run, 1); Text "new" ]
+        end)
       new_b.micros;
     print_newline ();
     print_string (Stats.Table.render micro_table)

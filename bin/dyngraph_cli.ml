@@ -16,8 +16,26 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let full_arg =
-  let doc = "Run at paper scale (larger sweeps, more trials)." in
+  let doc = "Run at paper scale (larger sweeps, more trials); shorthand for $(b,--scale full)." in
   Arg.(value & flag & info [ "full" ] ~doc)
+
+let scale_arg =
+  let doc =
+    "Sweep scale: $(b,quick) (CI-sized, the default), $(b,full) (the \
+     paper-scale sweeps recorded in EXPERIMENTS.md) or $(b,large) \
+     (quick-sized sweeps with 5 trials; the million-node off-heap tier \
+     itself lives in the bench driver — see bench/main.ml). Overrides \
+     $(b,--full)."
+  in
+  let scale_conv =
+    Arg.enum
+      [
+        ("quick", Simulate.Runner.Quick);
+        ("full", Simulate.Runner.Full);
+        ("large", Simulate.Runner.Large);
+      ]
+  in
+  Arg.(value & opt (some scale_conv) None & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let jobs_arg =
   let doc =
@@ -91,7 +109,10 @@ let id_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
 
-let scale_of_full full = if full then Simulate.Runner.Full else Simulate.Runner.Quick
+let resolve_scale scale full =
+  match scale with
+  | Some s -> s
+  | None -> if full then Simulate.Runner.Full else Simulate.Runner.Quick
 
 let list_cmd =
   let run () =
@@ -108,9 +129,9 @@ let resolve id =
   | None -> Error (Printf.sprintf "unknown experiment %S (try 'list')" id)
 
 let run_cmd =
-  let run id seed full jobs metrics trace progress =
+  let run id seed scale_opt full jobs metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
-    let scale = scale_of_full full in
+    let scale = resolve_scale scale_opt full in
     let sched = Exec.of_int jobs in
     obs_setup ~metrics ~trace ~progress;
     let result =
@@ -131,17 +152,17 @@ let run_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
-       $ progress_arg))
+        (const run $ id_arg $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ metrics_arg
+       $ trace_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an experiment, print its tables and scorecard")
     term
 
 let verify_cmd =
-  let run seed full jobs metrics trace progress =
+  let run seed scale_opt full jobs metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
-    let scale = scale_of_full full in
+    let scale = resolve_scale scale_opt full in
     let sched = Exec.of_int jobs in
     obs_setup ~metrics ~trace ~progress;
     (* Shares Registry.run_each with `run all`: same substream per
@@ -160,7 +181,7 @@ let verify_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ seed_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
+        (const run $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
        $ progress_arg))
   in
   Cmd.v (Cmd.info "verify" ~doc:"Run all experiments, print only the scorecards") term
@@ -170,9 +191,9 @@ let outdir_arg =
   Arg.(value & opt (some string) None & info [ "outdir" ] ~docv:"DIR" ~doc)
 
 let csv_cmd =
-  let run id seed full jobs outdir metrics trace progress =
+  let run id seed scale_opt full jobs outdir metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
-    let scale = scale_of_full full in
+    let scale = resolve_scale scale_opt full in
     let sched = Exec.of_int jobs in
     obs_setup ~metrics ~trace ~progress;
     let result =
@@ -202,8 +223,8 @@ let csv_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ id_arg $ seed_arg $ full_arg $ jobs_arg $ outdir_arg $ metrics_arg
-       $ trace_arg $ progress_arg))
+        (const run $ id_arg $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ outdir_arg
+       $ metrics_arg $ trace_arg $ progress_arg))
   in
   Cmd.v (Cmd.info "csv" ~doc:"Run experiments and emit CSV (stdout or --outdir)") term
 

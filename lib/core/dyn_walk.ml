@@ -45,11 +45,13 @@ let hitting_time ?cap ?hold ~rng ~start ~target g =
 
 let cover_time ?cap ?hold ~rng ~start g =
   let n = Dynamic.n g in
-  let visited = Array.make n false in
+  (* Packed off-heap bitset: n/8 bytes the GC never scans, instead of
+     an n-word boolean array. *)
+  let visited = Graph.Storage.Bitset.create n in
   let n_visited = ref 0 in
   let note u =
-    if not visited.(u) then begin
-      visited.(u) <- true;
+    if not (Graph.Storage.Bitset.unsafe_get visited u) then begin
+      Graph.Storage.Bitset.unsafe_set visited u;
       incr n_visited
     end
   in

@@ -1,3 +1,5 @@
+module St = Graph.Storage
+
 type protocol = Flood | Push of float | Parsimonious of int
 
 type result = { time : int option; trajectory : int array; arrivals : int array }
@@ -27,15 +29,18 @@ let c_delta_edges = Obs.Metrics.counter "flood.delta_edges"
 let c_cap_hits = Obs.Metrics.counter "flood.cap_hits"
 
 (* The kernel allocates its working set once per domain, not per run:
-   the byte-per-node informed/queued bitsets, the arrival-order and
-   frontier arrays, the trajectory buffer, the legacy path's edge
-   buffer and the delta path's {!Adj_sync} all live in a domain-local
-   scratch, re-initialised (O(n)) and reused whenever consecutive runs
-   agree on [n] — which is every iteration of a trial loop. Domain-
-   local state never crosses workers, so parallel determinism is
-   untouched; the adjacency view is re-keyed by physical model
-   identity and invalidated per run, so only its grown row storage
-   survives, never stale topology.
+   the informed/queued bitsets, the arrival-order and frontier arrays,
+   the trajectory buffer, the legacy path's edge buffer and the delta
+   path's {!Adj_sync} all live in a domain-local scratch,
+   re-initialised (O(n)) and reused whenever consecutive runs agree on
+   [n] — which is every iteration of a trial loop. The whole scratch
+   lives in the {!Graph.Storage} layer — packed bitsets and int32
+   Bigarray vectors — so its major-heap footprint is a handful of
+   control records, independent of [n]. Domain-local state never
+   crosses workers, so parallel determinism is untouched; the adjacency
+   view is re-keyed by physical model identity (and storage layout) and
+   invalidated per run, so only its grown row storage survives, never
+   stale topology.
 
    Two scan strategies, chosen once per run:
 
@@ -56,6 +61,19 @@ let c_cap_hits = Obs.Metrics.counter "flood.cap_hits"
      edge. Observable behaviour on this path is identical to the
      original kernel (same sets, same coin order).
 
+   On an arena-backed (off-heap) adjacency, the plain-flooding
+   informed-side scan additionally runs {e tiled}: candidate receivers
+   are staged per active row, partitioned by counting sort into
+   [St.chunk_nodes]-wide node tiles, and only then tested against the
+   informed/queued bitsets — so the random bit traffic of a round is
+   confined to one 4 KiB bitset window at a time instead of roaming an
+   [n/8]-byte array (DESIGN.md section 9). Flooding draws no coins and
+   its outputs are scan-order-independent, so the tiled scan is
+   observationally identical to the in-order one; Push and
+   Parsimonious coins are pinned to arrival-then-row order by the
+   goldens, which is exactly the order a tiled scan destroys — they
+   keep the in-order scan on every layout.
+
    The two paths reach the same informed sets at the same times; they
    differ only in the order protocol coins are drawn (frontier scans by
    arriving sender, enumeration by edge), which is why Push goldens on
@@ -63,16 +81,21 @@ let c_cap_hits = Obs.Metrics.counter "flood.cap_hits"
    landed — see DESIGN.md section 8. *)
 type scratch = {
   mutable s_n : int;  (* node count the arrays are sized for; -1 initially *)
-  mutable informed : Bytes.t;
-  mutable queued : Bytes.t;
-  mutable informed_at : int array;
-  mutable order : int array;
-  mutable frontier : int array;
-  mutable unf : int array;      (* uninformed nodes, compact *)
-  mutable unf_pos : int array;  (* position of node v in [unf] while uninformed *)
-  mutable traj : int array;
+  mutable informed : St.Bitset.t;
+  mutable queued : St.Bitset.t;
+  mutable informed_at : St.I32.t;  (* -1 while uninformed *)
+  mutable order : St.I32.t;
+  mutable frontier : St.I32.t;
+  mutable unf : St.I32.t;      (* uninformed nodes, compact *)
+  mutable unf_pos : St.I32.t;  (* position of node v in [unf] while uninformed *)
+  traj : St.I32.t;             (* grows via the explicit ensure contract *)
+  stage : St.I32.t;            (* tiled scan: candidates in row order *)
+  bins : St.I32.t;             (* tiled scan: candidates in tile order *)
+  mutable tile_cnt : int array;
+  mutable tile_cur : int array;
   mutable edges : Graph.Edge_buffer.t;
   mutable sync_for : Dynamic.t option;  (* physical key for [sync] *)
+  mutable sync_off : bool;              (* layout the cached sync was built with *)
   mutable sync : Adj_sync.t option;
 }
 
@@ -80,21 +103,32 @@ let scratch_key =
   Domain.DLS.new_key (fun () ->
       {
         s_n = -1;
-        informed = Bytes.empty;
-        queued = Bytes.empty;
-        informed_at = [||];
-        order = [||];
-        frontier = [||];
-        unf = [||];
-        unf_pos = [||];
-        traj = Array.make 256 0;
+        informed = St.Bitset.create 0;
+        queued = St.Bitset.create 0;
+        informed_at = St.I32.create 1;
+        order = St.I32.create 1;
+        frontier = St.I32.create 1;
+        unf = St.I32.create 1;
+        unf_pos = St.I32.create 1;
+        traj = St.I32.create 256;
+        stage = St.I32.create 16;
+        bins = St.I32.create 16;
+        tile_cnt = [| 0 |];
+        tile_cur = [| 0 |];
         edges = Graph.Edge_buffer.create ~capacity:16 ();
         sync_for = None;
+        sync_off = false;
         sync = None;
       })
-let run ?cap ?(protocol = Flood) ~rng ~source g =
+
+(* The full execution, leaving its results in the domain-local scratch:
+   [run] materialises trajectory and arrivals from it, while [time]
+   reads only the completion step — so a trial loop at n = 10⁶ never
+   allocates the two O(n) result arrays it would throw away. *)
+let run_raw ?cap ?(protocol = Flood) ?storage ~rng ~source g =
   let n = Dynamic.n g in
   if source < 0 || source >= n then invalid_arg "Flooding.run: source out of range";
+  if n > St.max_nodes then invalid_arg "Flooding.run: n exceeds the int32 id range";
   (match protocol with
   | Push p when not (p > 0. && p <= 1.) ->
       invalid_arg "Flooding.run: push probability outside (0, 1]"
@@ -115,36 +149,35 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   let sc = Domain.DLS.get scratch_key in
   if sc.s_n <> n then begin
     sc.s_n <- n;
-    sc.informed <- Bytes.make n '\000';
-    sc.queued <- Bytes.make n '\000';
-    sc.informed_at <- Array.make n max_int;
-    sc.order <- Array.make n 0;
-    sc.frontier <- Array.make n 0;
-    sc.unf <- Array.make n 0;
-    sc.unf_pos <- Array.make n 0
+    sc.informed <- St.Bitset.create n;
+    sc.queued <- St.Bitset.create n;
+    sc.informed_at <- St.I32.create n;
+    sc.order <- St.I32.create n;
+    sc.frontier <- St.I32.create n;
+    sc.unf <- St.I32.create n;
+    sc.unf_pos <- St.I32.create n;
+    let ntiles = ((n - 1) lsr St.chunk_shift) + 1 in
+    sc.tile_cnt <- Array.make ntiles 0;
+    sc.tile_cur <- Array.make ntiles 0
   end
   else begin
-    Bytes.fill sc.informed 0 n '\000';
-    Bytes.fill sc.queued 0 n '\000';
-    Array.fill sc.informed_at 0 n max_int
+    St.Bitset.clear_all sc.informed;
+    St.Bitset.clear_all sc.queued
   end;
+  St.I32.fill sc.informed_at 0 n (-1);
   let informed = sc.informed in
   let queued = sc.queued in
   let informed_at = sc.informed_at in
-  Bytes.unsafe_set informed source '\001';
-  informed_at.(source) <- 0;
+  St.Bitset.unsafe_set informed source;
+  St.I32.unsafe_set informed_at source 0;
   let n_informed = ref 1 in
   (* Informed nodes in arrival order; length is [n_informed]. *)
   let order = sc.order in
-  order.(0) <- source;
+  St.I32.unsafe_set order 0 source;
   let traj_len = ref 0 in
   let push_traj v =
-    if !traj_len = Array.length sc.traj then begin
-      let bigger = Array.make (2 * !traj_len) 0 in
-      Array.blit sc.traj 0 bigger 0 !traj_len;
-      sc.traj <- bigger
-    end;
-    sc.traj.(!traj_len) <- v;
+    St.I32.ensure sc.traj (!traj_len + 1);
+    St.I32.unsafe_set sc.traj !traj_len v;
     incr traj_len
   in
   push_traj 1;
@@ -159,41 +192,42 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   let unf_len = ref 0 in
   let track_unf = ref false in
   let remove_unf v =
-    let p = Array.unsafe_get unf_pos v in
+    let p = St.I32.unsafe_get unf_pos v in
     let last = !unf_len - 1 in
-    let w = Array.unsafe_get unf last in
-    Array.unsafe_set unf p w;
-    Array.unsafe_set unf_pos w p;
+    let w = St.I32.unsafe_get unf last in
+    St.I32.unsafe_set unf p w;
+    St.I32.unsafe_set unf_pos w p;
     unf_len := last
   in
   let active u =
     match protocol with
-    | Flood | Push _ -> Bytes.unsafe_get informed u <> '\000'
-    | Parsimonious k -> Bytes.unsafe_get informed u <> '\000' && !t - informed_at.(u) < k
+    | Flood | Push _ -> St.Bitset.unsafe_get informed u
+    | Parsimonious k ->
+        St.Bitset.unsafe_get informed u && !t - St.I32.unsafe_get informed_at u < k
   in
   let transmits () =
     match protocol with Push p -> Prng.Rng.bernoulli rng p | Flood | Parsimonious _ -> true
   in
   let enqueue v =
-    if Bytes.unsafe_get queued v = '\000' then begin
-      Bytes.unsafe_set queued v '\001';
-      Array.unsafe_set frontier !frontier_len v;
+    if not (St.Bitset.unsafe_get queued v) then begin
+      St.Bitset.unsafe_set queued v;
+      St.I32.unsafe_set frontier !frontier_len v;
       incr frontier_len
     end
   in
   let consider sender receiver =
-    if active sender && Bytes.unsafe_get informed receiver = '\000' && transmits () then
+    if active sender && (not (St.Bitset.unsafe_get informed receiver)) && transmits () then
       enqueue receiver
   in
   (* Close the round: I_{t+1} = I_t ∪ frontier. *)
   let commit () =
     incr t;
     for i = 0 to !frontier_len - 1 do
-      let v = Array.unsafe_get frontier i in
-      Bytes.unsafe_set queued v '\000';
-      Bytes.unsafe_set informed v '\001';
-      informed_at.(v) <- !t;
-      Array.unsafe_set order !n_informed v;
+      let v = St.I32.unsafe_get frontier i in
+      St.Bitset.unsafe_clear queued v;
+      St.Bitset.unsafe_set informed v;
+      St.I32.unsafe_set informed_at v !t;
+      St.I32.unsafe_set order !n_informed v;
       incr n_informed;
       if !track_unf then remove_unf v
     done;
@@ -225,12 +259,19 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
     done
   end
   else begin
+    let want_off =
+      match storage with
+      | Some `Offheap -> true
+      | Some `Heap -> false
+      | None -> n >= St.offheap_nodes
+    in
     let sync =
       match (sc.sync_for, sc.sync) with
-      | Some g', Some s when g' == g -> s
+      | Some g', Some s when g' == g && sc.sync_off = want_off -> s
       | _ ->
-          let s = Adj_sync.create g in
+          let s = Adj_sync.create ~storage:(if want_off then `Offheap else `Heap) g in
           sc.sync_for <- Some g;
+          sc.sync_off <- want_off;
           sc.sync <- Some s;
           s
     in
@@ -247,8 +288,8 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
            so the counter reflects the real work either way. *)
         track_unf := true;
         for i = 0 to n - 1 do
-          Array.unsafe_set unf i i;
-          Array.unsafe_set unf_pos i i
+          St.I32.unsafe_set unf i i;
+          St.I32.unsafe_set unf_pos i i
         done;
         unf_len := n;
         remove_unf source;
@@ -256,54 +297,139 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
           frontier_len := 0;
           Adj_sync.ensure sync;
           let adj = Adj_sync.adj sync in
-          if !unf_len < !n_informed then
-            for ui = 0 to !unf_len - 1 do
-              let v = Array.unsafe_get unf ui in
-              let d = Graph.Mutable_adj.degree adj v in
-              let row = Graph.Mutable_adj.row adj v in
-              let j = ref 0 in
-              let hit = ref false in
-              while (not !hit) && !j < d do
-                if Bytes.unsafe_get informed (Array.unsafe_get row !j) <> '\000' then
-                  hit := true;
-                incr j
-              done;
-              scanned := !scanned + !j;
-              if !hit then enqueue v
-            done
-          else
-            for oi = 0 to !n_informed - 1 do
-              let u = Array.unsafe_get order oi in
-              let d = Graph.Mutable_adj.degree adj u in
-              let row = Graph.Mutable_adj.row adj u in
-              scanned := !scanned + d;
-              for j = 0 to d - 1 do
-                let v = Array.unsafe_get row j in
-                if Bytes.unsafe_get informed v = '\000' then enqueue v
+          if not (Graph.Mutable_adj.offheap adj) then begin
+            if !unf_len < !n_informed then
+              for ui = 0 to !unf_len - 1 do
+                let v = St.I32.unsafe_get unf ui in
+                let d = Graph.Mutable_adj.degree adj v in
+                let row = Graph.Mutable_adj.row adj v in
+                let j = ref 0 in
+                let hit = ref false in
+                while (not !hit) && !j < d do
+                  if St.Bitset.unsafe_get informed (Array.unsafe_get row !j) then hit := true;
+                  incr j
+                done;
+                scanned := !scanned + !j;
+                if !hit then enqueue v
               done
-            done;
+            else
+              for oi = 0 to !n_informed - 1 do
+                let u = St.I32.unsafe_get order oi in
+                let d = Graph.Mutable_adj.degree adj u in
+                let row = Graph.Mutable_adj.row adj u in
+                scanned := !scanned + d;
+                for j = 0 to d - 1 do
+                  let v = Array.unsafe_get row j in
+                  if not (St.Bitset.unsafe_get informed v) then enqueue v
+                done
+              done
+          end
+          else begin
+            let ({ v_deg; v_off; v_data } : Graph.Mutable_adj.view) =
+              Graph.Mutable_adj.view adj
+            in
+            if !unf_len < !n_informed then
+              for ui = 0 to !unf_len - 1 do
+                let v = St.I32.unsafe_get unf ui in
+                let d = St.I32.raw_get v_deg v in
+                let off = St.I32.raw_get v_off v in
+                let j = ref 0 in
+                let hit = ref false in
+                while (not !hit) && !j < d do
+                  if St.Bitset.unsafe_get informed (St.I32.raw_get v_data (off + !j)) then
+                    hit := true;
+                  incr j
+                done;
+                scanned := !scanned + !j;
+                if !hit then enqueue v
+              done
+            else begin
+              (* Tiled informed-side scan: stage every candidate in row
+                 order, counting-sort them into chunk_nodes-wide tiles,
+                 then do all bitset tests tile by tile. *)
+              let stage_len = ref 0 in
+              let tile_cnt = sc.tile_cnt in
+              Array.fill tile_cnt 0 (Array.length tile_cnt) 0;
+              for oi = 0 to !n_informed - 1 do
+                let u = St.I32.unsafe_get order oi in
+                let d = St.I32.raw_get v_deg u in
+                let off = St.I32.raw_get v_off u in
+                scanned := !scanned + d;
+                St.I32.ensure sc.stage (!stage_len + d);
+                let sraw = St.I32.raw sc.stage in
+                for j = off to off + d - 1 do
+                  let v = St.I32.raw_get v_data j in
+                  St.I32.raw_set sraw !stage_len v;
+                  incr stage_len;
+                  let k = v lsr St.chunk_shift in
+                  Array.unsafe_set tile_cnt k (Array.unsafe_get tile_cnt k + 1)
+                done
+              done;
+              let tile_cur = sc.tile_cur in
+              let acc = ref 0 in
+              for k = 0 to Array.length tile_cnt - 1 do
+                Array.unsafe_set tile_cur k !acc;
+                acc := !acc + Array.unsafe_get tile_cnt k
+              done;
+              St.I32.ensure sc.bins !stage_len;
+              let braw = St.I32.raw sc.bins in
+              let sraw = St.I32.raw sc.stage in
+              for i = 0 to !stage_len - 1 do
+                let v = St.I32.raw_get sraw i in
+                let k = v lsr St.chunk_shift in
+                let p = Array.unsafe_get tile_cur k in
+                St.I32.raw_set braw p v;
+                Array.unsafe_set tile_cur k (p + 1)
+              done;
+              (* [bins] is now tile-ordered, so one linear walk keeps
+                 each round's random bit traffic inside a single 4 KiB
+                 bitset window at a time. *)
+              for i = 0 to !stage_len - 1 do
+                let v = St.I32.raw_get braw i in
+                if not (St.Bitset.unsafe_get informed v) then enqueue v
+              done
+            end
+          end;
           commit ();
           Dynamic.step g;
           Adj_sync.advance sync
         done
     | Push p ->
         (* Every informed node is active; coins are drawn in arrival-
-           then-row order, exactly the sequence the goldens pin. *)
+           then-row order, exactly the sequence the goldens pin — on
+           either storage layout. *)
         while !n_informed < n && !t < cap do
           frontier_len := 0;
           Adj_sync.ensure sync;
           let adj = Adj_sync.adj sync in
-          for oi = 0 to !n_informed - 1 do
-            let u = Array.unsafe_get order oi in
-            let d = Graph.Mutable_adj.degree adj u in
-            let row = Graph.Mutable_adj.row adj u in
-            scanned := !scanned + d;
-            for j = 0 to d - 1 do
-              let v = Array.unsafe_get row j in
-              if Bytes.unsafe_get informed v = '\000' && Prng.Rng.bernoulli rng p then
-                enqueue v
+          if not (Graph.Mutable_adj.offheap adj) then
+            for oi = 0 to !n_informed - 1 do
+              let u = St.I32.unsafe_get order oi in
+              let d = Graph.Mutable_adj.degree adj u in
+              let row = Graph.Mutable_adj.row adj u in
+              scanned := !scanned + d;
+              for j = 0 to d - 1 do
+                let v = Array.unsafe_get row j in
+                if (not (St.Bitset.unsafe_get informed v)) && Prng.Rng.bernoulli rng p then
+                  enqueue v
+              done
             done
-          done;
+          else begin
+            let ({ v_deg; v_off; v_data } : Graph.Mutable_adj.view) =
+              Graph.Mutable_adj.view adj
+            in
+            for oi = 0 to !n_informed - 1 do
+              let u = St.I32.unsafe_get order oi in
+              let d = St.I32.raw_get v_deg u in
+              let off = St.I32.raw_get v_off u in
+              scanned := !scanned + d;
+              for j = off to off + d - 1 do
+                let v = St.I32.raw_get v_data j in
+                if (not (St.Bitset.unsafe_get informed v)) && Prng.Rng.bernoulli rng p then
+                  enqueue v
+              done
+            done
+          end;
           commit ();
           Dynamic.step g;
           Adj_sync.advance sync
@@ -314,19 +440,38 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
           frontier_len := 0;
           Adj_sync.ensure sync;
           let adj = Adj_sync.adj sync in
-          while !lo < !n_informed && !t - informed_at.(Array.unsafe_get order !lo) >= k do
+          while
+            !lo < !n_informed
+            && !t - St.I32.unsafe_get informed_at (St.I32.unsafe_get order !lo) >= k
+          do
             incr lo
           done;
-          for oi = !lo to !n_informed - 1 do
-            let u = Array.unsafe_get order oi in
-            let d = Graph.Mutable_adj.degree adj u in
-            let row = Graph.Mutable_adj.row adj u in
-            scanned := !scanned + d;
-            for j = 0 to d - 1 do
-              let v = Array.unsafe_get row j in
-              if Bytes.unsafe_get informed v = '\000' then enqueue v
+          if not (Graph.Mutable_adj.offheap adj) then
+            for oi = !lo to !n_informed - 1 do
+              let u = St.I32.unsafe_get order oi in
+              let d = Graph.Mutable_adj.degree adj u in
+              let row = Graph.Mutable_adj.row adj u in
+              scanned := !scanned + d;
+              for j = 0 to d - 1 do
+                let v = Array.unsafe_get row j in
+                if not (St.Bitset.unsafe_get informed v) then enqueue v
+              done
             done
-          done;
+          else begin
+            let ({ v_deg; v_off; v_data } : Graph.Mutable_adj.view) =
+              Graph.Mutable_adj.view adj
+            in
+            for oi = !lo to !n_informed - 1 do
+              let u = St.I32.unsafe_get order oi in
+              let d = St.I32.raw_get v_deg u in
+              let off = St.I32.raw_get v_off u in
+              scanned := !scanned + d;
+              for j = off to off + d - 1 do
+                let v = St.I32.raw_get v_data j in
+                if not (St.Bitset.unsafe_get informed v) then enqueue v
+              done
+            done
+          end;
           commit ();
           Dynamic.step g;
           Adj_sync.advance sync
@@ -342,27 +487,34 @@ let run ?cap ?(protocol = Flood) ~rng ~source g =
   end;
   if tracing then
     Obs.Trace.emit "flood.end" [ ("t", Int !t); ("informed", Int !n_informed) ];
+  (sc, (if !n_informed = n then Some !t else None), !traj_len)
+
+let run ?cap ?protocol ?storage ~rng ~source g =
+  let sc, time, traj_len = run_raw ?cap ?protocol ?storage ~rng ~source g in
   {
-    time = (if !n_informed = n then Some !t else None);
-    trajectory = Array.sub sc.traj 0 !traj_len;
-    arrivals = Array.map (fun at -> if at = max_int then -1 else at) informed_at;
+    time;
+    trajectory = Array.init traj_len (fun i -> St.I32.get sc.traj i);
+    arrivals = Array.init sc.s_n (fun v -> St.I32.get sc.informed_at v);
   }
 
-let time ?cap ?protocol ~rng ~source g = (run ?cap ?protocol ~rng ~source g).time
+let time ?cap ?protocol ?storage ~rng ~source g =
+  let _, time, _ = run_raw ?cap ?protocol ?storage ~rng ~source g in
+  time
 
-let trial_time ?cap ?protocol ~rng ~source g =
+let trial_time ?cap ?protocol ?storage ~rng ~source g =
   let cap_value = match cap with Some c -> c | None -> default_cap (Dynamic.n g) in
-  match time ~cap:cap_value ?protocol ~rng ~source g with
+  match time ~cap:cap_value ?protocol ?storage ~rng ~source g with
   | Some t -> t
   | None -> cap_value
 
-let mean_time ?cap ?protocol ?(sched = Exec.sequential) ~rng ~trials ?(source = 0) build =
+let mean_time ?cap ?protocol ?storage ?(sched = Exec.sequential) ~rng ~trials ?(source = 0)
+    build =
   if trials < 1 then invalid_arg "Flooding.mean_time: trials must be >= 1";
   (* Substreams are derived up front, on the calling domain: trial [i]'s
      randomness depends only on [rng]'s current state and [i], never on
      which worker runs it or in what order. *)
   let rngs = Array.init trials (Prng.Rng.substream rng) in
-  let job i = trial_time ?cap ?protocol ~rng:rngs.(i) ~source (build ()) in
+  let job i = trial_time ?cap ?protocol ?storage ~rng:rngs.(i) ~source (build ()) in
   let reduce times =
     let summary = Stats.Summary.create () in
     Array.iter (fun t -> Stats.Summary.add summary (float_of_int t)) times;
@@ -381,7 +533,7 @@ let characteristic_time result =
     result.arrivals;
   if !count = 0 then nan else float_of_int !total /. float_of_int !count
 
-let worst_source_time ?cap ?protocol ?(sched = Exec.sequential) ~rng ?sources build =
+let worst_source_time ?cap ?protocol ?storage ?(sched = Exec.sequential) ~rng ?sources build =
   let sources =
     match sources with
     | Some l -> Array.of_list l
@@ -390,6 +542,8 @@ let worst_source_time ?cap ?protocol ?(sched = Exec.sequential) ~rng ?sources bu
   (* Seeded by source id, not job index, so the result is independent of
      the sources list's order as well as of the scheduler. *)
   let rngs = Array.map (Prng.Rng.substream rng) sources in
-  let job i = trial_time ?cap ?protocol ~rng:rngs.(i) ~source:sources.(i) (build ()) in
+  let job i =
+    trial_time ?cap ?protocol ?storage ~rng:rngs.(i) ~source:sources.(i) (build ())
+  in
   Exec.run sched
     (Exec.plan ~jobs:(Array.length sources) ~job ~reduce:(Array.fold_left max 0))

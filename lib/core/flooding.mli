@@ -33,17 +33,45 @@ type result = {
 }
 
 val run :
-  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> result
+  ?cap:int ->
+  ?protocol:protocol ->
+  ?storage:[ `Heap | `Offheap ] ->
+  rng:Prng.Rng.t ->
+  source:int ->
+  Dynamic.t ->
+  result
 (** Run one flooding execution. Resets the process with a split of
     [rng]; the remainder of [rng] drives the protocol's own coins (for
-    [Push]). [cap] defaults to [10_000 + 200 * n] steps. *)
+    [Push]). [cap] defaults to [10_000 + 200 * n] steps.
+
+    [storage] picks the layout of the delta path's incremental
+    adjacency (see {!Adj_sync.create}): by default off-heap from
+    [Graph.Storage.offheap_nodes] nodes up, heap rows below. The
+    informed sets, arrival times and trajectory are identical in both
+    layouts (the equivalence tests in test/test_flooding.ml force each
+    in turn); requires [n <= Graph.Storage.max_nodes] either way, as
+    the kernel's own scratch is int32-backed. *)
 
 val time :
-  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> int option
-(** Flooding time only. *)
+  ?cap:int ->
+  ?protocol:protocol ->
+  ?storage:[ `Heap | `Offheap ] ->
+  rng:Prng.Rng.t ->
+  source:int ->
+  Dynamic.t ->
+  int option
+(** Flooding time only — skips materialising the O(n) trajectory and
+    arrival arrays, so a trial loop at large [n] allocates nothing per
+    run. *)
 
 val trial_time :
-  ?cap:int -> ?protocol:protocol -> rng:Prng.Rng.t -> source:int -> Dynamic.t -> int
+  ?cap:int ->
+  ?protocol:protocol ->
+  ?storage:[ `Heap | `Offheap ] ->
+  rng:Prng.Rng.t ->
+  source:int ->
+  Dynamic.t ->
+  int
 (** One flooding trial as a total function: the flooding time, or the
     cap when the run did not complete. The per-trial job that
     {!mean_time} and {!worst_source_time} distribute over a
@@ -52,6 +80,7 @@ val trial_time :
 val mean_time :
   ?cap:int ->
   ?protocol:protocol ->
+  ?storage:[ `Heap | `Offheap ] ->
   ?sched:Exec.scheduler ->
   rng:Prng.Rng.t ->
   trials:int ->
@@ -78,6 +107,7 @@ val characteristic_time : result -> float
 val worst_source_time :
   ?cap:int ->
   ?protocol:protocol ->
+  ?storage:[ `Heap | `Offheap ] ->
   ?sched:Exec.scheduler ->
   rng:Prng.Rng.t ->
   ?sources:int list ->

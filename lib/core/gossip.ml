@@ -1,3 +1,5 @@
+module St = Graph.Storage
+
 type variant = Push | Pull | Push_pull
 
 type result = { time : int option; trajectory : int array; contacts : int }
@@ -10,61 +12,94 @@ let c_contacts = Obs.Metrics.counter "gossip.contacts"
 
 let c_cap_hits = Obs.Metrics.counter "gossip.cap_hits"
 
+(* Domain-local scratch in {!Graph.Storage}: the informed bitset, the
+   round's freshly-informed list and the trajectory all live off the
+   OCaml heap and are reused across runs that agree on [n] (same
+   pattern as the flooding scratch; see flooding.ml). *)
+type scratch = {
+  mutable s_n : int;
+  mutable informed : St.Bitset.t;
+  fresh : St.I32.t;
+  traj : St.I32.t;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { s_n = -1; informed = St.Bitset.create 0; fresh = St.I32.create 16; traj = St.I32.create 256 })
+
 let run ?cap ~variant ~rng ~source g =
   let n = Dynamic.n g in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
+  if n > St.max_nodes then invalid_arg "Gossip.run: n exceeds the int32 id range";
   let cap = match cap with Some c -> c | None -> 10_000 + (200 * n) in
   Obs.Metrics.incr c_runs;
   Dynamic.reset g (Prng.Rng.split rng);
-  let informed = Array.make n false in
-  informed.(source) <- true;
+  let sc = Domain.DLS.get scratch_key in
+  if sc.s_n <> n then begin
+    sc.s_n <- n;
+    sc.informed <- St.Bitset.create n
+  end
+  else St.Bitset.clear_all sc.informed;
+  let informed = sc.informed in
+  St.Bitset.unsafe_set informed source;
   let n_informed = ref 1 in
-  let trajectory = ref [ 1 ] in
+  let traj_len = ref 0 in
+  let push_traj v =
+    St.I32.ensure sc.traj (!traj_len + 1);
+    St.I32.unsafe_set sc.traj !traj_len v;
+    incr traj_len
+  in
+  push_traj 1;
   let contacts = ref 0 in
   let t = ref 0 in
   (* Neighbour picks read the maintained adjacency's rows directly: a
-     pick is one bounds-free array index instead of a List.nth walk,
-     and delta-capable models keep the rows fresh in O(Δ) per round
-     (others rebuild — still cheaper than the int-list adjacency the
-     loop used to allocate every round). *)
+     pick is one bounds-free index into the row storage (either
+     layout — {!Graph.Mutable_adj.unsafe_nth} dispatches) instead of a
+     List.nth walk, and delta-capable models keep the rows fresh in
+     O(Δ) per round (others rebuild — still cheaper than the int-list
+     adjacency the loop used to allocate every round). *)
   let sync = Adj_sync.create g in
   while !n_informed < n && !t < cap do
     Adj_sync.ensure sync;
     let adj = Adj_sync.adj sync in
-    let fresh = ref [] in
+    let fresh_len = ref 0 in
+    let push_fresh v =
+      St.I32.ensure sc.fresh (!fresh_len + 1);
+      St.I32.unsafe_set sc.fresh !fresh_len v;
+      incr fresh_len
+    in
     for u = 0 to n - 1 do
       let d = Graph.Mutable_adj.degree adj u in
       if d > 0 then begin
-        let row = Graph.Mutable_adj.row adj u in
         let pick () =
           incr contacts;
-          Array.unsafe_get row (Prng.Rng.int rng d)
+          Graph.Mutable_adj.unsafe_nth adj u (Prng.Rng.int rng d)
         in
         (match variant with
         | Push | Push_pull ->
-            if informed.(u) then begin
+            if St.Bitset.unsafe_get informed u then begin
               let v = pick () in
-              if not informed.(v) then fresh := v :: !fresh
+              if not (St.Bitset.unsafe_get informed v) then push_fresh v
             end
         | Pull -> ());
         match variant with
         | Pull | Push_pull ->
-            if not informed.(u) then begin
+            if not (St.Bitset.unsafe_get informed u) then begin
               let v = pick () in
-              if informed.(v) then fresh := u :: !fresh
+              if St.Bitset.unsafe_get informed v then push_fresh u
             end
         | Push -> ()
       end
     done;
     incr t;
-    List.iter
-      (fun v ->
-        if not informed.(v) then begin
-          informed.(v) <- true;
-          incr n_informed
-        end)
-      !fresh;
-    trajectory := !n_informed :: !trajectory;
+    for i = 0 to !fresh_len - 1 do
+      let v = St.I32.unsafe_get sc.fresh i in
+      if not (St.Bitset.unsafe_get informed v) then begin
+        St.Bitset.unsafe_set informed v;
+        incr n_informed
+      end
+    done;
+    push_traj !n_informed;
     Obs.Metrics.incr c_rounds;
     Dynamic.step g;
     Adj_sync.advance sync
@@ -73,7 +108,7 @@ let run ?cap ~variant ~rng ~source g =
   if !n_informed < n then Obs.Metrics.incr c_cap_hits;
   {
     time = (if !n_informed = n then Some !t else None);
-    trajectory = Array.of_list (List.rev !trajectory);
+    trajectory = Array.init !traj_len (fun i -> St.I32.get sc.traj i);
     contacts = !contacts;
   }
 

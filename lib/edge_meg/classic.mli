@@ -16,9 +16,27 @@ type init =
   | Empty       (** E_0 = ∅ — worst start for the density condition *)
   | Full        (** E_0 = complete graph *)
 
-val make : ?init:init -> n:int -> p:float -> q:float -> unit -> Core.Dynamic.t
+val make :
+  ?init:init ->
+  ?storage:[ `Auto | `Heap | `Offheap ] ->
+  n:int ->
+  p:float ->
+  q:float ->
+  unit ->
+  Core.Dynamic.t
 (** Requires [p, q] in [\[0, 1\]], [p + q > 0]. Default init
-    [Stationary]. *)
+    [Stationary].
+
+    [storage] selects the state backing. [`Heap] is the original
+    implementation: a {!Graph.Sparse_set} indexed by the full pair
+    universe — O(n²) memory, mandatory for [Full] (and saturated
+    stationary) initialisation. [`Offheap] keeps every size-scaling
+    structure in the {!Graph.Storage} layer with memory O(peak edge
+    count) instead of O(n²) — the only way to reach n ≈ 10⁶ — and
+    rejects [Full] / saturated starts; draw streams and trajectories
+    are identical to [`Heap]'s for the same seed. [`Auto] (default)
+    picks [`Offheap] from [Graph.Storage.offheap_nodes] nodes up
+    whenever the initialisation allows it, [`Heap] otherwise. *)
 
 val params : p:float -> q:float -> Markov.Two_state.t
 (** The per-edge chain, for closed-form α and mixing time. *)

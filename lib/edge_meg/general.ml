@@ -4,7 +4,7 @@ let stationary_alpha ~chain ~chi =
   Array.iteri (fun s mass -> if chi s then acc := !acc +. mass) pi;
   !acc
 
-let make ?(init = `Stationary) ~n ~chain ~chi () =
+let make_heap ~init ~n ~chain ~chi () =
   let total = Graph.Pairs.total n in
   let states = Array.make total 0 in
   (* The chi-on pairs are mirrored into a sparse set as the hidden
@@ -150,6 +150,169 @@ let make ?(init = `Stationary) ~n ~chain ~chi () =
   in
   Core.Dynamic.make ~fill_edges ~deltas ~delta_size ~expected_edges ~n ~reset ~step
     ~iter_edges ()
+
+(* The same process with every size-scaling structure in the
+   {!Graph.Storage} layer: the per-pair chain states and the endpoint
+   mirror in int32 Bigarray vectors, the present set in
+   {!Graph.Sparse_set.I32} (which mirrors the heap set operation for
+   operation) and the delta buffers off-heap — halving the resident
+   footprint and leaving the major heap size-independent. The pair
+   universe is indexed by int32 here, so this layout requires
+   n(n-1)/2 <= [Graph.Storage.max_nodes] (n <= 65536); the step is an
+   O(n²) chain sweep either way, which is what actually bounds this
+   model's reach. Draw streams are identical to the heap layout's. *)
+let make_offheap ~init ~n ~chain ~chi () =
+  let module St = Graph.Storage in
+  let module Set = Graph.Sparse_set.I32 in
+  let total = Graph.Pairs.total n in
+  if total > St.max_nodes then
+    invalid_arg "General.make: pair universe exceeds the int32 range (use heap storage)";
+  let states = St.I32.create (max 1 total) in
+  let present = Set.create total in
+  let eu = St.I32.create 64 in
+  let ev = St.I32.create 64 in
+  let ensure_ends needed =
+    St.I32.ensure eu needed;
+    St.I32.ensure ev needed
+  in
+  let add_present idx u v =
+    let pos = Set.length present in
+    ensure_ends (pos + 1);
+    Set.add present idx;
+    St.I32.unsafe_set eu pos u;
+    St.I32.unsafe_set ev pos v
+  in
+  let remove_present idx =
+    let i = Set.find present idx in
+    Set.remove present idx;
+    let last = Set.length present in
+    St.I32.unsafe_set eu i (St.I32.unsafe_get eu last);
+    St.I32.unsafe_set ev i (St.I32.unsafe_get ev last)
+  in
+  let rng = ref (Prng.Rng.of_seed 0) in
+  let stationary_sampler =
+    lazy (Prng.Discrete.of_weights (Markov.Chain.stationary chain))
+  in
+  let births = Graph.Edge_buffer.I32.create ~capacity:64 () in
+  let deaths = Graph.Edge_buffer.I32.create ~capacity:64 () in
+  let deltas_valid = ref false in
+  let reset r =
+    rng := r;
+    Set.clear present;
+    deltas_valid := false;
+    match init with
+    | `State s ->
+        if s < 0 || s >= Markov.Chain.n_states chain then
+          invalid_arg "General.make: initial state out of range";
+        St.I32.fill states 0 total s;
+        if chi s then begin
+          ensure_ends total;
+          Set.fill_all present;
+          let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+          for idx = 0 to total - 1 do
+            while idx >= !next do
+              incr u;
+              base := !next;
+              next := !next + (n - 1 - !u)
+            done;
+            St.I32.unsafe_set eu idx !u;
+            St.I32.unsafe_set ev idx (!u + 1 + (idx - !base))
+          done
+        end
+    | `Stationary ->
+        let sampler = Lazy.force stationary_sampler in
+        let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+        for idx = 0 to total - 1 do
+          let s = Prng.Discrete.draw sampler !rng in
+          St.I32.unsafe_set states idx s;
+          if chi s then begin
+            while idx >= !next do
+              incr u;
+              base := !next;
+              next := !next + (n - 1 - !u)
+            done;
+            add_present idx !u (!u + 1 + (idx - !base))
+          end
+        done
+  in
+  let step () =
+    Graph.Edge_buffer.I32.clear births;
+    Graph.Edge_buffer.I32.clear deaths;
+    let u = ref 0 and base = ref 0 and next = ref (n - 1) in
+    for idx = 0 to total - 1 do
+      let s = Markov.Chain.step chain !rng (St.I32.unsafe_get states idx) in
+      St.I32.unsafe_set states idx s;
+      let now = chi s in
+      let was = Set.mem present idx in
+      if now <> was then begin
+        while idx >= !next do
+          incr u;
+          base := !next;
+          next := !next + (n - 1 - !u)
+        done;
+        let eu_ = !u and ev_ = !u + 1 + (idx - !base) in
+        if now then begin
+          add_present idx eu_ ev_;
+          Graph.Edge_buffer.I32.push births eu_ ev_
+        end
+        else begin
+          remove_present idx;
+          Graph.Edge_buffer.I32.push deaths eu_ ev_
+        end
+      end
+    done;
+    deltas_valid := true
+  in
+  let iter_edges f =
+    let len = Set.length present in
+    for i = 0 to len - 1 do
+      f (St.I32.unsafe_get eu i) (St.I32.unsafe_get ev i)
+    done
+  in
+  let fill_edges buf =
+    let len = Set.length present in
+    for i = 0 to len - 1 do
+      Graph.Edge_buffer.push buf (St.I32.unsafe_get eu i) (St.I32.unsafe_get ev i)
+    done
+  in
+  let deltas ~birth ~death =
+    !deltas_valid
+    && begin
+         Graph.Edge_buffer.I32.iter births (fun u v -> birth u v);
+         Graph.Edge_buffer.I32.iter deaths (fun u v -> death u v);
+         true
+       end
+  in
+  let expected_edges =
+    match init with
+    | `State s -> if chi s then total else n
+    | `Stationary -> int_of_float (ceil (stationary_alpha ~chain ~chi *. float_of_int total))
+  in
+  let delta_size () =
+    if !deltas_valid then
+      Graph.Edge_buffer.I32.length births + Graph.Edge_buffer.I32.length deaths
+    else 0
+  in
+  Core.Dynamic.make ~fill_edges ~deltas ~delta_size ~expected_edges ~n ~reset ~step
+    ~iter_edges ()
+
+let make ?(init = `Stationary) ?(storage = `Auto) ~n ~chain ~chi () =
+  let offheap =
+    match storage with
+    | `Heap -> false
+    | `Offheap -> true
+    | `Auto ->
+        (* The O(n²) chain sweep keeps this model at moderate n, where
+           the heap layout is never a GC burden — and the int32 pair
+           index cannot reach the n where it would be. Auto therefore
+           only goes off-heap when both thresholds are satisfiable,
+           i.e. effectively never; [`Offheap] is an explicit opt-in
+           for halving the resident footprint at moderate n. *)
+        n >= Graph.Storage.offheap_nodes
+        && Graph.Pairs.total n <= Graph.Storage.max_nodes
+  in
+  if offheap then make_offheap ~init ~n ~chain ~chi ()
+  else make_heap ~init ~n ~chain ~chi ()
 
 let bound ~chain ~chi ~n =
   let alpha = stationary_alpha ~chain ~chi in

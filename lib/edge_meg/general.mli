@@ -12,6 +12,7 @@
 
 val make :
   ?init:[ `Stationary | `State of int ] ->
+  ?storage:[ `Auto | `Heap | `Offheap ] ->
   n:int ->
   chain:Markov.Chain.t ->
   chi:(int -> bool) ->
@@ -19,7 +20,15 @@ val make :
   Core.Dynamic.t
 (** [make ~n ~chain ~chi ()] builds the process. [`Stationary] (default)
     draws each edge's initial state from the chain's stationary
-    distribution; [`State s] starts every edge in state [s]. *)
+    distribution; [`State s] starts every edge in state [s].
+
+    [`Offheap] keeps the per-pair chain states, present set and delta
+    buffers in the {!Graph.Storage} layer (int32 cells — about half
+    the resident footprint, none of it GC-scanned) and requires the
+    pair universe n(n-1)/2 to fit the int32 range (n <= 65536); draw
+    streams are identical to [`Heap]'s. [`Auto] (default) stays on the
+    heap at every n this O(n²)-per-step model can realistically
+    reach. *)
 
 val stationary_alpha : chain:Markov.Chain.t -> chi:(int -> bool) -> float
 (** Probability that an edge exists in the stationary regime — the α

@@ -20,13 +20,26 @@
 
     Insertion appends, removal swaps the last entry into the hole:
     neighbor order is deterministic for a deterministic operation
-    sequence but otherwise unspecified. *)
+    sequence but otherwise unspecified.
+
+    Two physical layouts exist behind this one interface. The default
+    [`Heap] layout keeps the original per-node [int array] rows; the
+    [`Offheap] layout packs every row into a single int32 Bigarray
+    bump arena ({!Storage.I32}) with per-node offset/capacity/degree
+    vectors, so a million-node adjacency is three flat off-heap blocks
+    instead of a million heap arrays. Append/swap-remove semantics are
+    identical in both layouts: the neighbor order produced by a given
+    operation sequence never depends on the backing. *)
 
 type t
 
-val create : n:int -> unit -> t
+val create : n:int -> ?storage:[ `Heap | `Offheap ] -> unit -> t
 (** Empty adjacency over nodes [0 .. n-1]. Rows grow by doubling on
-    demand; a cleared structure reuses their storage. *)
+    demand; a cleared structure reuses their storage. [`Offheap]
+    requires [n <= Storage.max_nodes] (ids must fit int32 cells). *)
+
+val offheap : t -> bool
+(** Whether this adjacency uses the arena layout. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -57,7 +70,26 @@ val row : t -> int -> int array
 (** The physical row of a node: entries [0 .. degree t u - 1] are its
     current neighbors, later slots are garbage. Borrowed, not a copy —
     valid until the next mutation; callers must not write it. The
-    zero-overhead read path for hot scan loops. *)
+    zero-overhead read path for hot scan loops. Heap layout only:
+    raises [Invalid_argument] on an arena-backed structure (whose rows
+    have no physical [int array]) — branch on {!offheap} and use
+    {!view} there. *)
+
+type view = { v_deg : Storage.I32.raw; v_off : Storage.I32.raw; v_data : Storage.I32.raw }
+(** Borrowed raw windows into an arena-backed adjacency: node [u]'s
+    neighbors are [v_data.{v_off.{u} .. v_off.{u} + v_deg.{u} - 1}].
+    The zero-overhead read path for hot kernels over the arena layout,
+    mirroring what {!row} is for heap rows. Valid until the next
+    mutation (a row append may relocate the arena). *)
+
+val view : t -> view
+(** Arena layout only; raises [Invalid_argument] on heap-backed rows. *)
+
+val unsafe_nth : t -> int -> int -> int
+(** [unsafe_nth t u i] is the [i]-th row entry of [u] in either
+    layout, unchecked. For warm (not hot) loops that want layout
+    polymorphism without the branch-per-row of {!row}/{!view}
+    dispatch being visible at the call site. *)
 
 val neighbor : t -> int -> int -> int
 (** [neighbor t u i] is the [i]-th row entry of [u],

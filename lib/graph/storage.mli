@@ -1,0 +1,165 @@
+(** Off-heap storage layer for the big per-run state.
+
+    Everything whose size scales with the graph — sparse-set dense
+    arrays and position indices, adjacency rows, informed bitsets,
+    arrival and frontier arrays — can live here instead of on the OCaml
+    heap: int32 Bigarrays (4 bytes per element, never scanned by the
+    GC) for node ids and dense positions, native-int Bigarrays for pair
+    indices that exceed 32 bits, and packed Bytes bitsets (1 bit per
+    node, opaque to the GC scanner) for membership flags. A 10⁶–10⁷
+    node run then carries near-zero GC tax: the major heap holds only
+    the fixed-size control records, independent of [n].
+
+    Node ids are bounded by {!max_nodes} (2³¹): an id must round-trip
+    through an int32 cell. Pair indices (up to n(n-1)/2 ≈ 2³⁹ at
+    n = 2²⁰) do not fit and use the native-int {!Ix} arrays instead.
+
+    Accessors are tiny and [@inline]-annotated; even without flambda
+    the compiler cancels the int32 box/unbox pair in a
+    [get]-as-argument position, so reads and writes are
+    allocation-free (verified by test/test_storage.ml). *)
+
+val max_nodes : int
+(** Exclusive upper bound on node ids representable in int32 cells
+    (2³¹). *)
+
+val offheap_nodes : int
+(** Node-count threshold at which size-polymorphic consumers
+    ({!Core.Adj_sync}, [Core.Flooding], [Edge_meg.Classic]) switch
+    from heap arrays to this storage layer by default (2¹⁷). Small
+    runs keep the exact heap code paths — and their goldens —
+    untouched. *)
+
+val chunk_shift : int
+(** [chunk_nodes = 1 lsl chunk_shift]; kernels compute a node's tile
+    as [v lsr chunk_shift]. *)
+
+val chunk_nodes : int
+(** Tile width, in node ids, of the chunked frontier kernels (2¹⁵
+    nodes = 4 KiB of packed bitset per tile — comfortably
+    cache-resident together with the staging buffers; see DESIGN.md
+    section 9). *)
+
+(** Growable int32 vector on a Bigarray. *)
+module I32 : sig
+  type raw = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t
+
+  val create : int -> t
+  (** [create len] is a zero-filled vector of [len] cells. *)
+
+  val length : t -> int
+
+  val get : t -> int -> int
+  (** Bounds-checked by the Bigarray layer. Values are truncated to 32
+      bits on write, so only ints in [\[-2³¹, 2³¹)] round-trip. *)
+
+  val set : t -> int -> int -> unit
+
+  val unsafe_get : t -> int -> int
+
+  val unsafe_set : t -> int -> int -> unit
+
+  val fill : t -> int -> int -> int -> unit
+  (** [fill t pos len v] sets [len] cells starting at [pos] to [v]. *)
+
+  val blit : t -> int -> t -> int -> int -> unit
+  (** [blit src spos dst dpos len]. *)
+
+  val ensure : t -> int -> unit
+  (** [ensure t capacity] grows the vector to at least [capacity]
+      cells, doubling and preserving contents; new cells are zero.
+      Never shrinks. The explicit growth contract for buffers whose
+      peak size is run-dependent (e.g. the flooding trajectory). *)
+
+  val raw : t -> raw
+  (** The underlying Bigarray, for hot loops that hoist the array out
+      of an accessor chain. Invalidated by {!ensure}. *)
+
+  val raw_get : raw -> int -> int
+
+  val raw_set : raw -> int -> int -> unit
+end
+
+(** Growable native-int vector on a Bigarray — 8 bytes per cell, for
+    values (pair indices) that exceed the int32 range. *)
+module Ix : sig
+  type raw = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t
+
+  val create : int -> t
+
+  val length : t -> int
+
+  val get : t -> int -> int
+
+  val set : t -> int -> int -> unit
+
+  val unsafe_get : t -> int -> int
+
+  val unsafe_set : t -> int -> int -> unit
+
+  val fill : t -> int -> int -> int -> unit
+
+  val ensure : t -> int -> unit
+end
+
+(** Packed bitset: one bit per element in a Bytes block. The GC never
+    scans Bytes contents, and the packing keeps the informed set of a
+    2²⁰-node run in 128 KiB — L2-resident, which is what makes the
+    chunked frontier scan's tiles pay off. *)
+module Bitset : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is [n] clear bits. *)
+
+  val length : t -> int
+
+  val get : t -> int -> bool
+
+  val set : t -> int -> unit
+
+  val clear : t -> int -> unit
+
+  val unsafe_get : t -> int -> bool
+
+  val unsafe_set : t -> int -> unit
+
+  val unsafe_clear : t -> int -> unit
+
+  val clear_all : t -> unit
+  (** Clear every bit. O(n/8). *)
+end
+
+(** Open-addressing hash index from non-negative int keys to
+    non-negative int values, both stored in native-int Bigarrays:
+    allocation-free lookups and updates, off-heap buckets. Linear
+    probing with backward-shift deletion; capacity doubles at 50%
+    load. This is the position index behind {!Sparse_set.Big}, where
+    the pair-index universe (n(n-1)/2) is far too large for the
+    array-backed index. Deterministic: the hash is a fixed integer
+    mix, no per-process seeding. *)
+module Hash : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val find : t -> int -> int
+  (** [find t k] is the value bound to [k], or [-1] if absent. *)
+
+  val mem : t -> int -> bool
+
+  val replace : t -> int -> int -> unit
+  (** Bind [k] to [v], overwriting any previous binding. *)
+
+  val remove : t -> int -> unit
+  (** Remove [k]'s binding; no-op if absent. *)
+
+  val clear : t -> unit
+  (** Forget all bindings, keeping the bucket storage. O(capacity). *)
+end

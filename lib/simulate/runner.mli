@@ -5,12 +5,18 @@
 type scale =
   | Quick  (** CI-sized: small sweeps, few trials; finishes in seconds *)
   | Full   (** paper-sized: the sweeps recorded in EXPERIMENTS.md *)
+  | Large
+      (** Quick-sized registry sweeps plus the million-node off-heap
+          tiers the bench driver layers on top (see bench/main.ml) —
+          the tier's time budget belongs to the large extras, not to
+          bigger paper sweeps. *)
 
 val trials : scale -> int
-(** Default number of flooding trials per configuration (5 / 20). *)
+(** Default number of flooding trials per configuration (5 / 20 / 5). *)
 
 val pick : scale -> 'a -> 'a -> 'a
-(** [pick scale quick full]. *)
+(** [pick scale quick full]; [Large] picks [quick] — its extra work is
+    the bench driver's large tier, not bigger sweeps. *)
 
 type flood_stats = {
   mean : float;

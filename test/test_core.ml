@@ -382,6 +382,64 @@ let test_phases_incomplete () =
   Alcotest.(check (option int)) "no spread" None a.spreading_time;
   Alcotest.(check (option int)) "no saturation" None a.saturation_time
 
+(* --- storage-layer regressions --- *)
+
+(* The trajectory buffer must grow past its initial 256 cells (a fixed
+   Array.make 256 once made >256-round runs impossible to record). A
+   2-node process whose only edge appears every 301st snapshot floods
+   well past round 256. *)
+let test_flood_trajectory_growth () =
+  let snaps = Array.init 301 (fun t -> if t = 300 then [ (0, 1) ] else []) in
+  let g = Core.Dynamic.of_snapshots ~n:2 snaps in
+  let r = Core.Flooding.run ~rng:(rng_of_seed 3) ~source:0 g in
+  match r.Core.Flooding.time with
+  | None -> Alcotest.fail "flood never completed"
+  | Some t ->
+      check_true "ran past the old 256-cell cap" (t > 256);
+      Alcotest.(check int) "trajectory records every round" (t + 1)
+        (Array.length r.Core.Flooding.trajectory);
+      Alcotest.(check int) "final census" 2 r.Core.Flooding.trajectory.(t);
+      Alcotest.(check int) "source alone before the edge" 1 r.Core.Flooding.trajectory.(t - 1)
+
+(* n = 0 is rejected at construction (Dynamic.make), so flooding can
+   never receive an empty node set; a negative/overflowing source on
+   the smallest legal graph is rejected by the flooding guard. *)
+let test_flood_empty_graph () =
+  check_true "n = 0 rejected at construction"
+    (try
+       ignore (Core.Dynamic.of_snapshots ~n:0 [| [] |]);
+       false
+     with Invalid_argument _ -> true);
+  let g = Core.Dynamic.of_snapshots ~n:1 [| [] |] in
+  check_true "source beyond n rejected"
+    (try
+       ignore (Core.Flooding.run ~rng:(rng_of_seed 1) ~source:1 g);
+       false
+     with Invalid_argument _ -> true);
+  check_true "negative source rejected"
+    (try
+       ignore (Core.Flooding.run ~rng:(rng_of_seed 1) ~source:(-1) g);
+       false
+     with Invalid_argument _ -> true)
+
+(* Forcing the off-heap scratch + arena adjacency at a size that would
+   normally stay on the heap must not change any observable: the tiled
+   Flood scan is order-independent, and Push / Parsimonious draw their
+   coins in the same pinned order on both layouts. *)
+let test_flood_storage_layouts_agree () =
+  let build () = Edge_meg.Classic.make ~n:96 ~p:0.04 ~q:0.3 () in
+  List.iter
+    (fun protocol ->
+      let go storage =
+        Core.Flooding.run ~protocol ~storage ~rng:(rng_of_seed 17) ~source:3 (build ())
+      in
+      let h = go `Heap and o = go `Offheap in
+      Alcotest.(check (option int)) "time" h.Core.Flooding.time o.Core.Flooding.time;
+      Alcotest.(check (array int)) "trajectory" h.Core.Flooding.trajectory
+        o.Core.Flooding.trajectory;
+      Alcotest.(check (array int)) "arrivals" h.Core.Flooding.arrivals o.Core.Flooding.arrivals)
+    [ Core.Flooding.Flood; Core.Flooding.Push 0.4; Core.Flooding.Parsimonious 2 ]
+
 let suites =
   [
     ( "core.dynamic",
@@ -423,6 +481,10 @@ let suites =
         Alcotest.test_case "characteristic time" `Quick test_characteristic_time;
         Alcotest.test_case "arrivals = BFS on static" `Quick test_arrivals_are_bfs_on_static;
         Alcotest.test_case "arrivals unreachable" `Quick test_arrivals_unreachable;
+        Alcotest.test_case "trajectory grows past 256 rounds" `Quick
+          test_flood_trajectory_growth;
+        Alcotest.test_case "empty graph rejected" `Quick test_flood_empty_graph;
+        Alcotest.test_case "storage layouts agree" `Quick test_flood_storage_layouts_agree;
         Alcotest.test_case "arrivals vs trajectory census" `Quick
           test_arrivals_consistent_with_trajectory;
         q_trajectory_monotone;

@@ -164,6 +164,52 @@ let test_adj_errors () =
   Alcotest.(check int) "clear empties" 0 (Graph.Mutable_adj.entries a);
   check_true "remove after clear raises" (raises (fun () -> Graph.Mutable_adj.remove a 0 1))
 
+(* The arena (off-heap) layout must agree with the heap layout on
+   every observable after any add/remove/clear sequence — including
+   row ORDER, because neighbour picks index rows positionally and the
+   gossip/push coin streams depend on it. *)
+let q_adj_arena_matches_heap =
+  qtest ~count:150 "arena layout mirrors heap layout exactly"
+    QCheck2.Gen.(pair seed_gen (int_range 2 24))
+    (fun (seed, n) ->
+      let rng = Prng.Rng.of_seed seed in
+      let h = Graph.Mutable_adj.create ~n () in
+      let a = Graph.Mutable_adj.create ~n ~storage:`Offheap () in
+      let present = ref [] in
+      let ok = ref true in
+      for _ = 1 to 300 do
+        let u = Prng.Rng.int rng n and v = Prng.Rng.int rng n in
+        if u <> v then begin
+          match Prng.Rng.int rng 10 with
+          | 0 ->
+              Graph.Mutable_adj.clear h;
+              Graph.Mutable_adj.clear a;
+              present := []
+          | k when k < 7 ->
+              Graph.Mutable_adj.add h u v;
+              Graph.Mutable_adj.add a u v;
+              present := (u, v) :: !present
+          | _ -> (
+              match !present with
+              | [] -> ()
+              | (u, v) :: rest ->
+                  Graph.Mutable_adj.remove h u v;
+                  Graph.Mutable_adj.remove a u v;
+                  present := rest)
+        end;
+        ok :=
+          !ok
+          && Graph.Mutable_adj.entries h = Graph.Mutable_adj.entries a
+          && Graph.Mutable_adj.degree h u = Graph.Mutable_adj.degree a u
+      done;
+      let rows adj =
+        List.init n (fun u ->
+            List.init (Graph.Mutable_adj.degree adj u) (Graph.Mutable_adj.unsafe_nth adj u))
+      in
+      check_true "arena reports offheap" (Graph.Mutable_adj.offheap a);
+      check_true "heap reports heap" (not (Graph.Mutable_adj.offheap h));
+      !ok && rows h = rows a)
+
 let suites =
   [
     ( "core.deltas",
@@ -184,5 +230,6 @@ let suites =
         Alcotest.test_case "basics" `Quick test_adj_basics;
         Alcotest.test_case "multiset copies" `Quick test_adj_multiset;
         Alcotest.test_case "errors and clear" `Quick test_adj_errors;
+        q_adj_arena_matches_heap;
       ] );
   ]

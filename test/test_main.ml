@@ -10,6 +10,7 @@ let () =
          Test_obs.suites;
          Test_stats.suites;
          Test_graph.suites;
+         Test_storage.suites;
          Test_sparse_set.suites;
          Test_markov.suites;
          Test_core.suites;
