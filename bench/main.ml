@@ -78,6 +78,16 @@ let sched () =
   in
   match from_argv 1 with Some w -> Exec.of_int w | None -> Exec.default ()
 
+(* --procs N on the command line, falling back to DYNGRAPH_PROCS; 0
+   keeps the claim phase in-process. *)
+let procs () =
+  let rec from_argv i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--procs" then int_of_string_opt Sys.argv.(i + 1)
+    else from_argv (i + 1)
+  in
+  match from_argv 1 with Some p when p >= 0 -> p | Some _ | None -> Exec.default_procs ()
+
 let json_path () =
   let rec from_argv i =
     if i + 1 >= Array.length Sys.argv then None
@@ -94,17 +104,34 @@ let json_path () =
 
 let claim_tables () =
   let rng = Prng.Rng.of_seed 42 in
-  let sched = sched () in
-  Printf.printf "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s)) ====\n\n"
+  let jobs = Exec.workers (sched ()) in
+  let p = procs () in
+  let sched, spec =
+    if p > 0 then begin
+      (* Shard whole experiments over a fleet of this very binary
+         re-exec'd in --worker mode; the tables (and the counter totals
+         each outcome carries) are byte-identical to the in-process
+         run, only the seconds differ. *)
+      Exec.set_worker_command (Some [| Sys.executable_name; "--worker" |]);
+      ( Exec.procs p,
+        Some
+          (Simulate.Fleet.specs ~render:Simulate.Registry.Full ~seed:42 ~scale:(scale ())
+             ~jobs) )
+    end
+    else (sched (), None)
+  in
+  Printf.printf
+    "==== Claim-reproduction tables (%s scale, seed 42, %d worker(s), %d proc(s)) ====\n\n"
     (scale_name (scale ()))
-    (Exec.workers sched);
+    jobs p;
   (* Counters on for the claim phase: each outcome carries its work
      totals (rounds, snapshots, edges...) into the JSON baseline. The
      caller turns metrics back off before the micro phase so the
      ns/run numbers measure the disabled (production) path. *)
   Obs.Metrics.enable ();
   let all_passed, outcomes =
-    Simulate.Registry.run_all_timed ~sched ~clock:Unix.gettimeofday ~rng ~scale:(scale ()) ()
+    Simulate.Registry.run_all_timed ~sched ~clock:Unix.gettimeofday ?spec ~rng
+      ~scale:(scale ()) ()
   in
   Obs.Metrics.disable ();
   if not all_passed then print_endline "WARNING: some reproduction checks failed";
@@ -375,7 +402,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-(* Provenance for the dyngraph-bench/4 schema: which commit and which
+(* Provenance for the dyngraph-bench/5 schema: which commit and which
    machine produced the numbers, so baselines are attributable across
    PRs. Both fields degrade to "unknown" rather than fail. *)
 let git_rev () =
@@ -397,11 +424,17 @@ let metrics_json (ms : (string * int) list) =
 let write_json path ~claims ~micro =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/4\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/5\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
   Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.fprintf oc "  \"hostname\": \"%s\",\n" (json_escape (hostname ()));
+  (* Fleet topology of the claim phase (schema 5): worker domains per
+     process and worker processes (0 = in-process). Deterministic rows
+     never depend on either; the seconds column does. *)
+  Printf.fprintf oc "  \"topology\": {\"jobs\": %d, \"procs\": %d},\n"
+    (Exec.workers (sched ()))
+    (procs ());
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (scale_name (scale ()));
   Printf.fprintf oc "  \"seed\": 42,\n";
   Printf.fprintf oc "  \"workers\": %d,\n" (Exec.workers (sched ()));
@@ -425,6 +458,16 @@ let write_json path ~claims ~micro =
   close_out oc
 
 let () =
+  (* Fleet worker mode: spawned by a parent bench running with --procs.
+     Serve experiment shards over stdin/stdout and exit — no banner, no
+     micro phase. Metrics are always on (the parent's claim phase runs
+     with them on and absorbs the deltas we ship back). *)
+  if Array.exists (( = ) "--worker") Sys.argv then begin
+    Obs.Clock.set Unix.gettimeofday;
+    Obs.Metrics.enable ();
+    Simulate.Fleet.serve ();
+    exit 0
+  end;
   let sc = scale () in
   let rows = List.map row_of_outcome (claim_tables ()) in
   let rows = if sc = Simulate.Runner.Large then rows @ large_tier () else rows in

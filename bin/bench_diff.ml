@@ -4,7 +4,9 @@
      dune exec bin/bench_diff.exe -- OLD.json NEW.json \
        [--threshold PCT] [--gate NAME]...
 
-   Reads two BENCH_*.json files (schema dyngraph-bench/1 through /4),
+   Reads two BENCH_*.json files (schema dyngraph-bench/1 through /5;
+   /5 adds a "topology" object — worker domains and processes of the
+   claim phase — shown in the header lines),
    prints per-claim wall-clock seconds and per-micro ns/run side by
    side with the delta as a percentage (positive = slower), and flags
    claim pass/fail transitions. Schema /3 baselines additionally carry
@@ -197,6 +199,9 @@ type baseline = {
   date : string;
   git_rev : string;
   host : string;
+  topology : string;
+      (* rendered "jobs J procs P" from the schema /5 topology object;
+         "-" for older baselines *)
   claims : claim list;
   micros : micro list;
 }
@@ -238,12 +243,21 @@ let load path =
           l
     | _ -> []
   in
+  let topology =
+    match member "topology" j with
+    | Some t ->
+        Printf.sprintf "jobs %d procs %d"
+          (int_of_float (num_or nan (member "jobs" t)))
+          (int_of_float (num_or nan (member "procs" t)))
+    | None -> "-"
+  in
   {
     path;
     schema = str_or "?" (member "schema" j);
     date = str_or "?" (member "date" j);
     git_rev = str_or "-" (member "git_rev" j);
     host = str_or "-" (member "hostname" j);
+    topology;
     claims;
     micros;
   }
@@ -313,10 +327,10 @@ let () =
         prerr_endline "usage: bench_diff OLD.json NEW.json [--threshold PCT]";
         exit 2
   in
-  Printf.printf "old: %s  (%s, %s, rev %s, host %s)\n" old_b.path old_b.schema old_b.date
-    old_b.git_rev old_b.host;
-  Printf.printf "new: %s  (%s, %s, rev %s, host %s)\n\n" new_b.path new_b.schema new_b.date
-    new_b.git_rev new_b.host;
+  Printf.printf "old: %s  (%s, %s, rev %s, host %s, %s)\n" old_b.path old_b.schema old_b.date
+    old_b.git_rev old_b.host old_b.topology;
+  Printf.printf "new: %s  (%s, %s, rev %s, host %s, %s)\n\n" new_b.path new_b.schema new_b.date
+    new_b.git_rev new_b.host new_b.topology;
   let worst = ref neg_infinity in
   let flipped = ref [] in
   let claims_table =

@@ -46,6 +46,28 @@ let jobs_arg =
   let env = Cmd.Env.info "DYNGRAPH_JOBS" ~doc:"Default for $(b,--jobs)." in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~env ~docv:"N" ~doc)
 
+let procs_arg =
+  let doc =
+    "Number of forked worker processes for the execution engine. 0 (the \
+     default) keeps execution in-process; N shards whole experiments over a \
+     fleet of N $(b,dyngraph worker) processes with byte-identical output for \
+     every N. A crashed or wedged worker loses only its own shard, which is \
+     re-run on a fresh worker. Composes with $(b,--jobs): each worker runs its \
+     experiment's trial plans on that many domains. Defaults to \
+     $(b,DYNGRAPH_PROCS) when set (unparsable values are ignored with a \
+     warning)."
+  in
+  Arg.(value & opt int (Exec.default_procs ()) & info [ "procs" ] ~docv:"N" ~doc)
+
+let journal_arg =
+  let doc =
+    "Checkpoint completed experiment shards to $(docv) (only meaningful with \
+     $(b,--procs)). If the run is interrupted, re-running the same command \
+     resumes from the journal instead of recomputing finished shards; a \
+     journal recorded for a different seed/scale/command is discarded."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 let metrics_arg =
   let doc =
     "Collect work counters (rounds, snapshots, enumerated edges, RNG splits, \
@@ -100,6 +122,24 @@ let obs_finish ~metrics ~trace =
     end
   end
 
+(* Fleet wiring shared by run/verify: spawn workers as this very
+   executable's `worker` subcommand, mirroring the parent's metrics and
+   tracing switches so the deltas the workers ship back are complete.
+   Returns the scheduler to use. *)
+let fleet_setup ~procs ~jobs ~journal ~metrics ~trace =
+  if procs > 0 then begin
+    let cmd =
+      Array.of_list
+        ([ Sys.executable_name; "worker" ]
+        @ (if metrics then [ "--metrics" ] else [])
+        @ (if trace <> None then [ "--trace-mem" ] else []))
+    in
+    Exec.set_worker_command (Some cmd);
+    Exec.set_journal journal;
+    Exec.procs procs
+  end
+  else Exec.of_int jobs
+
 let id_arg =
   (* Derived from the registry so the range can never go stale again. *)
   let doc =
@@ -129,19 +169,26 @@ let resolve id =
   | None -> Error (Printf.sprintf "unknown experiment %S (try 'list')" id)
 
 let run_cmd =
-  let run id seed scale_opt full jobs metrics trace progress =
+  let run id seed scale_opt full jobs procs journal metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = resolve_scale scale_opt full in
-    let sched = Exec.of_int jobs in
+    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace in
     obs_setup ~metrics ~trace ~progress;
     let result =
       if String.lowercase_ascii id = "all" then begin
-        let ok = Simulate.Registry.run_all ~sched ~rng ~scale () in
+        let spec =
+          if procs > 0 then
+            Some (Simulate.Fleet.specs ~render:Simulate.Registry.Full ~seed ~scale ~jobs)
+          else None
+        in
+        let ok = Simulate.Registry.run_all ~sched ?spec ~rng ~scale () in
         if ok then Ok () else Error "some reproduction checks failed"
       end
       else
         match resolve id with
         | Ok e ->
+            (* Single experiments have no shardable outer plan: a procs
+               scheduler degrades to the domain pool inside Exec. *)
             let ok = Simulate.Registry.run_one ~sched ~rng ~scale e in
             if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
         | Error m -> Error m
@@ -152,22 +199,27 @@ let run_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ id_arg $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ metrics_arg
-       $ trace_arg $ progress_arg))
+        (const run $ id_arg $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ procs_arg
+       $ journal_arg $ metrics_arg $ trace_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an experiment, print its tables and scorecard")
     term
 
 let verify_cmd =
-  let run seed scale_opt full jobs metrics trace progress =
+  let run seed scale_opt full jobs procs journal metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = resolve_scale scale_opt full in
-    let sched = Exec.of_int jobs in
+    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace in
     obs_setup ~metrics ~trace ~progress;
+    let spec =
+      if procs > 0 then
+        Some (Simulate.Fleet.specs ~render:Simulate.Registry.Scorecard ~seed ~scale ~jobs)
+      else None
+    in
     (* Shares Registry.run_each with `run all`: same substream per
        experiment, so these scorecards match `run all --seed N` exactly. *)
-    let failed = Simulate.Registry.verify ~sched ~rng ~scale () in
+    let failed = Simulate.Registry.verify ~sched ?spec ~rng ~scale () in
     let result =
       if failed = 0 then begin
         print_endline "all reproduction checks passed";
@@ -181,8 +233,8 @@ let verify_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg
-       $ progress_arg))
+        (const run $ seed_arg $ scale_arg $ full_arg $ jobs_arg $ procs_arg $ journal_arg
+       $ metrics_arg $ trace_arg $ progress_arg))
   in
   Cmd.v (Cmd.info "verify" ~doc:"Run all experiments, print only the scorecards") term
 
@@ -227,6 +279,33 @@ let csv_cmd =
        $ metrics_arg $ trace_arg $ progress_arg))
   in
   Cmd.v (Cmd.info "csv" ~doc:"Run experiments and emit CSV (stdout or --outdir)") term
+
+let worker_cmd =
+  (* The fleet worker entry point: spawned by a parent dyngraph running
+     with --procs, never by hand. Speaks the length-prefixed protocol of
+     Exec.Worker.serve on stdin/stdout; the parent passes --metrics /
+     --trace-mem to mirror its own observability switches so the deltas
+     shipped back are complete. *)
+  let metrics_flag =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Collect work counters for the parent.")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace-mem" ]
+          ~doc:"Record trace events in memory and ship them to the parent.")
+  in
+  let run metrics trace_mem =
+    Obs.Clock.set Unix.gettimeofday;
+    if metrics then Obs.Metrics.enable ();
+    if trace_mem then Obs.Trace.enable ();
+    Simulate.Fleet.serve ()
+  in
+  let term = Term.(const run $ metrics_flag $ trace_flag) in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Serve experiment shards over stdin/stdout (spawned by --procs)")
+    term
 
 let bounds_cmd =
   (* A closed-form calculator for the paper's bounds: plug in model
@@ -279,4 +358,6 @@ let () =
     Cmd.info "dyngraph" ~version:"1.0.0"
       ~doc:"Flooding-time experiments on Markovian evolving graphs"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; csv_cmd; verify_cmd; bounds_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; csv_cmd; verify_cmd; bounds_cmd; worker_cmd ]))

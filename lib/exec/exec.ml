@@ -1,4 +1,4 @@
-type scheduler = Sequential | Pool of int
+type scheduler = Sequential | Pool of int | Procs of int
 
 let sequential = Sequential
 
@@ -15,21 +15,378 @@ let pool w =
 
 let of_int w = if w <= 1 then Sequential else pool w
 
+(* [procs 1] stays a fleet of one: a single worker process is still
+   crash-isolated from the parent, which is the point of the scheduler. *)
+let procs w =
+  if w < 1 then invalid_arg "Exec.procs: workers must be >= 1";
+  Procs (min w max_workers)
+
+(* Warn-once bookkeeping for environment variables we refuse to guess
+   about: an unparsable value is ignored, but silently ignoring it cost
+   real debugging time, so say so (once per variable) on stderr. *)
+let warned_env : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let warn_env var value expected =
+  if not (Hashtbl.mem warned_env var) then begin
+    Hashtbl.add warned_env var ();
+    Printf.eprintf "dyngraph: ignoring %s=%S (expected %s)\n%!" var value expected
+  end
+
 let default () =
   match Sys.getenv_opt "DYNGRAPH_JOBS" with
   | None -> Sequential
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some w when w >= 1 -> of_int w
-      | Some _ | None -> Sequential)
+      | Some _ -> Sequential
+      | None ->
+          warn_env "DYNGRAPH_JOBS" s "a positive integer";
+          Sequential)
 
-let workers = function Sequential -> 1 | Pool w -> w
+let default_procs () =
+  match Sys.getenv_opt "DYNGRAPH_PROCS" with
+  | None -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some w when w >= 0 -> w
+      | Some _ -> 0
+      | None ->
+          warn_env "DYNGRAPH_PROCS" s "a non-negative integer";
+          0)
 
-type ('a, 'b) plan = { jobs : int; job : int -> 'a; reduce : 'a array -> 'b }
+let workers = function Sequential -> 1 | Pool w | Procs w -> w
+
+(* --- serializable job specs --- *)
+
+module Spec = struct
+  type 'a t = { id : string; payload : string; decode : string -> 'a }
+
+  module Buf = struct
+    exception Corrupt of string
+
+    let add_int64 b v =
+      for i = 7 downto 0 do
+        Buffer.add_char b
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+      done
+
+    let add_int b n = add_int64 b (Int64.of_int n)
+
+    let add_float b f = add_int64 b (Int64.bits_of_float f)
+
+    let add_string b s =
+      add_int b (String.length s);
+      Buffer.add_string b s
+
+    let add_pairs b l =
+      add_int b (List.length l);
+      List.iter
+        (fun (k, v) ->
+          add_string b k;
+          add_int b v)
+        l
+
+    type reader = { data : string; mutable pos : int }
+
+    let reader data = { data; pos = 0 }
+
+    let need r n =
+      if n < 0 || n > String.length r.data - r.pos then raise (Corrupt "truncated frame")
+
+    let char r =
+      need r 1;
+      let c = r.data.[r.pos] in
+      r.pos <- r.pos + 1;
+      c
+
+    let int64 r =
+      need r 8;
+      let v = ref 0L in
+      for _ = 1 to 8 do
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.data.[r.pos]));
+        r.pos <- r.pos + 1
+      done;
+      !v
+
+    let int r = Int64.to_int (int64 r)
+
+    let float r = Int64.float_of_bits (int64 r)
+
+    let string r =
+      let n = int r in
+      need r n;
+      let s = String.sub r.data r.pos n in
+      r.pos <- r.pos + n;
+      s
+
+    let pairs r =
+      let n = int r in
+      (* Explicit lets: tuple components would evaluate right-to-left,
+         reading the int before the string. *)
+      let rec go n acc =
+        if n = 0 then List.rev acc
+        else
+          let k = string r in
+          let v = int r in
+          go (n - 1) ((k, v) :: acc)
+      in
+      go n []
+
+    let at_end r = r.pos = String.length r.data
+  end
+end
+
+exception Fleet_failure of string
+
+(* --- length-prefixed framing over file descriptors --- *)
+
+let max_frame = 1 lsl 28
+
+let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let k = retry_intr (fun () -> Unix.write fd buf off len) in
+    write_all fd buf (off + k) (len - k)
+  end
+
+(* [false] on EOF before [len] bytes. *)
+let rec read_all fd buf off len =
+  if len = 0 then true
+  else
+    let k = retry_intr (fun () -> Unix.read fd buf off len) in
+    if k = 0 then false else read_all fd buf (off + k) (len - k)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Exec: frame too large";
+  let b = Bytes.create (4 + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (4 + len)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_all fd hdr 0 4) then None
+  else begin
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then raise (Fleet_failure "oversized protocol frame");
+    let buf = Bytes.create len in
+    if not (read_all fd buf 0 len) then None else Some (Bytes.unsafe_to_string buf)
+  end
+
+(* --- trace-event wire codec (shares Spec.Buf primitives) --- *)
+
+let add_event b (ev : Obs.Trace.event) =
+  Spec.Buf.add_string b ev.name;
+  Spec.Buf.add_int b (Array.length ev.path);
+  Array.iter (Spec.Buf.add_int b) ev.path;
+  Spec.Buf.add_int b ev.seq;
+  Spec.Buf.add_float b ev.wall;
+  Spec.Buf.add_int b (List.length ev.fields);
+  List.iter
+    (fun (k, (f : Obs.Trace.field)) ->
+      Spec.Buf.add_string b k;
+      match f with
+      | Int i ->
+          Buffer.add_char b 'i';
+          Spec.Buf.add_int b i
+      | Float x ->
+          Buffer.add_char b 'f';
+          Spec.Buf.add_float b x
+      | Str s ->
+          Buffer.add_char b 's';
+          Spec.Buf.add_string b s)
+    ev.fields
+
+let read_event r : Obs.Trace.event =
+  let name = Spec.Buf.string r in
+  let np = Spec.Buf.int r in
+  Spec.Buf.need r 0;
+  if np < 0 || np > 1024 then raise (Spec.Buf.Corrupt "event path length");
+  let path = Array.make np 0 in
+  for i = 0 to np - 1 do
+    path.(i) <- Spec.Buf.int r
+  done;
+  let seq = Spec.Buf.int r in
+  let wall = Spec.Buf.float r in
+  let nf = Spec.Buf.int r in
+  let rec fields n acc =
+    if n = 0 then List.rev acc
+    else begin
+      let k = Spec.Buf.string r in
+      let f : Obs.Trace.field =
+        match Spec.Buf.char r with
+        | 'i' -> Int (Spec.Buf.int r)
+        | 'f' -> Float (Spec.Buf.float r)
+        | 's' -> Str (Spec.Buf.string r)
+        | _ -> raise (Spec.Buf.Corrupt "event field tag")
+      in
+      fields (n - 1) ((k, f) :: acc)
+    end
+  in
+  { name; path; seq; wall; fields = fields nf [] }
+
+(* --- checkpoint journal --- *)
+
+module Journal = struct
+  type entry = { job : int; spec_id : string; data : string }
+
+  type t = { fd : Unix.file_descr }
+
+  let magic = "DGJL1"
+
+  (* Cheap polynomial checksum: catches the torn tail record a SIGKILL
+     mid-append leaves behind. Not cryptographic and not meant to be. *)
+  let checksum s =
+    let h = ref 0 in
+    String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0x3FFFFFFF) s;
+    !h
+
+  let write_journal_frame fd payload =
+    let b = Buffer.create (String.length payload + 16) in
+    Spec.Buf.add_int b (String.length payload);
+    Buffer.add_string b payload;
+    Spec.Buf.add_int b (checksum payload);
+    let s = Buffer.contents b in
+    write_all fd (Bytes.unsafe_of_string s) 0 (String.length s);
+    (* Make completed shards durable before the parent reports (or
+       loses) them: a crashed parent must be able to trust every frame
+       that parses. *)
+    (try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+  (* Parse as many valid frames as the content holds; [good] is the
+     offset just past the last valid frame — everything after it (a torn
+     append) gets truncated away on resume. *)
+  let parse_frames content =
+    let r = Spec.Buf.reader content in
+    let rec go acc good =
+      if String.length content - r.Spec.Buf.pos < 16 then (List.rev acc, good)
+      else
+        match
+          let len = Spec.Buf.int r in
+          if len < 0 || len > max_frame || String.length content - r.Spec.Buf.pos < len + 8
+          then raise Exit;
+          let payload = String.sub content r.Spec.Buf.pos len in
+          r.Spec.Buf.pos <- r.Spec.Buf.pos + len;
+          if Spec.Buf.int r <> checksum payload then raise Exit;
+          payload
+        with
+        | payload -> go (payload :: acc) r.Spec.Buf.pos
+        | exception _ -> (List.rev acc, good)
+    in
+    go [] 0
+
+  let header_payload ~jobs ~digest =
+    let b = Buffer.create 64 in
+    Spec.Buf.add_string b magic;
+    Spec.Buf.add_int b jobs;
+    Spec.Buf.add_string b digest;
+    Buffer.contents b
+
+  let parse_record payload =
+    match
+      let r = Spec.Buf.reader payload in
+      match Spec.Buf.char r with
+      | 'C' ->
+          let job = Spec.Buf.int r in
+          let spec_id = Spec.Buf.string r in
+          let data = Spec.Buf.string r in
+          if Spec.Buf.at_end r then Some { job; spec_id; data } else None
+      | _ -> None
+    with
+    | v -> v
+    | exception Spec.Buf.Corrupt _ -> None
+
+  let open_ ~path ~jobs ~digest =
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let buf = Bytes.create size in
+    let content = if read_all fd buf 0 size then Bytes.unsafe_to_string buf else "" in
+    let frames, good = parse_frames content in
+    let header = header_payload ~jobs ~digest in
+    match frames with
+    | h :: rest when h = header ->
+        Unix.ftruncate fd good;
+        ignore (Unix.lseek fd good Unix.SEEK_SET);
+        ({ fd }, List.filter_map parse_record rest)
+    | _ ->
+        (* Fresh journal, or one for a different plan (other seed,
+           scale, experiment set): start over rather than mix shards. *)
+        Unix.ftruncate fd 0;
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+        write_journal_frame fd header;
+        ({ fd }, [])
+
+  let append t ~job ~spec_id ~data =
+    let b = Buffer.create (String.length data + 32) in
+    Buffer.add_char b 'C';
+    Spec.Buf.add_int b job;
+    Spec.Buf.add_string b spec_id;
+    Spec.Buf.add_string b data;
+    write_journal_frame t.fd (Buffer.contents b)
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end
+
+(* --- fleet configuration (set by the hosting executable) --- *)
+
+let worker_command_ref : string array option ref = ref None
+
+let set_worker_command c = worker_command_ref := c
+
+let journal_ref : string option ref = ref None
+
+let set_journal p = journal_ref := p
+
+let worker_timeout_ref : float option ref = ref None
+
+let worker_timeout_initialised = ref false
+
+let worker_timeout () =
+  if not !worker_timeout_initialised then begin
+    worker_timeout_initialised := true;
+    match Sys.getenv_opt "DYNGRAPH_PROC_TIMEOUT" with
+    | None -> ()
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some t when t > 0. -> worker_timeout_ref := Some t
+        | Some _ | None -> warn_env "DYNGRAPH_PROC_TIMEOUT" s "a positive number of seconds")
+  end;
+  !worker_timeout_ref
+
+let set_worker_timeout t =
+  worker_timeout_initialised := true;
+  worker_timeout_ref := t
+
+let in_worker_flag = ref false
+
+let in_worker () = !in_worker_flag
+
+(* --- plans --- *)
+
+type ('a, 'b) plan = {
+  jobs : int;
+  job : int -> 'a;
+  spec : (int -> 'a Spec.t) option;
+  reduce : 'a array -> 'b;
+}
 
 let plan ~jobs ~job ~reduce =
   if jobs < 0 then invalid_arg "Exec.plan: jobs must be >= 0";
-  { jobs; job; reduce }
+  { jobs; job; spec = None; reduce }
+
+let plan_spec ~jobs ~job ~spec ~reduce =
+  if jobs < 0 then invalid_arg "Exec.plan_spec: jobs must be >= 0";
+  { jobs; job; spec = Some spec; reduce }
 
 (* Set while executing inside a pool worker (including the caller's own
    domain while it participates): nested [run]s then stay sequential
@@ -51,6 +408,8 @@ let c_completed = Obs.Metrics.counter "exec.jobs_completed"
 
 let c_failed = Obs.Metrics.counter "exec.jobs_failed"
 
+let c_shard_reruns = Obs.Metrics.counter "exec.shard_reruns"
+
 (* Per-worker heartbeat gauges, interned lazily (racy stores are benign:
    interning is keyed by name, so both racers get the same gauge). *)
 let heartbeats = Array.make 64 None
@@ -69,10 +428,11 @@ let heartbeat w =
   end
 
 (* Wrap a plan's job with its observability envelope. The wrapper is
-   identical on the sequential and pool paths, so counters, trace
-   coordinates and progress ticks never depend on the scheduler. With
-   everything disabled [Ambient.capture] is [Inactive] and the wrapper
-   costs one match plus four no-op counter calls per job. *)
+   identical on the sequential and pool paths — and is applied
+   worker-side by {!Worker.serve} for the procs path — so counters,
+   trace coordinates and progress ticks never depend on the scheduler.
+   With everything disabled [Ambient.capture] is [Inactive] and the
+   wrapper costs one match plus four no-op counter calls per job. *)
 let instrument ~ambient ~plan_ord ~progress job i =
   Obs.Ambient.with_job ambient ~plan:plan_ord ~job:i (fun () ->
       Obs.Metrics.incr c_claimed;
@@ -134,6 +494,319 @@ let run_pool w p =
   | None -> ());
   Array.map (function Some v -> v | None -> assert false) results
 
+(* --- the worker side of the fleet protocol --- *)
+
+(* Test-only fault injection, driven by environment variables of the
+   form VAR="SPECID:MARKER_PATH". The first time a worker is asked to
+   run SPECID and MARKER_PATH does not exist, it creates the marker and
+   then crashes (DYNGRAPH_FLEET_CRASH, exit 70 without a response) or
+   wedges (DYNGRAPH_FLEET_HANG, sleeps an hour). The marker makes the
+   fault one-shot, so the re-run of the shard on a fresh worker
+   succeeds — exactly the failure-isolation path the fleet smoke and
+   unit tests need to drive deterministically. *)
+let fault_hook var =
+  match Sys.getenv_opt var with
+  | None -> None
+  | Some s -> (
+      match String.index_opt s ':' with
+      | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> None)
+
+let trip_fault hook id action =
+  match hook with
+  | Some (hid, marker) when hid = id && not (Sys.file_exists marker) ->
+      let oc = open_out marker in
+      close_out oc;
+      action ()
+  | _ -> ()
+
+module Worker = struct
+  let serve ~dispatch =
+    in_worker_flag := true;
+    let proto_in = Unix.dup Unix.stdin in
+    let proto_out = Unix.dup Unix.stdout in
+    (* Re-point fd 1 at stderr so a stray [print_string] anywhere in the
+       experiment code cannot corrupt the framed protocol. *)
+    Unix.dup2 Unix.stderr Unix.stdout;
+    let crash = fault_hook "DYNGRAPH_FLEET_CRASH" in
+    let hang = fault_hook "DYNGRAPH_FLEET_HANG" in
+    let continue = ref true in
+    while !continue do
+      match read_frame proto_in with
+      | None -> continue := false
+      | Some req -> (
+          let r = Spec.Buf.reader req in
+          match Spec.Buf.char r with
+          | 'Q' -> continue := false
+          | 'J' ->
+              let job = Spec.Buf.int r in
+              let plan_ord = Spec.Buf.int r in
+              let np = Spec.Buf.int r in
+              let path = Array.make (max np 0) 0 in
+              for i = 0 to np - 1 do
+                path.(i) <- Spec.Buf.int r
+              done;
+              let id = Spec.Buf.string r in
+              let payload = Spec.Buf.string r in
+              trip_fault crash id (fun () -> Stdlib.exit 70);
+              trip_fault hang id (fun () -> Unix.sleep 3600);
+              (* Per-job observability window: counters and trace ring
+                 are cleared so the response carries exactly this job's
+                 deltas for the parent to merge. *)
+              Obs.Metrics.reset ();
+              if Obs.Trace.enabled () then Obs.Trace.clear ();
+              let ambient : Obs.Ambient.t =
+                if Obs.Trace.enabled () then Active { sink = None; path } else Inactive
+              in
+              let response =
+                match
+                  instrument ~ambient ~plan_ord ~progress:false
+                    (fun _ -> dispatch ~id ~payload)
+                    job
+                with
+                | result ->
+                    let b = Buffer.create (String.length result + 256) in
+                    Buffer.add_char b 'R';
+                    Spec.Buf.add_int b job;
+                    Spec.Buf.add_string b result;
+                    Spec.Buf.add_pairs b (Obs.Metrics.snapshot ());
+                    let evs = if Obs.Trace.enabled () then Obs.Trace.events () else [] in
+                    Spec.Buf.add_int b (Obs.Trace.dropped_events ());
+                    Spec.Buf.add_int b (List.length evs);
+                    List.iter (add_event b) evs;
+                    Buffer.contents b
+                | exception e ->
+                    let bt = Printexc.get_backtrace () in
+                    let b = Buffer.create 256 in
+                    Buffer.add_char b 'E';
+                    Spec.Buf.add_int b job;
+                    Spec.Buf.add_string b
+                      (Printexc.to_string e ^ if bt = "" then "" else "\n" ^ bt);
+                    Buffer.contents b
+              in
+              write_frame proto_out response
+          | _ -> Stdlib.exit 71)
+    done
+end
+
+(* --- the parent side: a crash-isolated worker fleet --- *)
+
+type worker_proc = {
+  pid : int;
+  req_fd : Unix.file_descr;
+  resp_fd : Unix.file_descr;
+  slot : int;
+  mutable inflight : int option;
+  mutable deadline : float;
+}
+
+let max_attempts = 3
+
+let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_path =
+  let n = Array.length specs in
+  let cmd =
+    match !worker_command_ref with Some c -> c | None -> raise (Fleet_failure "no worker command")
+  in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  (* Replay one successful response payload: merge its counter deltas
+     and trace events into this process, decode the result into its
+     slot. Used both for live responses and for journal replay, so a
+     resumed run reaches the same final state as an uninterrupted one. *)
+  let handle_success job raw =
+    let r = Spec.Buf.reader raw in
+    (match Spec.Buf.char r with
+    | 'R' -> ()
+    | _ -> raise (Fleet_failure "corrupt response payload"));
+    let j = Spec.Buf.int r in
+    if j <> job then raise (Fleet_failure "response job mismatch");
+    let result = Spec.Buf.string r in
+    let metrics = Spec.Buf.pairs r in
+    let dropped = Spec.Buf.int r in
+    let n_ev = Spec.Buf.int r in
+    let rec events k acc = if k = 0 then List.rev acc else events (k - 1) (read_event r :: acc) in
+    let evs = events n_ev [] in
+    Obs.Metrics.absorb metrics;
+    if Obs.Trace.enabled () then Obs.Trace.absorb ~dropped evs;
+    results.(job) <- Some (specs.(job).Spec.decode result);
+    incr completed;
+    if progress then Obs.Progress.tick ()
+  in
+  (* Identity of the plan: resuming a journal only makes sense against
+     byte-identical specs (same experiments, seed, scale, render). *)
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (string_of_int n ^ "\x00"
+         ^ String.concat "\x00"
+             (Array.to_list (Array.map (fun s -> s.Spec.id ^ "\x01" ^ s.Spec.payload) specs))))
+  in
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path ->
+        let t, entries = Journal.open_ ~path ~jobs:n ~digest in
+        List.iter
+          (fun (e : Journal.entry) ->
+            if
+              e.job >= 0 && e.job < n
+              && e.spec_id = specs.(e.job).Spec.id
+              && results.(e.job) = None
+            then try handle_success e.job e.data with Spec.Buf.Corrupt _ | Fleet_failure _ -> ())
+          entries;
+        Some t
+  in
+  let pending = Queue.create () in
+  for i = 0 to n - 1 do
+    if results.(i) = None then Queue.add i pending
+  done;
+  let attempts = Array.make n 0 in
+  let timeout = worker_timeout () in
+  let live : worker_proc list ref = ref [] in
+  let slot_counter = ref 0 in
+  let spawn () =
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    Unix.set_close_on_exec req_w;
+    Unix.set_close_on_exec resp_r;
+    let pid = Unix.create_process cmd.(0) cmd req_r resp_w Unix.stderr in
+    Unix.close req_r;
+    Unix.close resp_w;
+    let wk =
+      { pid; req_fd = req_w; resp_fd = resp_r; slot = !slot_counter; inflight = None;
+        deadline = infinity }
+    in
+    incr slot_counter;
+    live := wk :: !live
+  in
+  let reap wk =
+    live := List.filter (fun x -> x != wk) !live;
+    (try Unix.close wk.req_fd with Unix.Unix_error _ -> ());
+    (try Unix.close wk.resp_fd with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] wk.pid) with Unix.Unix_error _ -> ()
+  in
+  let kill_reap wk =
+    (try Unix.kill wk.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    reap wk
+  in
+  (* A worker died (or wedged past its deadline) while owning a shard:
+     only that shard is requeued — completed shards are already merged
+     (and journaled), and shards owned by other workers are untouched. *)
+  let crash wk reason =
+    (match wk.inflight with
+    | Some job ->
+        attempts.(job) <- attempts.(job) + 1;
+        Obs.Metrics.incr c_shard_reruns;
+        if attempts.(job) >= max_attempts then begin
+          kill_reap wk;
+          raise
+            (Fleet_failure
+               (Printf.sprintf "shard %d (%s) %s %d times; giving up" job specs.(job).Spec.id
+                  reason attempts.(job)))
+        end;
+        Queue.add job pending
+    | None -> ());
+    kill_reap wk
+  in
+  let send wk job =
+    let s = specs.(job) in
+    let b = Buffer.create (String.length s.Spec.payload + String.length s.Spec.id + 64) in
+    Buffer.add_char b 'J';
+    Spec.Buf.add_int b job;
+    Spec.Buf.add_int b plan_ord;
+    Spec.Buf.add_int b (Array.length path);
+    Array.iter (Spec.Buf.add_int b) path;
+    Spec.Buf.add_string b s.Spec.id;
+    Spec.Buf.add_string b s.Spec.payload;
+    match write_frame wk.req_fd (Buffer.contents b) with
+    | () ->
+        wk.inflight <- Some job;
+        (match timeout with
+        | Some t -> wk.deadline <- Unix.gettimeofday () +. t
+        | None -> ())
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        (* Died before it ever saw the shard: not the shard's fault, so
+           no attempt is charged — requeue and let the top-up respawn. *)
+        Queue.add job pending;
+        kill_reap wk
+  in
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun wk -> (try Unix.kill wk.pid Sys.sigkill with Unix.Unix_error _ -> ())) !live;
+      List.iter reap (List.filter (fun _ -> true) !live);
+      live := [];
+      (match journal with Some t -> Journal.close t | None -> ());
+      Sys.set_signal Sys.sigpipe old_sigpipe)
+    (fun () ->
+      while !completed < n do
+        (* Top up the fleet and hand shards to idle workers. *)
+        let idle () = List.length (List.filter (fun wk -> wk.inflight = None) !live) in
+        while List.length !live < min w n && Queue.length pending > idle () do
+          spawn ()
+        done;
+        List.iter
+          (fun wk ->
+            if wk.inflight = None then
+              match Queue.take_opt pending with Some job -> send wk job | None -> ())
+          !live;
+        if !completed < n then begin
+          let fds = List.map (fun wk -> wk.resp_fd) !live in
+          if fds = [] then raise (Fleet_failure "fleet drained with shards incomplete");
+          let now = Unix.gettimeofday () in
+          let next_deadline =
+            List.fold_left
+              (fun acc wk -> if wk.inflight <> None then min acc wk.deadline else acc)
+              infinity !live
+          in
+          let tmo = if next_deadline = infinity then -1. else max 0.01 (next_deadline -. now) in
+          let ready, _, _ = retry_intr (fun () -> Unix.select fds [] [] tmo) in
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun wk -> wk.resp_fd = fd) !live with
+              | None -> ()
+              | Some wk -> (
+                  match
+                    try read_frame wk.resp_fd with Unix.Unix_error _ -> None
+                  with
+                  | None ->
+                      if wk.inflight <> None then crash wk "crashed" else reap wk
+                  | Some resp -> (
+                      let r = Spec.Buf.reader resp in
+                      match Spec.Buf.char r with
+                      | 'R' ->
+                          let job = Spec.Buf.int r in
+                          if Obs.Metrics.enabled () then heartbeat wk.slot;
+                          wk.inflight <- None;
+                          wk.deadline <- infinity;
+                          (match journal with
+                          | Some t ->
+                              Journal.append t ~job ~spec_id:specs.(job).Spec.id ~data:resp
+                          | None -> ());
+                          handle_success job resp
+                      | 'E' ->
+                          let _job = Spec.Buf.int r in
+                          let msg = Spec.Buf.string r in
+                          wk.inflight <- None;
+                          raise (Fleet_failure ("worker job raised: " ^ msg))
+                      | _ -> raise (Fleet_failure "malformed response frame"))))
+            ready;
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun wk ->
+              if wk.inflight <> None && wk.deadline <= now then crash wk "timed out")
+            (List.filter (fun _ -> true) !live)
+        end
+      done;
+      (* Graceful shutdown: close the request side, collect exits. *)
+      List.iter
+        (fun wk ->
+          (try write_frame wk.req_fd "Q" with Unix.Unix_error _ | Fleet_failure _ -> ()))
+        !live;
+      List.iter reap (List.filter (fun _ -> true) !live);
+      live := []);
+  Array.map (function Some v -> v | None -> raise (Fleet_failure "shard lost")) results
+
 let run s p =
   Obs.Metrics.incr c_plans;
   let root =
@@ -143,7 +816,6 @@ let run s p =
   if progress then Obs.Progress.begin_plan ~jobs:p.jobs;
   let ambient = Obs.Ambient.capture () in
   let plan_ord = Obs.Ambient.next_plan () in
-  let p = { p with job = instrument ~ambient ~plan_ord ~progress p.job } in
   let saved_inside = Domain.DLS.get inside_run in
   Domain.DLS.set inside_run true;
   let results =
@@ -152,11 +824,26 @@ let run s p =
         Domain.DLS.set inside_run saved_inside;
         if progress then Obs.Progress.end_plan ())
       (fun () ->
-        match s with
-        | Sequential -> run_sequential p
-        | Pool w ->
-            if p.jobs <= 1 || Domain.DLS.get inside_pool then run_sequential p
-            else run_pool w p)
+        let fleet =
+          match (s, p.spec) with
+          | Procs _, Some spec
+            when (not !in_worker_flag) && !worker_command_ref <> None && p.jobs > 1 ->
+              Some spec
+          | _ -> None
+        in
+        match fleet with
+        | Some spec ->
+            let path = (Obs.Ambient.frame ()).Obs.Ambient.path in
+            let journal_path = if root then !journal_ref else None in
+            run_procs (workers s) ~specs:(Array.init p.jobs spec) ~plan_ord ~path ~progress
+              ~journal_path
+        | None -> (
+            let q = { p with job = instrument ~ambient ~plan_ord ~progress p.job } in
+            match s with
+            | Sequential -> run_sequential q
+            | Pool w | Procs w ->
+                if q.jobs <= 1 || Domain.DLS.get inside_pool then run_sequential q
+                else run_pool w q))
   in
   p.reduce results
 

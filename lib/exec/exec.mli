@@ -4,29 +4,34 @@
     number, each deterministically seeded by its caller — plus a reducer
     that folds the job results, in index order, into one value. A
     {!scheduler} decides how the jobs run: strictly in order on the
-    calling domain ({!sequential}), or distributed over a fixed pool of
-    worker domains ({!pool}).
+    calling domain ({!sequential}), distributed over a fixed pool of
+    worker domains ({!pool}), or sharded across a fleet of forked worker
+    {e processes} ({!procs}).
 
     The determinism contract: because every job receives its randomness
     through its own index (e.g. [Prng.Rng.substream rng i]) and results
     are reduced in index order, the reducer sees the exact same array
-    whatever the scheduler — [run sequential p] and [run (pool w) p] are
-    equal for every [w]. Schedulers change wall-clock time, never
-    results.
+    whatever the scheduler — [run sequential p], [run (pool w) p] and
+    [run (procs w) p] are equal for every [w]. Schedulers change
+    wall-clock time, never results.
 
     Jobs must not share mutable state: a job that needs a stateful model
     instance must construct its own (take a builder, not an instance).
 
     Observability: every job runs inside an {!Obs.Ambient.with_job}
-    envelope — identical on both schedulers — that charges the
+    envelope — identical on every scheduler — that charges the
     [exec.plans] / [exec.jobs_claimed] / [exec.jobs_completed] /
     [exec.jobs_failed] counters, emits [exec.claim] / [exec.finish] /
     [exec.fail] trace events at deterministic plan/job coordinates,
     ticks {!Obs.Progress} for root-level plans, and propagates the
     caller's metric-attribution scope to pool workers. Pool workers
     additionally stamp an [exec.worker<k>.heartbeat] gauge each time
-    they claim a chunk. With metrics, tracing and progress all disabled
-    the envelope is a handful of atomic loads per job. *)
+    they claim a chunk. Under {!procs} the envelope runs worker-side and
+    its counter deltas and trace events are merged back into the parent
+    ({!Obs.Metrics.absorb}, {!Obs.Trace.absorb}), so a merged metrics or
+    trace flush is identical to a single-process one modulo wall times.
+    With metrics, tracing and progress all disabled the envelope is a
+    handful of atomic loads per job. *)
 
 type scheduler
 (** How the jobs of a plan are executed. *)
@@ -43,17 +48,169 @@ val pool : int -> scheduler
     extra workers cost only scheduling overhead, never determinism.
     [pool 1] is {!sequential}. Raises [Invalid_argument] when [w < 1]. *)
 
+val procs : int -> scheduler
+(** [procs w] runs the jobs of a {!plan_spec} plan on a fleet of [w]
+    forked worker processes (clamped like {!pool}). Unlike {!pool},
+    [procs 1] is {e not} {!sequential}: a single worker process is still
+    crash-isolated from the parent. Plans without a spec (or nested
+    plans inside a fleet run) degrade to the {!pool} path with the same
+    worker count. Requires {!set_worker_command} to have been called;
+    see {!Worker.serve} for the worker side. Raises [Invalid_argument]
+    when [w < 1]. *)
+
 val of_int : int -> scheduler
 (** [of_int w] is {!sequential} when [w <= 1], else [pool w]. The shape
     expected by a [--jobs N] command-line flag. *)
 
 val default : unit -> scheduler
 (** [of_int] applied to the [DYNGRAPH_JOBS] environment variable;
-    {!sequential} when unset or unparsable. *)
+    {!sequential} when unset or unparsable. An unparsable value is
+    reported once on stderr rather than silently ignored. *)
+
+val default_procs : unit -> int
+(** The [DYNGRAPH_PROCS] environment variable as a fleet size; [0]
+    (fleet disabled) when unset, negative or unparsable. An unparsable
+    value is reported once on stderr. *)
 
 val workers : scheduler -> int
-(** Worker count: 1 for {!sequential}, the (clamped) pool size
+(** Worker count: 1 for {!sequential}, the (clamped) pool or fleet size
     otherwise. *)
+
+exception Fleet_failure of string
+(** Raised by {!run} on the {!procs} path when the fleet cannot deliver:
+    a worker reported a job exception (the message carries the worker's
+    rendered exception and backtrace), a shard kept crashing workers
+    past the retry budget, or the framed protocol was violated. *)
+
+(** Serializable job specifications: the data a worker process needs to
+    reconstruct and execute one job, plus the codec for its result.
+
+    A spec is [{id; payload; decode}]: [id] names the job for journal
+    matching and error messages, [payload] is an opaque binary request
+    the worker-side dispatcher interprets, and [decode] turns the
+    worker's binary response back into the job's result value. {!Buf}
+    provides the length-prefixed binary primitives both sides share
+    (8-byte big-endian integers, IEEE-754 bit-pattern floats,
+    length-prefixed strings). *)
+module Spec : sig
+  type 'a t = { id : string; payload : string; decode : string -> 'a }
+
+  module Buf : sig
+    exception Corrupt of string
+    (** Raised by readers on truncated or malformed input. *)
+
+    val add_int : Buffer.t -> int -> unit
+
+    val add_int64 : Buffer.t -> int64 -> unit
+
+    val add_float : Buffer.t -> float -> unit
+
+    val add_string : Buffer.t -> string -> unit
+
+    val add_pairs : Buffer.t -> (string * int) list -> unit
+
+    type reader = { data : string; mutable pos : int }
+
+    val reader : string -> reader
+
+    val need : reader -> int -> unit
+    (** [need r n] raises {!Corrupt} unless [n >= 0] and at least [n]
+        bytes remain. *)
+
+    val char : reader -> char
+
+    val int : reader -> int
+
+    val int64 : reader -> int64
+
+    val float : reader -> float
+
+    val string : reader -> string
+
+    val pairs : reader -> (string * int) list
+
+    val at_end : reader -> bool
+  end
+end
+
+(** The resumable checkpoint journal used by [run --procs --journal].
+
+    On-disk format (DESIGN.md §10): a sequence of frames, each
+    [8-byte length | payload | 8-byte checksum]. The first frame is a
+    header identifying the plan (magic, job count, spec digest); each
+    subsequent frame records one completed shard's raw response payload.
+    Appends are fsynced, so every frame that parses is trustworthy; a
+    torn tail frame (parent killed mid-append) is detected by length or
+    checksum and truncated away on resume. A header that does not match
+    the current plan discards the journal and starts fresh.
+
+    Exposed for the test-suite; {!run} drives it via {!set_journal}. *)
+module Journal : sig
+  type entry = { job : int; spec_id : string; data : string }
+
+  type t
+
+  val open_ : path:string -> jobs:int -> digest:string -> t * entry list
+  (** Open (creating or resuming) the journal at [path] for a plan of
+      [jobs] shards identified by [digest]. Returns the journal plus the
+      valid completed-shard entries already on disk (empty after a fresh
+      create or a header mismatch). *)
+
+  val append : t -> job:int -> spec_id:string -> data:string -> unit
+  (** Record a completed shard (durable before return). *)
+
+  val close : t -> unit
+end
+
+(** Fleet configuration, set by the hosting executable before running
+    {!procs} plans. *)
+
+val set_worker_command : string array option -> unit
+(** The argv (program first) to spawn for each fleet worker — typically
+    the current executable with a subcommand that calls {!Worker.serve}.
+    [None] (the initial state) disables the fleet path: {!procs} plans
+    degrade to {!pool}. *)
+
+val set_journal : string option -> unit
+(** Checkpoint journal path for root-level {!procs} plans ([None]
+    disables checkpointing, the initial state). Nested plans are never
+    journaled. *)
+
+val set_worker_timeout : float option -> unit
+(** Per-shard wall-clock budget in seconds. A worker that holds one
+    shard past the budget is SIGKILLed and its shard re-run on a fresh
+    worker. Defaults to the [DYNGRAPH_PROC_TIMEOUT] environment variable
+    when set and parsable (warned once otherwise), else no timeout. *)
+
+val in_worker : unit -> bool
+(** Whether this process is a fleet worker ({!Worker.serve} was
+    entered). Inside a worker, {!procs} plans degrade to {!pool} —
+    workers never fork grandchildren. *)
+
+(** The worker side of the fleet protocol. *)
+module Worker : sig
+  val serve : dispatch:(id:string -> payload:string -> string) -> unit
+  (** Serve framed job requests from stdin, writing framed responses to
+      stdout, until EOF or an explicit shutdown frame. For each request,
+      [dispatch ~id ~payload] executes the job and returns its encoded
+      result; it runs inside the standard observability envelope with
+      the parent-assigned plan/job coordinates, after resetting this
+      process's metrics and trace ring so the response carries exactly
+      this job's counter deltas and trace events for the parent to
+      merge. A [dispatch] exception becomes an error response carrying
+      the rendered exception and backtrace (the parent then fails the
+      whole plan, matching in-process semantics).
+
+      File descriptor 1 is re-pointed at stderr on entry so stray prints
+      from experiment code cannot corrupt the protocol stream.
+
+      Test instrumentation: [DYNGRAPH_FLEET_CRASH="ID:MARKER"] makes the
+      worker exit (code 70) the first time it is asked to run spec [ID]
+      while [MARKER] does not exist, creating [MARKER] first so the
+      fault is one-shot; [DYNGRAPH_FLEET_HANG] wedges it instead. Both
+      exist to drive the crash-isolation and timeout paths
+      deterministically from tests. *)
+end
 
 type ('a, 'b) plan
 (** [jobs] independent computations producing ['a], reduced to a ['b]. *)
@@ -62,6 +219,17 @@ val plan : jobs:int -> job:(int -> 'a) -> reduce:('a array -> 'b) -> ('a, 'b) pl
 (** [plan ~jobs ~job ~reduce]: [job i] for [i] in [0 .. jobs - 1];
     [reduce] receives [[| job 0; ...; job (jobs - 1) |]]. Raises
     [Invalid_argument] when [jobs < 0]. *)
+
+val plan_spec :
+  jobs:int ->
+  job:(int -> 'a) ->
+  spec:(int -> 'a Spec.t) ->
+  reduce:('a array -> 'b) ->
+  ('a, 'b) plan
+(** Like {!plan}, with a serializable spec per job so the plan can run
+    on a {!procs} fleet. Contract: [(spec i).decode] applied to the
+    worker's response for [spec i] must equal [job i] — the fleet path
+    runs the spec, every other scheduler runs [job]. *)
 
 val run : scheduler -> ('a, 'b) plan -> 'b
 (** Execute a plan. Results reach the reducer in job-index order
@@ -73,7 +241,17 @@ val run : scheduler -> ('a, 'b) plan -> 'b
     A [pool] run started from inside another pool's worker runs
     sequentially instead of spawning nested domains, so one scheduler
     value can be threaded through every layer of a computation without
-    oversubscribing the machine. *)
+    oversubscribing the machine.
+
+    The [procs] fleet path (spec'd plan, worker command set, more than
+    one job, not already inside a worker) shards jobs over worker
+    processes in index order. A worker that crashes or exceeds the shard
+    timeout loses only its own shard, which is re-run on a fresh worker
+    (up to 3 attempts, counted by [exec.shard_reruns]); completed shards
+    are kept, and checkpointed to the {!set_journal} journal when one is
+    configured, so a killed parent resumes instead of recomputing. A
+    shard that keeps killing workers, or a job exception reported by a
+    worker, fails the plan with {!Fleet_failure}. *)
 
 val map : scheduler -> jobs:int -> (int -> 'a) -> 'a array
 (** [map s ~jobs f] is [run s (plan ~jobs ~job:f ~reduce:Fun.id)]. *)

@@ -172,6 +172,12 @@ let reset () =
   Hashtbl.iter (fun _ t -> Array.iter (fun cell -> Atomic.set cell 0) t.t_cells) timers_tbl;
   Mutex.unlock registry_mutex
 
+(* Cross-process merge: interning is cold (one mutex hit per name) and
+   [add] handles the enabled gate and scope attribution, so absorbed
+   worker deltas behave exactly like local increments. *)
+let absorb deltas =
+  List.iter (fun (name, v) -> if v <> 0 then add (counter name) v) deltas
+
 let with_scope f =
   if not (Atomic.get on) then (f (), [])
   else begin

@@ -79,6 +79,15 @@ val timers : unit -> (string * float) list
 (** All timers with nonzero accumulation, sorted by name (seconds).
     Nondeterministic content. *)
 
+val absorb : (string * int) list -> unit
+(** [absorb deltas] adds each named delta to the counter of that name
+    (interning it if needed). The merge path for cross-process
+    execution: a worker process reports its per-job counter deltas (a
+    {!snapshot}-shaped list) and the parent absorbs them, so merged
+    totals match a single-process run exactly. Deltas are charged to the
+    calling domain's current attribution scope, like any other
+    increment. No-op while disabled. *)
+
 val with_scope : (unit -> 'a) -> 'a * (string * int) list
 (** [with_scope f] runs [f] with a fresh attribution sink installed on
     the calling domain — inherited by any pool workers [f] fans out to

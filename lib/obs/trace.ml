@@ -76,6 +76,29 @@ let emit name fields =
     Mutex.unlock mutex
   end
 
+(* Push an event that already carries its coordinates (same ring
+   discipline as [emit], without assigning a frame/seq). *)
+let push ev =
+  Mutex.lock mutex;
+  let cap = Array.length !ring in
+  if cap > 0 then begin
+    if !count = cap then Stdlib.incr dropped else Stdlib.incr count;
+    !ring.(!head) <- Some ev;
+    head := (!head + 1) mod cap
+  end
+  else Stdlib.incr dropped;
+  Mutex.unlock mutex
+
+let absorb ?dropped:(extra = 0) evs =
+  if enabled () then begin
+    List.iter push evs;
+    if extra > 0 then begin
+      Mutex.lock mutex;
+      dropped := !dropped + extra;
+      Mutex.unlock mutex
+    end
+  end
+
 let dropped_events () =
   Mutex.lock mutex;
   let d = !dropped in

@@ -44,6 +44,16 @@ val emit : string -> (string * field) list -> unit
 val events : unit -> event list
 (** Recorded events sorted by [(ctx, seq)]. *)
 
+val absorb : ?dropped:int -> event list -> unit
+(** [absorb ~dropped evs] appends already-coordinatised events to the
+    ring — the merge path for cross-process execution, where a worker
+    process ships the events of one job (with their structural [path] /
+    [seq] coordinates assigned worker-side) back to the parent. Because
+    flushing sorts by [(ctx, seq)], a merged flush is identical to a
+    single-process flush modulo [wall]. [dropped] (default 0) adds the
+    worker ring's own overflow count to {!dropped_events}. No-op while
+    disabled. *)
+
 val render_jsonl : unit -> string
 (** The sorted events as JSONL, plus a trailing [trace.dropped] line
     when the ring overflowed. *)

@@ -1,0 +1,88 @@
+(* Serializable job specs for registry experiment plans, and the
+   worker-side dispatcher that interprets them.
+
+   A request payload carries exactly what [Registry.run_each] would have
+   closed over for one job: the render mode, the top-level seed, the
+   scale, the inner worker count, and the experiment's registry index.
+   The worker rebuilds the experiment's generator from the seed with the
+   one shared seeding scheme ([Registry.experiment_rng]), so the bytes
+   it renders are the bytes the parent would have rendered in-process —
+   the fleet is invisible in every deterministic output.
+
+   The response payload carries [Registry.rendered_outcome]'s result:
+   rendered output, verdict, duration (worker wall clock — the only
+   nondeterministic field, and one that never reaches deterministic
+   output), and the experiment's attributed counter deltas. *)
+
+module B = Exec.Spec.Buf
+
+let encode_render = function Registry.Full -> 0 | Registry.Scorecard -> 1
+
+let decode_render = function
+  | 0 -> Registry.Full
+  | 1 -> Registry.Scorecard
+  | _ -> raise (B.Corrupt "render")
+
+let encode_scale = function Runner.Quick -> 0 | Runner.Full -> 1 | Runner.Large -> 2
+
+let decode_scale = function
+  | 0 -> Runner.Quick
+  | 1 -> Runner.Full
+  | 2 -> Runner.Large
+  | _ -> raise (B.Corrupt "scale")
+
+let encode_request ~render ~seed ~scale ~jobs ~index =
+  let b = Buffer.create 48 in
+  B.add_int b (encode_render render);
+  B.add_int b seed;
+  B.add_int b (encode_scale scale);
+  B.add_int b jobs;
+  B.add_int b index;
+  Buffer.contents b
+
+let decode_response raw =
+  let r = B.reader raw in
+  let output = B.string r in
+  let ok = B.int r <> 0 in
+  let seconds = B.float r in
+  let metrics = B.pairs r in
+  (output, ok, seconds, metrics)
+
+let experiments = Array.of_list Registry.all
+
+let specs ~render ~seed ~scale ~jobs i =
+  let e = experiments.(i) in
+  {
+    Exec.Spec.id = e.Registry.id;
+    payload = encode_request ~render ~seed ~scale ~jobs ~index:i;
+    decode =
+      (fun raw ->
+        let output, ok, seconds, metrics = decode_response raw in
+        { Registry.experiment = e; output; ok; seconds; metrics });
+  }
+
+let dispatch ~id ~payload =
+  let r = B.reader payload in
+  let render = decode_render (B.int r) in
+  let seed = B.int r in
+  let scale = decode_scale (B.int r) in
+  let jobs = B.int r in
+  let index = B.int r in
+  if index < 0 || index >= Array.length experiments then
+    failwith (Printf.sprintf "Fleet.dispatch: experiment index %d out of range" index);
+  let e = experiments.(index) in
+  if e.Registry.id <> id then
+    failwith (Printf.sprintf "Fleet.dispatch: spec id %S names registry entry %S" id e.Registry.id);
+  let rng = Registry.experiment_rng (Prng.Rng.of_seed seed) index in
+  let sched = Exec.of_int jobs in
+  let output, ok, seconds, metrics =
+    Registry.rendered_outcome ~clock:Obs.Clock.now ~render ~sched ~rng ~scale e
+  in
+  let b = Buffer.create (String.length output + 64) in
+  B.add_string b output;
+  B.add_int b (if ok then 1 else 0);
+  B.add_float b seconds;
+  B.add_pairs b metrics;
+  Buffer.contents b
+
+let serve () = Exec.Worker.serve ~dispatch

@@ -1,0 +1,33 @@
+(** The registry's job-spec layer for cross-process execution: turns
+    each experiment of a {!Registry.run_each} plan into a serializable
+    {!Exec.Spec.t}, and provides the worker-side dispatcher that
+    interprets those specs.
+
+    A spec's payload carries (render mode, seed, scale, inner worker
+    count, registry index); the worker rebuilds the experiment's
+    generator from the seed via {!Registry.experiment_rng} and runs
+    {!Registry.rendered_outcome}, so the bytes it returns are exactly
+    the bytes the parent would have produced in-process. The [seconds]
+    field of a decoded outcome is measured on the worker's
+    {!Obs.Clock} (the only scheduler-dependent field; it never reaches
+    deterministic output). *)
+
+val specs :
+  render:Registry.render ->
+  seed:int ->
+  scale:Runner.scale ->
+  jobs:int ->
+  int ->
+  Registry.outcome Exec.Spec.t
+(** [specs ~render ~seed ~scale ~jobs i] is the spec for registry entry
+    [i] of the plan [Registry.run_each ~render ~rng:(of_seed seed)
+    ~scale] with inner scheduler [Exec.of_int jobs]. Pass partially
+    applied as the [?spec] argument of the registry entry points. *)
+
+val dispatch : id:string -> payload:string -> string
+(** Execute one spec payload (worker side) and encode its outcome. *)
+
+val serve : unit -> unit
+(** Run the fleet worker loop ({!Exec.Worker.serve} with {!dispatch}).
+    The hosting executable should install a real {!Obs.Clock} and mirror
+    the parent's metrics/tracing enablement before calling this. *)

@@ -86,27 +86,45 @@ type outcome = {
 
 let c_experiments = Obs.Metrics.counter "sim.experiments"
 
-let run_each ?(render = Full) ?(sched = Exec.sequential) ?clock ~rng ~scale () =
-  let exps = Array.of_list all in
-  let rngs = Array.init (Array.length exps) (experiment_rng rng) in
+(* The complete per-experiment job body, shared verbatim by the
+   in-process schedulers (below) and by fleet workers
+   (Fleet.dispatch): counting, exp.start / exp.end bracketing, and the
+   attribution scope all happen wherever the experiment actually runs,
+   so counters and trace events are identical at any [--jobs] or
+   [--procs] setting. *)
+let rendered_outcome ?clock ~render ~sched ~rng ~scale e =
   let now () = match clock with Some f -> f () | None -> 0. in
+  Obs.Metrics.incr c_experiments;
+  if Obs.Trace.enabled () then Obs.Trace.emit "exp.start" [ ("id", Str e.id) ];
+  let started = now () in
+  (* The scope sink rides the job's domain: nested trial plans run
+     sequentially inside a pool job (see Exec), so every counter
+     increment of this experiment — and only this experiment — lands
+     in its [metrics]. *)
+  let (output, ok), metrics =
+    Obs.Metrics.with_scope (fun () -> render_one ~render ~sched ~rng ~scale e)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit "exp.end" [ ("id", Str e.id); ("ok", Int (if ok then 1 else 0)) ];
+  (output, ok, now () -. started, metrics)
+
+let run_each ?(render = Full) ?(sched = Exec.sequential) ?clock ?spec ~rng ~scale () =
+  let exps = Array.of_list all in
+  (* The substream split happens inside the job, not up front: on the
+     fleet path the worker performs it instead (Fleet.dispatch), so the
+     rng.splits total stays identical at every --procs setting. *)
   let job i =
     let e = exps.(i) in
-    Obs.Metrics.incr c_experiments;
-    if Obs.Trace.enabled () then Obs.Trace.emit "exp.start" [ ("id", Str e.id) ];
-    let started = now () in
-    (* The scope sink rides the job's domain: nested trial plans run
-       sequentially inside a pool job (see Exec), so every counter
-       increment of this experiment — and only this experiment — lands
-       in its [metrics]. *)
-    let (output, ok), metrics =
-      Obs.Metrics.with_scope (fun () -> render_one ~render ~sched ~rng:rngs.(i) ~scale e)
+    let output, ok, seconds, metrics =
+      rendered_outcome ?clock ~render ~sched ~rng:(experiment_rng rng i) ~scale e
     in
-    if Obs.Trace.enabled () then
-      Obs.Trace.emit "exp.end" [ ("id", Str e.id); ("ok", Int (if ok then 1 else 0)) ];
-    { experiment = e; output; ok; seconds = now () -. started; metrics }
+    { experiment = e; output; ok; seconds; metrics }
   in
-  Exec.run sched (Exec.plan ~jobs:(Array.length exps) ~job ~reduce:Array.to_list)
+  let jobs = Array.length exps in
+  let reduce = Array.to_list in
+  match spec with
+  | None -> Exec.run sched (Exec.plan ~jobs ~job ~reduce)
+  | Some spec -> Exec.run sched (Exec.plan_spec ~jobs ~job ~spec ~reduce)
 
 let run_one ?(out = stdout) ?(sched = Exec.sequential) ~rng ~scale e =
   let output, ok = render_one ~render:Full ~sched ~rng ~scale e in
@@ -126,18 +144,19 @@ let summary_table verdicts =
     verdicts;
   summary
 
-let run_all_timed ?(out = stdout) ?sched ?clock ~rng ~scale () =
-  let results = run_each ~render:Full ?sched ?clock ~rng ~scale () in
+let run_all_timed ?(out = stdout) ?sched ?clock ?spec ~rng ~scale () =
+  let results = run_each ~render:Full ?sched ?clock ?spec ~rng ~scale () in
   List.iter (fun o -> output_string out o.output) results;
   let verdicts = List.map (fun o -> (o.experiment, o.ok)) results in
   Printf.fprintf out "%s\n" (Stats.Table.render (summary_table verdicts));
   flush out;
   (List.for_all snd verdicts, results)
 
-let run_all ?out ?sched ~rng ~scale () = fst (run_all_timed ?out ?sched ~rng ~scale ())
+let run_all ?out ?sched ?spec ~rng ~scale () =
+  fst (run_all_timed ?out ?sched ?spec ~rng ~scale ())
 
-let verify ?(out = stdout) ?sched ~rng ~scale () =
-  let results = run_each ~render:Scorecard ?sched ~rng ~scale () in
+let verify ?(out = stdout) ?sched ?spec ~rng ~scale () =
+  let results = run_each ~render:Scorecard ?sched ?spec ~rng ~scale () in
   List.iter (fun o -> output_string out o.output) results;
   flush out;
   List.length (List.filter (fun o -> not o.ok) results)

@@ -58,10 +58,28 @@ type outcome = {
           disabled *)
 }
 
+val rendered_outcome :
+  ?clock:(unit -> float) ->
+  render:render ->
+  sched:Exec.scheduler ->
+  rng:Prng.Rng.t ->
+  scale:Runner.scale ->
+  experiment ->
+  string * bool * float * (string * int) list
+(** The complete per-experiment job body shared by {!run_each} and by
+    fleet workers ({!Fleet}): counts [sim.experiments], brackets the run
+    with [exp.start] / [exp.end] trace events, renders under a
+    {!Obs.Metrics.with_scope} attribution scope, and measures duration
+    with [clock] (reported as [0.] without one). Returns
+    [(output, ok, seconds, metrics)]. Running it worker-side is what
+    keeps counters and trace output identical across process
+    boundaries. *)
+
 val run_each :
   ?render:render ->
   ?sched:Exec.scheduler ->
   ?clock:(unit -> float) ->
+  ?spec:(int -> outcome Exec.Spec.t) ->
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
@@ -73,7 +91,11 @@ val run_each :
     [Unix.gettimeofday]); without one they are reported as [0.] —
     the library takes no clock dependency of its own. When tracing is
     enabled, each experiment is bracketed by [exp.start] / [exp.end]
-    events carrying its id. *)
+    events carrying its id.
+
+    [spec] (typically {!Fleet.specs}) makes the plan serializable so an
+    {!Exec.procs} scheduler can shard experiments over worker processes;
+    without it a [procs] scheduler degrades to the domain pool. *)
 
 val run_one :
   ?out:out_channel ->
@@ -88,6 +110,7 @@ val run_one :
 val run_all :
   ?out:out_channel ->
   ?sched:Exec.scheduler ->
+  ?spec:(int -> outcome Exec.Spec.t) ->
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
@@ -99,6 +122,7 @@ val run_all_timed :
   ?out:out_channel ->
   ?sched:Exec.scheduler ->
   ?clock:(unit -> float) ->
+  ?spec:(int -> outcome Exec.Spec.t) ->
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->
@@ -111,6 +135,7 @@ val run_all_timed :
 val verify :
   ?out:out_channel ->
   ?sched:Exec.scheduler ->
+  ?spec:(int -> outcome Exec.Spec.t) ->
   rng:Prng.Rng.t ->
   scale:Runner.scale ->
   unit ->

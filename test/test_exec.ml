@@ -63,6 +63,31 @@ let test_exception_propagates () =
        false
      with Boom -> true)
 
+(* The drain contract of exec.mli: a failing job re-raises with its
+   backtrace, and the pool is left fully drained — no worker domain
+   still running, so an immediately following pool run works normally. *)
+let test_failure_drains_and_reraises () =
+  Printexc.record_backtrace true;
+  let failing =
+    Exec.plan ~jobs:64
+      ~job:(fun i -> if i = 13 then failwith "job 13" else i)
+      ~reduce:(fun _ -> ())
+  in
+  let backtrace =
+    match Exec.run (Exec.pool 4) failing with
+    | () -> Alcotest.fail "failing plan returned"
+    | exception Failure msg ->
+        Alcotest.(check string) "original exception" "job 13" msg;
+        Printexc.get_raw_backtrace ()
+  in
+  check_true "re-raised with a backtrace" (Printexc.raw_backtrace_length backtrace > 0);
+  (* The pool drained: the same scheduler immediately runs a clean plan
+     to completion (a leaked worker domain would still hold the cursor
+     or deadlock the spawn path). *)
+  let expect = List.init 40 (fun i -> i * i) in
+  Alcotest.(check (list int)) "pool usable after failure" expect
+    (Exec.run (Exec.pool 4) (square_plan 40))
+
 (* A plan run from inside a pool job must fall back to sequential and
    still return the right answer (no nested domain explosion). *)
 let test_nested_plan () =
@@ -75,6 +100,30 @@ let test_nested_plan () =
   in
   let expect = List.init 6 (fun i -> i * 10) in
   Alcotest.(check (list int)) "nested totals" expect (Exec.run (Exec.pool 3) outer)
+
+(* The other documented-but-untested exec.mli contract: the nested pool
+   does not merely return the right answer, it actually runs
+   sequentially on the worker's own domain (never spawns). Each inner
+   job records the domain it ran on; all of them must equal the domain
+   of the outer job that planned them. *)
+let test_nested_pool_runs_sequentially () =
+  let nested_domains =
+    Exec.run (Exec.pool 3)
+      (Exec.plan ~jobs:4
+         ~job:(fun _ ->
+           let outer_domain = (Domain.self () :> int) in
+           let inner =
+             Exec.map (Exec.pool 4) ~jobs:8 (fun _ -> (Domain.self () :> int))
+           in
+           (outer_domain, inner))
+         ~reduce:Array.to_list)
+  in
+  List.iter
+    (fun (outer_domain, inner) ->
+      Array.iter
+        (fun d -> Alcotest.(check int) "inner job on outer's domain" outer_domain d)
+        inner)
+    nested_domains
 
 (* --- determinism of the full pipeline --- *)
 
@@ -122,7 +171,11 @@ let suites =
         Alcotest.test_case "map" `Quick test_map;
         Alcotest.test_case "empty and tiny" `Quick test_empty_and_tiny;
         Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "failure drains and re-raises" `Quick
+          test_failure_drains_and_reraises;
         Alcotest.test_case "nested plan" `Quick test_nested_plan;
+        Alcotest.test_case "nested pool runs sequentially" `Quick
+          test_nested_pool_runs_sequentially;
       ] );
     ( "exec.determinism",
       [

@@ -1,0 +1,249 @@
+open Helpers
+
+(* Cross-process sharded execution: the Spec codec, the checkpoint
+   journal, and end-to-end fleet runs against real forked workers (the
+   dyngraph CLI in `worker` mode — declared as a dep in test/dune, so
+   it exists at ../bin/ relative to the test's cwd). *)
+
+let worker_command = [| "../bin/dyngraph_cli.exe"; "worker" |]
+
+(* Every fleet test resets the engine's global fleet configuration on
+   the way out so tests stay order-independent. *)
+let with_fleet f =
+  Exec.set_worker_command (Some worker_command);
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.set_worker_command None;
+      Exec.set_journal None;
+      Exec.set_worker_timeout None;
+      Unix.putenv "DYNGRAPH_FLEET_CRASH" "";
+      Unix.putenv "DYNGRAPH_FLEET_HANG" "")
+    f
+
+(* --- Spec.Buf codec --- *)
+
+module B = Exec.Spec.Buf
+
+let test_codec_roundtrip () =
+  let b = Buffer.create 64 in
+  let ints = [ 0; 1; -1; 42; max_int; min_int ] in
+  List.iter (B.add_int b) ints;
+  let floats = [ 0.; -0.; 1.5; -3.25e10; infinity; neg_infinity; 1e-300 ] in
+  List.iter (B.add_float b) floats;
+  let strings = [ ""; "abc"; "\x00\xffbinary\nframed" ] in
+  List.iter (B.add_string b) strings;
+  let pairs = [ ("flood.rounds", 17); ("rng.splits", 123456789) ] in
+  B.add_pairs b pairs;
+  let r = B.reader (Buffer.contents b) in
+  List.iter (fun v -> Alcotest.(check int) "int" v (B.int r)) ints;
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "float bits" (Int64.bits_of_float v)
+        (Int64.bits_of_float (B.float r)))
+    floats;
+  List.iter (fun v -> Alcotest.(check string) "string" v (B.string r)) strings;
+  Alcotest.(check (list (pair string int))) "pairs" pairs (B.pairs r);
+  check_true "consumed everything" (B.at_end r)
+
+let test_codec_truncation () =
+  let b = Buffer.create 16 in
+  B.add_string b "hello";
+  let raw = Buffer.contents b in
+  let r = B.reader (String.sub raw 0 (String.length raw - 2)) in
+  check_true "truncated string raises Corrupt"
+    (try
+       ignore (B.string r);
+       false
+     with B.Corrupt _ -> true);
+  (* A declared length far past the end must also be caught (it would
+     otherwise wrap the bounds check). *)
+  let b = Buffer.create 16 in
+  B.add_int b max_int;
+  let r = B.reader (Buffer.contents b ^ "x") in
+  check_true "absurd length raises Corrupt"
+    (try
+       ignore (B.string r);
+       false
+     with B.Corrupt _ -> true)
+
+(* --- checkpoint journal --- *)
+
+let entry_triples entries =
+  List.map (fun (e : Exec.Journal.entry) -> (e.job, e.spec_id, e.data)) entries
+
+let with_temp_journal f =
+  let path = Filename.temp_file "dyngraph_journal" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_journal @@ fun path ->
+  let t, entries = Exec.Journal.open_ ~path ~jobs:3 ~digest:"d1" in
+  Alcotest.(check int) "fresh journal has no entries" 0 (List.length entries);
+  Exec.Journal.append t ~job:2 ~spec_id:"E3" ~data:"payload-two";
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"payload-zero\x00binary";
+  Exec.Journal.close t;
+  let t, entries = Exec.Journal.open_ ~path ~jobs:3 ~digest:"d1" in
+  Exec.Journal.close t;
+  Alcotest.(check (list (triple int string string)))
+    "entries replay in append order"
+    [ (2, "E3", "payload-two"); (0, "E1", "payload-zero\x00binary") ]
+    (entry_triples entries)
+
+let test_journal_torn_tail () =
+  with_temp_journal @@ fun path ->
+  let t, _ = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"good";
+  Exec.Journal.close t;
+  (* Simulate a SIGKILL mid-append: raw garbage after the last frame. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x00\x00\x00\x00\x00\x00\x00\x29torn-frame-with";
+  close_out oc;
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Alcotest.(check (list (triple int string string)))
+    "torn tail truncated, good frames kept"
+    [ (0, "E1", "good") ]
+    (entry_triples entries);
+  (* The journal is usable after recovery: appends land after the
+     truncation point and survive another reopen. *)
+  Exec.Journal.append t ~job:1 ~spec_id:"E2" ~data:"after-recovery";
+  Exec.Journal.close t;
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.close t;
+  Alcotest.(check int) "both entries after recovery" 2 (List.length entries)
+
+let test_journal_plan_mismatch () =
+  with_temp_journal @@ fun path ->
+  let t, _ = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"stale";
+  Exec.Journal.close t;
+  (* A different digest (other seed / scale / experiment set) must
+     discard the journal rather than resume mixed shards. *)
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d2" in
+  Exec.Journal.close t;
+  Alcotest.(check int) "mismatched journal discarded" 0 (List.length entries)
+
+(* --- end-to-end fleet runs --- *)
+
+let quick = Simulate.Runner.Quick
+
+let render_outputs results =
+  String.concat "" (List.map (fun (o : Simulate.Registry.outcome) -> o.output) results)
+
+let sequential_bytes seed =
+  render_outputs
+    (Simulate.Registry.run_each ~sched:Exec.sequential ~rng:(rng_of_seed seed) ~scale:quick ())
+
+let fleet_bytes ~procs seed =
+  render_outputs
+    (Simulate.Registry.run_each ~sched:(Exec.procs procs)
+       ~spec:(Simulate.Fleet.specs ~render:Simulate.Registry.Full ~seed ~scale:quick ~jobs:1)
+       ~rng:(rng_of_seed seed) ~scale:quick ())
+
+let test_fleet_byte_identity () =
+  with_fleet @@ fun () ->
+  let seq = sequential_bytes 42 in
+  check_true "rendered something" (String.length seq > 2_000);
+  Alcotest.(check string) "procs 2 = sequential" seq (fleet_bytes ~procs:2 42)
+
+let test_fleet_journal_resume () =
+  with_fleet @@ fun () ->
+  with_temp_journal @@ fun path ->
+  let seq = sequential_bytes 7 in
+  Exec.set_journal (Some path);
+  Alcotest.(check string) "journaled fleet run = sequential" seq (fleet_bytes ~procs:2 7);
+  (* Every shard is now in the journal: a resumed run must not need
+     workers at all. An unspawnable worker command proves it — if any
+     shard were recomputed, the run would fail. *)
+  Exec.set_worker_command (Some [| "/nonexistent/dyngraph-worker"; "worker" |]);
+  Alcotest.(check string) "resume replays entirely from journal" seq (fleet_bytes ~procs:2 7)
+
+let test_fleet_crash_isolation () =
+  with_fleet @@ fun () ->
+  let seq = sequential_bytes 42 in
+  let marker = Filename.temp_file "dyngraph_crash" ".marker" in
+  Sys.remove marker;
+  Fun.protect ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+  @@ fun () ->
+  (* The first worker handed E5 exits hard (code 70) before responding;
+     only that shard may be re-run, and the merged output must not
+     change. The marker file both makes the fault one-shot and proves
+     the crash actually happened. *)
+  Unix.putenv "DYNGRAPH_FLEET_CRASH" ("E5:" ^ marker);
+  Alcotest.(check string) "output identical despite worker crash" seq (fleet_bytes ~procs:3 42);
+  check_true "the injected crash fired" (Sys.file_exists marker)
+
+let test_fleet_timeout_rerun () =
+  with_fleet @@ fun () ->
+  let seq = sequential_bytes 42 in
+  let marker = Filename.temp_file "dyngraph_hang" ".marker" in
+  Sys.remove marker;
+  Fun.protect ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+  @@ fun () ->
+  (* The first worker handed E2 wedges; the parent must SIGKILL it at
+     the 1 s budget and re-run the shard on a fresh worker. *)
+  Unix.putenv "DYNGRAPH_FLEET_HANG" ("E2:" ^ marker);
+  Exec.set_worker_timeout (Some 1.0);
+  Alcotest.(check string) "output identical despite wedged worker" seq (fleet_bytes ~procs:2 42);
+  check_true "the injected hang fired" (Sys.file_exists marker)
+
+let test_fleet_worker_exception () =
+  with_fleet @@ fun () ->
+  (* A spec id the worker-side dispatcher rejects: the worker answers
+     with an error frame and the parent fails the plan (matching the
+     in-process semantics of a raising job), rather than hanging or
+     silently dropping the shard. *)
+  let bogus i =
+    let good = Simulate.Fleet.specs ~render:Simulate.Registry.Full ~seed:1 ~scale:quick ~jobs:1 i in
+    if i = 3 then { good with Exec.Spec.id = "E99" } else good
+  in
+  check_true "worker-side exception fails the plan"
+    (try
+       ignore
+         (Simulate.Registry.run_each ~sched:(Exec.procs 2) ~spec:bogus ~rng:(rng_of_seed 1)
+            ~scale:quick ());
+       false
+     with Exec.Fleet_failure _ -> true)
+
+(* --- env parsing (the warn-once satellite) --- *)
+
+let test_env_parsing () =
+  let saved_jobs = Sys.getenv_opt "DYNGRAPH_JOBS" in
+  let saved_procs = Sys.getenv_opt "DYNGRAPH_PROCS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DYNGRAPH_JOBS" (Option.value ~default:"" saved_jobs);
+      Unix.putenv "DYNGRAPH_PROCS" (Option.value ~default:"" saved_procs))
+  @@ fun () ->
+  Unix.putenv "DYNGRAPH_JOBS" "notanumber";
+  Alcotest.(check int) "unparsable DYNGRAPH_JOBS ignored" 1 (Exec.workers (Exec.default ()));
+  Unix.putenv "DYNGRAPH_JOBS" "3";
+  Alcotest.(check int) "parsable DYNGRAPH_JOBS honoured" 3 (Exec.workers (Exec.default ()));
+  Unix.putenv "DYNGRAPH_PROCS" "z9";
+  Alcotest.(check int) "unparsable DYNGRAPH_PROCS is 0" 0 (Exec.default_procs ());
+  Unix.putenv "DYNGRAPH_PROCS" "4";
+  Alcotest.(check int) "parsable DYNGRAPH_PROCS honoured" 4 (Exec.default_procs ())
+
+let suites =
+  [
+    ( "fleet.codec",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "truncation" `Quick test_codec_truncation;
+      ] );
+    ( "fleet.journal",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+        Alcotest.test_case "torn tail recovery" `Quick test_journal_torn_tail;
+        Alcotest.test_case "plan mismatch discards" `Quick test_journal_plan_mismatch;
+      ] );
+    ( "fleet.procs",
+      [
+        Alcotest.test_case "byte identity, procs 2, seed 42" `Slow test_fleet_byte_identity;
+        Alcotest.test_case "journal checkpoint and resume" `Slow test_fleet_journal_resume;
+        Alcotest.test_case "crash isolation" `Slow test_fleet_crash_isolation;
+        Alcotest.test_case "timeout re-run" `Slow test_fleet_timeout_rerun;
+        Alcotest.test_case "worker exception fails plan" `Slow test_fleet_worker_exception;
+      ] );
+    ( "fleet.env",
+      [ Alcotest.test_case "DYNGRAPH_JOBS / DYNGRAPH_PROCS parsing" `Quick test_env_parsing ] );
+  ]
