@@ -27,7 +27,11 @@
    current directory) to also write a machine-readable baseline: the
    wall-clock seconds of every claim table plus the Bechamel OLS
    ns/run estimate of every micro-benchmark. Subsequent PRs regress
-   against the recorded file. *)
+   against the recorded file.
+
+   --only-large (with --scale large) skips the registry claim phase
+   and runs just the large tier — the cheap shape for smoke scripts
+   that compare the large.flood_e2e row across --jobs counts. *)
 
 open Bechamel
 
@@ -314,8 +318,15 @@ let micro_tests () =
     Test.make ~name:"flooding.frontier_scan n=128"
       (Staged.stage (fun () ->
            ignore (Core.Flooding.time ~rng:frontier_rng ~source:0 frontier_model)));
-    Test.make ~name:"chain.step 64 states"
-      (Staged.stage (fun () -> chain_state := Markov.Chain.step chain chain_rng !chain_state));
+    (* Batched: a single Chain.step is a handful of ns, below Bechamel's
+       resolution floor — the old one-step micro fit with r² ≈ 0.15,
+       pure noise. 100 steps per run lifts the signal ~two orders of
+       magnitude; divide ns_per_run by 100 for the per-step figure. *)
+    Test.make ~name:"chain.step 64 states x100"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             chain_state := Markov.Chain.step chain chain_rng !chain_state
+           done));
     Test.make ~name:"pairs.decode n=1024"
       (Staged.stage (fun () ->
            ignore (Graph.Pairs.decode 1024 (Prng.Rng.int pair_rng (Graph.Pairs.total 1024)))));
@@ -468,8 +479,19 @@ let () =
     Simulate.Fleet.serve ();
     exit 0
   end;
+  (* --jobs also powers intra-run tile parallelism: the large-tier
+     flood and the partitioned edge-MEG step fan their tiles over
+     Exec.Pool, so a single large run accelerates, not just the
+     many-trials phases. Results are identical at every jobs count. *)
+  Exec.Pool.set_workers (Exec.workers (sched ()));
   let sc = scale () in
-  let rows = List.map row_of_outcome (claim_tables ()) in
+  (* --only-large skips the registry claim phase: the smoke scripts
+     compare the large-tier row across --jobs counts and should not
+     pay for the full table twice. *)
+  let rows =
+    if Array.exists (( = ) "--only-large") Sys.argv then []
+    else List.map row_of_outcome (claim_tables ())
+  in
   let rows = if sc = Simulate.Runner.Large then rows @ large_tier () else rows in
   let micro =
     if Array.exists (( = ) "--no-micro") Sys.argv then [] else run_micro sc

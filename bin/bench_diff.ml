@@ -191,7 +191,7 @@ let bool_or default j = match j with Some (Bool b) -> b | _ -> default
 
 type claim = { id : string; passed : bool; seconds : float; metrics : (string * float) list }
 
-type micro = { name : string; ns_per_run : float }
+type micro = { name : string; ns_per_run : float; r_square : float }
 
 type baseline = {
   path : string;
@@ -239,7 +239,11 @@ let load path =
     | Some (Arr l) ->
         List.map
           (fun m ->
-            { name = str_or "?" (member "name" m); ns_per_run = num_or nan (member "ns_per_run" m) })
+            {
+              name = str_or "?" (member "name" m);
+              ns_per_run = num_or nan (member "ns_per_run" m);
+              r_square = num_or nan (member "r_square" m);
+            })
           l
     | _ -> []
   in
@@ -370,19 +374,33 @@ let () =
   if old_b.micros <> [] || new_b.micros <> [] then begin
     let micro_table =
       Stats.Table.create ~title:"micro-benchmarks (ns/run)"
-        ~columns:[ "benchmark"; "old ns"; "new ns"; "delta" ]
+        ~columns:[ "benchmark"; "old ns"; "new ns"; "delta"; "fit" ]
+    in
+    (* A micro whose OLS fit has r² < 0.5 is mostly noise: its delta
+       column is not evidence of anything, so say so in the row rather
+       than let a ±40% swing read as a regression or a win. Flagged
+       from either side's fit — a baseline recorded as noise stays
+       suspect even if today's run happened to fit well. *)
+    let fit_cell (om : micro option) (nm : micro option) =
+      let low = function
+        | Some m -> Float.is_finite m.r_square && m.r_square < 0.5
+        | None -> false
+      in
+      if low om || low nm then Stats.Table.Text "low-r²" else Stats.Table.Text ""
     in
     List.iter
       (fun (om : micro) ->
         match List.find_opt (fun (nm : micro) -> nm.name = om.name) new_b.micros with
         | None ->
             Stats.Table.add_row micro_table
-              [ Text om.name; Fixed (om.ns_per_run, 1); Missing; Text "missing" ]
+              [ Text om.name; Fixed (om.ns_per_run, 1); Missing; Text "missing";
+                fit_cell (Some om) None ]
         | Some nm ->
             let d = delta_pct om.ns_per_run nm.ns_per_run in
             (match d with Some d when gated om.name && d > !worst -> worst := d | _ -> ());
             Stats.Table.add_row micro_table
-              [ Text om.name; Fixed (om.ns_per_run, 1); Fixed (nm.ns_per_run, 1); delta_cell d ])
+              [ Text om.name; Fixed (om.ns_per_run, 1); Fixed (nm.ns_per_run, 1); delta_cell d;
+                fit_cell (Some om) (Some nm) ])
       old_b.micros;
     List.iter
       (fun (nm : micro) ->
@@ -391,7 +409,8 @@ let () =
              first appears in NEW must not fail as "gate not found". *)
           ignore (gated nm.name);
           Stats.Table.add_row micro_table
-            [ Text nm.name; Missing; Fixed (nm.ns_per_run, 1); Text "new" ]
+            [ Text nm.name; Missing; Fixed (nm.ns_per_run, 1); Text "new";
+              fit_cell None (Some nm) ]
         end)
       new_b.micros;
     print_newline ();

@@ -127,6 +127,10 @@ let obs_finish ~metrics ~trace =
    tracing switches so the deltas the workers ship back are complete.
    Returns the scheduler to use. *)
 let fleet_setup ~procs ~jobs ~journal ~metrics ~trace =
+  (* --jobs also drives intra-run tile parallelism (Exec.Pool): the
+     off-heap flood scan and partitioned edge-MEG step fan out inside a
+     single trial, with results identical at every jobs count. *)
+  Exec.Pool.set_workers (max 1 jobs);
   if procs > 0 then begin
     let cmd =
       Array.of_list
@@ -247,6 +251,7 @@ let csv_cmd =
     let rng = Prng.Rng.of_seed seed in
     let scale = resolve_scale scale_opt full in
     let sched = Exec.of_int jobs in
+    Exec.Pool.set_workers (max 1 jobs);
     obs_setup ~metrics ~trace ~progress;
     let result =
       match (String.lowercase_ascii id, outdir) with

@@ -44,7 +44,12 @@ let ensure t =
   if not t.synced then begin
     Graph.Mutable_adj.clear t.adj;
     (* Straight from the model's enumeration into the rows — no
-       intermediate edge buffer to fill and re-walk. *)
+       intermediate edge buffer to fill and re-walk. Deliberately not
+       fanned over Exec.Pool (DESIGN.md section 11): each edge appends
+       to both endpoints' rows, so writes are not partitionable by
+       tile without a counting-sort pre-pass the flood kernels already
+       do better downstream — and the rebuild is O(n + m) against the
+       O(rounds * m) scans it feeds. *)
     Dynamic.iter_edges t.g (fun u v -> Graph.Mutable_adj.add t.adj u v);
     t.refreshes <- t.refreshes + 1;
     t.synced <- true

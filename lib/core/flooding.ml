@@ -93,6 +93,19 @@ type scratch = {
   bins : St.I32.t;             (* tiled scan: candidates in tile order *)
   mutable tile_cnt : int array;
   mutable tile_cur : int array;
+  (* Parallel tiled scan (DESIGN.md section 11): per-slice/per-tile
+     bookkeeping for the fanned-out pipeline. [par_cnt]/[par_cur] are
+     slice-major S x T matrices (candidate counts and scatter cursors),
+     [par_sl] holds S + 1 slice offsets into [stage], [par_scan] the
+     per-slice scanned-entry counts, [par_tile] T + 1 tile offsets into
+     [bins], [par_out] the per-tile newly-queued counts. Sized on
+     demand: S tracks the worker count, T the node-tile count. *)
+  mutable par_cnt : int array;
+  mutable par_cur : int array;
+  mutable par_sl : int array;
+  mutable par_scan : int array;
+  mutable par_tile : int array;
+  mutable par_out : int array;
   mutable edges : Graph.Edge_buffer.t;
   mutable sync_for : Dynamic.t option;  (* physical key for [sync] *)
   mutable sync_off : bool;              (* layout the cached sync was built with *)
@@ -115,6 +128,12 @@ let scratch_key =
         bins = St.I32.create 16;
         tile_cnt = [| 0 |];
         tile_cur = [| 0 |];
+        par_cnt = [||];
+        par_cur = [||];
+        par_sl = [||];
+        par_scan = [||];
+        par_tile = [||];
+        par_out = [||];
         edges = Graph.Edge_buffer.create ~capacity:16 ();
         sync_for = None;
         sync_off = false;
@@ -328,22 +347,90 @@ let run_raw ?cap ?(protocol = Flood) ?storage ~rng ~source g =
             let ({ v_deg; v_off; v_data } : Graph.Mutable_adj.view) =
               Graph.Mutable_adj.view adj
             in
-            if !unf_len < !n_informed then
-              for ui = 0 to !unf_len - 1 do
-                let v = St.I32.unsafe_get unf ui in
-                let d = St.I32.raw_get v_deg v in
-                let off = St.I32.raw_get v_off v in
-                let j = ref 0 in
-                let hit = ref false in
-                while (not !hit) && !j < d do
-                  if St.Bitset.unsafe_get informed (St.I32.raw_get v_data (off + !j)) then
-                    hit := true;
-                  incr j
-                done;
-                scanned := !scanned + !j;
-                if !hit then enqueue v
-              done
-            else begin
+            (* Fan-out geometry for the parallel pipeline: S contiguous
+               slices of whichever side is scanned, T node tiles. Any
+               contiguous slicing yields byte-identical output (the
+               counting sort is stable and merges are slice- then
+               tile-ordered), so S may track the worker count freely.
+               When the pool would not engage we keep the fused
+               sequential loops — same bytes, fewer passes. *)
+            let ntiles = Array.length sc.tile_cnt in
+            let s_cnt = Exec.Pool.tile_min () * Exec.Pool.workers () in
+            let par = Exec.Pool.fan_out s_cnt in
+            if par then begin
+              if Array.length sc.par_cnt < s_cnt * ntiles then begin
+                sc.par_cnt <- Array.make (s_cnt * ntiles) 0;
+                sc.par_cur <- Array.make (s_cnt * ntiles) 0
+              end;
+              if Array.length sc.par_sl < s_cnt + 1 then begin
+                sc.par_sl <- Array.make (s_cnt + 1) 0;
+                sc.par_scan <- Array.make s_cnt 0
+              end;
+              if Array.length sc.par_tile < ntiles + 1 then begin
+                sc.par_tile <- Array.make (ntiles + 1) 0;
+                sc.par_out <- Array.make ntiles 0
+              end
+            end;
+            if !unf_len < !n_informed then begin
+              if not par then
+                for ui = 0 to !unf_len - 1 do
+                  let v = St.I32.unsafe_get unf ui in
+                  let d = St.I32.raw_get v_deg v in
+                  let off = St.I32.raw_get v_off v in
+                  let j = ref 0 in
+                  let hit = ref false in
+                  while (not !hit) && !j < d do
+                    if St.Bitset.unsafe_get informed (St.I32.raw_get v_data (off + !j)) then
+                      hit := true;
+                    incr j
+                  done;
+                  scanned := !scanned + !j;
+                  if !hit then enqueue v
+                done
+              else begin
+                (* Parallel uninformed-side scan: each slice early-exit
+                   scans its own range of [unf] and writes hits into
+                   [bins] at the slice's base offset; the slice-order
+                   merge reproduces the sequential frontier exactly
+                   ([unf] entries are distinct, so the [queued] dedup
+                   the sequential path runs through [enqueue] is
+                   vacuous here and [commit]'s clear is a no-op). *)
+                let m = !unf_len in
+                St.I32.ensure sc.bins m;
+                let braw = St.I32.raw sc.bins in
+                let par_sl = sc.par_sl and par_scan = sc.par_scan in
+                Exec.Pool.run_tiles s_cnt (fun s ->
+                    let lo = s * m / s_cnt and hi = (s + 1) * m / s_cnt in
+                    let out = ref lo in
+                    let sl_scanned = ref 0 in
+                    for ui = lo to hi - 1 do
+                      let v = St.I32.unsafe_get unf ui in
+                      let d = St.I32.raw_get v_deg v in
+                      let off = St.I32.raw_get v_off v in
+                      let j = ref 0 in
+                      let hit = ref false in
+                      while (not !hit) && !j < d do
+                        if St.Bitset.unsafe_get informed (St.I32.raw_get v_data (off + !j))
+                        then hit := true;
+                        incr j
+                      done;
+                      sl_scanned := !sl_scanned + !j;
+                      if !hit then begin
+                        St.I32.raw_set braw !out v;
+                        incr out
+                      end
+                    done;
+                    Array.unsafe_set par_sl s (!out - lo);
+                    Array.unsafe_set par_scan s !sl_scanned);
+                for s = 0 to s_cnt - 1 do
+                  let c = Array.unsafe_get par_sl s in
+                  St.I32.blit sc.bins (s * m / s_cnt) frontier !frontier_len c;
+                  frontier_len := !frontier_len + c;
+                  scanned := !scanned + Array.unsafe_get par_scan s
+                done
+              end
+            end
+            else if not par then begin
               (* Tiled informed-side scan: stage every candidate in row
                  order, counting-sort them into chunk_nodes-wide tiles,
                  then do all bitset tests tile by tile. *)
@@ -387,6 +474,108 @@ let run_raw ?cap ?(protocol = Flood) ?storage ~rng ~source g =
               for i = 0 to !stage_len - 1 do
                 let v = St.I32.raw_get braw i in
                 if not (St.Bitset.unsafe_get informed v) then enqueue v
+              done
+            end
+            else begin
+              (* Parallel tiled informed-side scan, five phases with the
+                 tile pool (DESIGN.md section 11). The counting sort is
+                 stable per slice and scatter offsets are laid out
+                 slice-major within each tile, so [bins] — and therefore
+                 the frontier — comes out byte-identical to the
+                 sequential tiled scan for any S. *)
+              let m = !n_informed in
+              let par_cnt = sc.par_cnt
+              and par_cur = sc.par_cur
+              and par_sl = sc.par_sl
+              and par_tile = sc.par_tile
+              and par_out = sc.par_out in
+              (* Phase 1: per-slice candidate counts (row headers only). *)
+              Exec.Pool.run_tiles s_cnt (fun s ->
+                  let lo = s * m / s_cnt and hi = (s + 1) * m / s_cnt in
+                  let sum = ref 0 in
+                  for oi = lo to hi - 1 do
+                    sum := !sum + St.I32.raw_get v_deg (St.I32.unsafe_get order oi)
+                  done;
+                  Array.unsafe_set par_sl s !sum);
+              let total = ref 0 in
+              for s = 0 to s_cnt - 1 do
+                let c = par_sl.(s) in
+                par_sl.(s) <- !total;
+                total := !total + c
+              done;
+              par_sl.(s_cnt) <- !total;
+              let total = !total in
+              scanned := !scanned + total;
+              St.I32.ensure sc.stage total;
+              St.I32.ensure sc.bins total;
+              Array.fill par_cnt 0 (s_cnt * ntiles) 0;
+              let sraw = St.I32.raw sc.stage in
+              let braw = St.I32.raw sc.bins in
+              (* Phase 2: stage candidates at slice offsets, counting
+                 per-slice-per-tile. *)
+              Exec.Pool.run_tiles s_cnt (fun s ->
+                  let lo = s * m / s_cnt and hi = (s + 1) * m / s_cnt in
+                  let pos = ref (Array.unsafe_get par_sl s) in
+                  let base = s * ntiles in
+                  for oi = lo to hi - 1 do
+                    let u = St.I32.unsafe_get order oi in
+                    let d = St.I32.raw_get v_deg u in
+                    let off = St.I32.raw_get v_off u in
+                    for j = off to off + d - 1 do
+                      let v = St.I32.raw_get v_data j in
+                      St.I32.raw_set sraw !pos v;
+                      incr pos;
+                      let k = base + (v lsr St.chunk_shift) in
+                      Array.unsafe_set par_cnt k (Array.unsafe_get par_cnt k + 1)
+                    done
+                  done);
+              (* Tile starts and slice-major scatter cursors. *)
+              let pos = ref 0 in
+              for k = 0 to ntiles - 1 do
+                par_tile.(k) <- !pos;
+                for s = 0 to s_cnt - 1 do
+                  par_cur.((s * ntiles) + k) <- !pos;
+                  pos := !pos + par_cnt.((s * ntiles) + k)
+                done
+              done;
+              par_tile.(ntiles) <- !pos;
+              (* Phase 3: scatter each slice's stage segment into its
+                 private per-tile cursor ranges of [bins]. *)
+              Exec.Pool.run_tiles s_cnt (fun s ->
+                  let base = s * ntiles in
+                  for i = Array.unsafe_get par_sl s to Array.unsafe_get par_sl (s + 1) - 1 do
+                    let v = St.I32.raw_get sraw i in
+                    let k = base + (v lsr St.chunk_shift) in
+                    let p = Array.unsafe_get par_cur k in
+                    St.I32.raw_set braw p v;
+                    Array.unsafe_set par_cur k (p + 1)
+                  done);
+              (* Phase 4: per-tile bitset tests. A tile's bitset window
+                 is an aligned chunk_nodes/8-byte range, so [queued]
+                 writes from different tiles never share a byte; the
+                 compacted survivors go back into the tile's own stage
+                 segment. *)
+              Exec.Pool.run_tiles ntiles (fun k ->
+                  let lo = Array.unsafe_get par_tile k in
+                  let hi = Array.unsafe_get par_tile (k + 1) in
+                  let out = ref lo in
+                  for i = lo to hi - 1 do
+                    let v = St.I32.raw_get braw i in
+                    if
+                      (not (St.Bitset.unsafe_get informed v))
+                      && not (St.Bitset.unsafe_get queued v)
+                    then begin
+                      St.Bitset.unsafe_set queued v;
+                      St.I32.raw_set sraw !out v;
+                      incr out
+                    end
+                  done;
+                  Array.unsafe_set par_out k (!out - lo));
+              (* Phase 5: tile-order merge into the frontier. *)
+              for k = 0 to ntiles - 1 do
+                let c = Array.unsafe_get par_out k in
+                St.I32.blit sc.stage (Array.unsafe_get par_tile k) frontier !frontier_len c;
+                frontier_len := !frontier_len + c
               done
             end
           end;

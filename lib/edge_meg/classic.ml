@@ -435,19 +435,292 @@ let make_offheap ~init ~n ~p ~q () =
   Core.Dynamic.make ~fill_edges ~deltas ~delta_size ~expected_edges ~n ~reset ~step
     ~iter_edges ()
 
-let make ?(init = Stationary) ?(storage = `Auto) ~n ~p ~q () =
-  let offheap =
-    match storage with
-    | `Heap -> false
-    | `Offheap -> true
-    | `Auto ->
-        (* Big graphs go off-heap unless the run needs a saturated
-           start, which only the universe-sized heap layout can hold. *)
+(* Partition-parallel off-heap engine (DESIGN.md section 11). The pair
+   universe is cut into [strips_default] fixed contiguous strips — a
+   function of nothing but the strip count, never of worker count or
+   [parts] — and each strip owns the complete per-range state: its own
+   present set, endpoint mirror, birth/death buffers, decode-cursor
+   seed, and an RNG substream derived from the reset seed by {e strip
+   index}. A step runs every strip's birth scan / death subsample /
+   birth apply independently (fanned over {!Exec.Pool.run_tiles} in
+   groups of [strips / parts]); delta reports and enumeration
+   concatenate strips in index order. Results are therefore a function
+   of the reset seed alone: identical at any [parts] and any pool
+   worker count (test/test_parallel.ml pins both).
+
+   This is a deliberate draw-stream change relative to [make_offheap]'s
+   single sequential stream — confined to [`Auto] routing at
+   n >= offheap_nodes (plus explicit [?parts] opt-ins), so every
+   golden-sized run (n < 2^17) executes the exact pre-existing code.
+   Explicit [`Offheap] without [?parts] keeps the legacy single-stream
+   engine, whose draw-for-draw equality with the heap layout the
+   storage-equivalence tests pin. *)
+let strips_default = 64
+
+type strip = {
+  lo : int;  (* pair range [lo, hi) *)
+  hi : int;
+  u0 : int;  (* decode cursor seeded at [lo]: row, row base, next row base *)
+  base0 : int;
+  next0 : int;
+  present : Graph.Sparse_set.Big.t;
+  eu : Graph.Storage.I32.t;  (* endpoint mirror of the strip's dense slots *)
+  ev : Graph.Storage.I32.t;
+  b_idx : Graph.Storage.Ix.t;  (* buffered births of the current step *)
+  b_u : Graph.Storage.I32.t;
+  b_v : Graph.Storage.I32.t;
+  mutable n_births : int;
+  deaths : Graph.Edge_buffer.I32.t;
+  mutable rng : Prng.Rng.t;  (* substream [strip index] of the reset seed *)
+}
+
+let make_offheap_partitioned ~init ~n ~p ~q ~parts () =
+  let module St = Graph.Storage in
+  let module Big = Graph.Sparse_set.Big in
+  if n > St.max_nodes then invalid_arg "Classic.make: n exceeds the int32 id range";
+  let chain = Markov.Two_state.make ~p ~q in
+  let total = Graph.Pairs.total n in
+  let alpha = Markov.Two_state.stationary_on chain in
+  (match init with
+  | Full -> invalid_arg "Classic.make: Full initialisation needs heap storage"
+  | Stationary when alpha >= 1. ->
+      invalid_arg "Classic.make: saturated stationary initialisation needs heap storage"
+  | Stationary | Empty -> ());
+  let expected_edges = int_of_float (ceil (alpha *. float_of_int total)) in
+  let geo prob = if prob > 0. && prob < 1. then Some (Prng.Rng.Geo.make ~p:prob) else None in
+  let geo_p = geo p in
+  let geo_q = geo q in
+  let geo_alpha = geo alpha in
+  let strips = strips_default in
+  let parts = max 1 (min parts strips) in
+  (* floor (s * total / strips) without overflowing s * total (the pair
+     universe alone can exceed 2^60). *)
+  let bound s = (total / strips * s) + (total mod strips * s / strips) in
+  let mk_strip s =
+    let lo = bound s and hi = bound (s + 1) in
+    let u0, base0, next0 =
+      if lo >= hi then (0, 0, n - 1)
+      else
+        let u, v = Graph.Pairs.decode n lo in
+        let base = lo - (v - u - 1) in
+        (u, base, base + (n - 1 - u))
+    in
+    let cap = max 64 (int_of_float (ceil (alpha *. float_of_int (hi - lo)))) in
+    {
+      lo;
+      hi;
+      u0;
+      base0;
+      next0;
+      present = Big.create ~capacity:cap total;
+      eu = St.I32.create 64;
+      ev = St.I32.create 64;
+      b_idx = St.Ix.create 64;
+      b_u = St.I32.create 64;
+      b_v = St.I32.create 64;
+      n_births = 0;
+      deaths = Graph.Edge_buffer.I32.create ~capacity:64 ();
+      rng = Prng.Rng.of_seed 0;
+    }
+  in
+  let ss = Array.init strips mk_strip in
+  let pbound j = j * strips / parts in
+  let add_present st idx u v =
+    let pos = Big.length st.present in
+    St.I32.ensure st.eu (pos + 1);
+    St.I32.ensure st.ev (pos + 1);
+    Big.add_unchecked st.present idx;
+    St.I32.unsafe_set st.eu pos u;
+    St.I32.unsafe_set st.ev pos v
+  in
+  let push_birth st idx u v =
+    let k = st.n_births in
+    St.Ix.ensure st.b_idx (k + 1);
+    St.I32.ensure st.b_u (k + 1);
+    St.I32.ensure st.b_v (k + 1);
+    St.Ix.unsafe_set st.b_idx k idx;
+    St.I32.unsafe_set st.b_u k u;
+    St.I32.unsafe_set st.b_v k v;
+    st.n_births <- k + 1
+  in
+  (* Strip-local variant of [scan_pairs]: visit each pair of [lo, hi)
+     independently with probability [prob], cursor seeded at [lo]. Only
+     the prob = 1 exhaustive paths land here; the hot scans below are
+     written out with the tabulated samplers. *)
+  let scan_strip st r prob f =
+    if prob > 0. then begin
+      let idx = ref (st.lo + Prng.Rng.geometric r prob) in
+      if !idx < st.hi then begin
+        let u = ref st.u0 and base = ref st.base0 and next = ref st.next0 in
+        while !idx < st.hi do
+          while !idx >= !next do
+            incr u;
+            base := !next;
+            next := !next + (n - 1 - !u)
+          done;
+          f !idx !u (!u + 1 + (!idx - !base));
+          idx := !idx + 1 + Prng.Rng.geometric r prob
+        done
+      end
+    end
+  in
+  let deltas_valid = ref false in
+  let strip_reset st =
+    Big.clear st.present;
+    st.n_births <- 0;
+    Graph.Edge_buffer.I32.clear st.deaths;
+    match init with
+    | Empty -> ()
+    | Full -> assert false
+    | Stationary -> (
+        match geo_alpha with
+        | Some geo ->
+            let r = st.rng in
+            let idx = ref (st.lo + Prng.Rng.Geo.draw geo r) in
+            if !idx < st.hi then begin
+              let u = ref st.u0 and base = ref st.base0 and next = ref st.next0 in
+              while !idx < st.hi do
+                while !idx >= !next do
+                  incr u;
+                  base := !next;
+                  next := !next + (n - 1 - !u)
+                done;
+                let i = !idx in
+                add_present st i !u (!u + 1 + (i - !base));
+                idx := i + 1 + Prng.Rng.Geo.draw geo r
+              done
+            end
+        | None -> scan_strip st st.rng alpha (fun idx u v -> add_present st idx u v))
+  in
+  let strip_step st =
+    st.n_births <- 0;
+    Graph.Edge_buffer.I32.clear st.deaths;
+    (match geo_p with
+    | Some geo ->
+        let r = st.rng in
+        let idx = ref (st.lo + Prng.Rng.Geo.draw geo r) in
+        if !idx < st.hi then begin
+          let u = ref st.u0 and base = ref st.base0 and next = ref st.next0 in
+          while !idx < st.hi do
+            while !idx >= !next do
+              incr u;
+              base := !next;
+              next := !next + (n - 1 - !u)
+            done;
+            let i = !idx in
+            if not (Big.mem st.present i) then push_birth st i !u (!u + 1 + (i - !base));
+            idx := i + 1 + Prng.Rng.Geo.draw geo r
+          done
+        end
+    | None ->
+        scan_strip st st.rng p (fun idx u v ->
+            if not (Big.mem st.present idx) then push_birth st idx u v));
+    let on_death _ i =
+      Graph.Edge_buffer.I32.push st.deaths
+        (St.I32.unsafe_get st.eu i)
+        (St.I32.unsafe_get st.ev i);
+      let last = Big.length st.present in
+      St.I32.unsafe_set st.eu i (St.I32.unsafe_get st.eu last);
+      St.I32.unsafe_set st.ev i (St.I32.unsafe_get st.ev last)
+    in
+    (match geo_q with
+    | Some geo -> Big.remove_geo_pos st.present geo st.rng on_death
+    | None -> Big.remove_bernoulli_pos st.present st.rng ~p:q on_death);
+    let nb = st.n_births in
+    if nb > 0 then begin
+      let pos0 = Big.length st.present in
+      St.I32.ensure st.eu (pos0 + nb);
+      St.I32.ensure st.ev (pos0 + nb);
+      for k = 0 to nb - 1 do
+        let pos = pos0 + k in
+        Big.add_unchecked st.present (St.Ix.unsafe_get st.b_idx k);
+        St.I32.unsafe_set st.eu pos (St.I32.unsafe_get st.b_u k);
+        St.I32.unsafe_set st.ev pos (St.I32.unsafe_get st.b_v k)
+      done
+    end
+  in
+  let reset r =
+    deltas_valid := false;
+    (* Substreams are indexed by strip, not by domain or part: derived
+       sequentially here, before any fan-out, so the strip streams are
+       a pure function of the reset seed. *)
+    for s = 0 to strips - 1 do
+      ss.(s).rng <- Prng.Rng.substream r s
+    done;
+    Exec.Pool.run_tiles parts (fun j ->
+        for s = pbound j to pbound (j + 1) - 1 do
+          strip_reset ss.(s)
+        done)
+  in
+  let step () =
+    Exec.Pool.run_tiles parts (fun j ->
+        for s = pbound j to pbound (j + 1) - 1 do
+          strip_step ss.(s)
+        done);
+    deltas_valid := true
+  in
+  let iter_edges f =
+    for s = 0 to strips - 1 do
+      let st = ss.(s) in
+      let len = Big.length st.present in
+      for i = 0 to len - 1 do
+        f (St.I32.unsafe_get st.eu i) (St.I32.unsafe_get st.ev i)
+      done
+    done
+  in
+  let fill_edges buf =
+    for s = 0 to strips - 1 do
+      let st = ss.(s) in
+      let len = Big.length st.present in
+      for i = 0 to len - 1 do
+        Graph.Edge_buffer.push buf (St.I32.unsafe_get st.eu i) (St.I32.unsafe_get st.ev i)
+      done
+    done
+  in
+  let deltas ~birth ~death =
+    !deltas_valid
+    && begin
+         for s = 0 to strips - 1 do
+           let st = ss.(s) in
+           for k = 0 to st.n_births - 1 do
+             birth (St.I32.unsafe_get st.b_u k) (St.I32.unsafe_get st.b_v k)
+           done;
+           Graph.Edge_buffer.I32.iter st.deaths (fun u v -> death u v)
+         done;
+         true
+       end
+  in
+  let delta_size () =
+    if !deltas_valid then
+      Array.fold_left
+        (fun acc st -> acc + st.n_births + Graph.Edge_buffer.I32.length st.deaths)
+        0 ss
+    else 0
+  in
+  Core.Dynamic.make ~fill_edges ~deltas ~delta_size ~expected_edges ~n ~reset ~step
+    ~iter_edges ()
+
+let make ?(init = Stationary) ?(storage = `Auto) ?parts ~n ~p ~q () =
+  match (storage, parts) with
+  | `Heap, Some _ -> invalid_arg "Classic.make: parts requires off-heap storage"
+  | `Heap, None -> make_heap ~init ~n ~p ~q ()
+  | (`Offheap | `Auto), Some k ->
+      if k < 1 then invalid_arg "Classic.make: parts must be >= 1";
+      make_offheap_partitioned ~init ~n ~p ~q ~parts:k ()
+  | `Offheap, None ->
+      (* Explicit off-heap without [?parts] is the stream-compatibility
+         mode: draw-for-draw identical to the heap layout. *)
+      make_offheap ~init ~n ~p ~q ()
+  | `Auto, None ->
+      (* Big graphs go off-heap (partitioned) unless the run needs a
+         saturated start, which only the universe-sized heap layout can
+         hold. *)
+      if
         n >= Graph.Storage.offheap_nodes
         && init <> Full
         && Markov.Two_state.stationary_on (Markov.Two_state.make ~p ~q) < 1.
-  in
-  if offheap then make_offheap ~init ~n ~p ~q () else make_heap ~init ~n ~p ~q ()
+      then make_offheap_partitioned ~init ~n ~p ~q ~parts:strips_default ()
+      else make_heap ~init ~n ~p ~q ()
 
 let params ~p ~q = Markov.Two_state.make ~p ~q
 

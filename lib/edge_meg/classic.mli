@@ -19,6 +19,7 @@ type init =
 val make :
   ?init:init ->
   ?storage:[ `Auto | `Heap | `Offheap ] ->
+  ?parts:int ->
   n:int ->
   p:float ->
   q:float ->
@@ -35,8 +36,20 @@ val make :
     count) instead of O(n²) — the only way to reach n ≈ 10⁶ — and
     rejects [Full] / saturated starts; draw streams and trajectories
     are identical to [`Heap]'s for the same seed. [`Auto] (default)
-    picks [`Offheap] from [Graph.Storage.offheap_nodes] nodes up
-    whenever the initialisation allows it, [`Heap] otherwise. *)
+    picks the {e partitioned} off-heap engine from
+    [Graph.Storage.offheap_nodes] nodes up whenever the initialisation
+    allows it, [`Heap] otherwise.
+
+    The partitioned engine (DESIGN.md section 11) cuts the pair
+    universe into 64 fixed strips, each owning its state and an RNG
+    substream indexed by strip (never by domain), and steps them in
+    parallel on {!Exec.Pool} — results depend only on the seed, not on
+    [parts] or the worker count, but its draw stream deliberately
+    differs from the heap engine's single stream. [?parts] forces the
+    partitioned engine at any [n] (grouping strips into that many step
+    tasks; clamped to 1..64) and is rejected with [`Heap]. Explicit
+    [`Offheap] without [?parts] keeps the legacy single-stream off-heap
+    engine, draw-for-draw identical to [`Heap]. *)
 
 val params : p:float -> q:float -> Markov.Two_state.t
 (** The per-edge chain, for closed-form α and mixing time. *)

@@ -848,3 +848,220 @@ let run s p =
   p.reduce results
 
 let map s ~jobs f = run s (plan ~jobs ~job:f ~reduce:Fun.id)
+
+(* --- intra-run tile parallelism --- *)
+
+(* A persistent pool of worker domains that kernels borrow for the
+   duration of one fan-out call ([Pool.run_tiles]). Unlike [run_pool]
+   above — which spawns domains per plan because plans are long — tile
+   tasks are issued once per kernel phase per round, so domain spawn
+   cost (~100µs) would swamp the work. Workers therefore persist: they
+   sleep on a condition variable between tasks, wake when a new task
+   generation is published, claim tile indices from an atomic cursor,
+   and go back to sleep. The caller participates too, so [run_tiles]
+   never blocks on a sleeping pool.
+
+   Determinism contract: [run_tiles n f] has exactly the semantics of
+   [for i = 0 to n - 1 do f i done] provided the [f i] are pairwise
+   independent (disjoint writes). Which domain runs which tile — and
+   whether fan-out engages at all — is unobservable; kernels built on
+   this (flooding's tiled scan, the partitioned edge-MEG engines)
+   additionally arrange their own output merges in tile-index order so
+   their results are byte-identical at any worker count. *)
+module Pool = struct
+  let c_tile_plans = Obs.Metrics.counter "exec.tile_plans"
+
+  let c_tiles = Obs.Metrics.counter "exec.tiles"
+
+  (* Worker count: set explicitly by the hosting executable (--jobs),
+     else taken from DYNGRAPH_JOBS like [default ()]. *)
+  let requested = ref None
+
+  let set_workers w =
+    if w < 1 then invalid_arg "Exec.Pool.set_workers: workers must be >= 1";
+    requested := Some (min w max_workers)
+
+  let env_workers () = workers (default ())
+
+  let workers () = match !requested with Some w -> w | None -> env_workers ()
+
+  (* Minimum tiles per worker before fan-out engages: below it, the
+     per-task handoff (one mutex round-trip per tile) is not worth
+     waking the pool. Same warn-once env contract as DYNGRAPH_JOBS. *)
+  let tile_min_default = 2
+
+  let tile_min_env () =
+    match Sys.getenv_opt "DYNGRAPH_TILE_MIN" with
+    | None -> tile_min_default
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some m when m >= 1 -> m
+        | Some _ -> tile_min_default
+        | None ->
+            warn_env "DYNGRAPH_TILE_MIN" s "a positive integer";
+            tile_min_default)
+
+  let tile_min_override = ref None
+
+  let set_tile_min = function
+    | Some m when m < 1 -> invalid_arg "Exec.Pool.set_tile_min: must be >= 1"
+    | o -> tile_min_override := o
+
+  let tile_min () =
+    match !tile_min_override with Some m -> m | None -> tile_min_env ()
+
+  let fan_out ntiles =
+    ntiles > 0
+    && (not (Domain.DLS.get inside_pool))
+    &&
+    let w = workers () in
+    w > 1 && ntiles >= tile_min () * w
+
+  type task = {
+    tf : int -> unit;
+    ntiles : int;
+    cursor : int Atomic.t;
+    inflight : int Atomic.t;
+    failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  }
+
+  let lock = Mutex.create ()
+
+  let work_cond = Condition.create ()
+
+  let done_cond = Condition.create ()
+
+  let current : task option ref = ref None
+
+  let generation = ref 0
+
+  let quit = ref false
+
+  let domains : unit Domain.t list ref = ref []
+
+  (* Claim-and-run loop shared by workers and the caller. [inflight] is
+     raised before the cursor claim, so the completion predicate
+     (cursor exhausted AND inflight zero) can never observe a tile that
+     is claimed but not yet counted. The first exception wins [failure];
+     everyone stops claiming once it is set, extending the pool-drain
+     contract of [run] to tile tasks: a failing tile leaves the pool
+     idle and immediately reusable. *)
+  let drain t =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get t.failure <> None then continue := false
+      else begin
+        Atomic.incr t.inflight;
+        let i = Atomic.fetch_and_add t.cursor 1 in
+        if i >= t.ntiles then begin
+          ignore (Atomic.fetch_and_add t.inflight (-1));
+          continue := false
+        end
+        else begin
+          (match t.tf i with
+          | () -> ()
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set t.failure None (Some (e, bt))));
+          ignore (Atomic.fetch_and_add t.inflight (-1))
+        end
+      end
+    done
+
+  let finished t =
+    (Atomic.get t.cursor >= t.ntiles || Atomic.get t.failure <> None)
+    && Atomic.get t.inflight = 0
+
+  let rec worker_loop seen =
+    Mutex.lock lock;
+    while !generation = seen && not !quit do
+      Condition.wait work_cond lock
+    done;
+    let g = !generation and t = !current and q = !quit in
+    Mutex.unlock lock;
+    if not q then begin
+      (match t with
+      | Some t ->
+          drain t;
+          (* The broadcast is taken only after this worker's final
+             inflight decrement, and the caller checks the completion
+             predicate under the same lock before waiting — so the
+             wakeup cannot be missed. *)
+          Mutex.lock lock;
+          Condition.broadcast done_cond;
+          Mutex.unlock lock
+      | None -> ());
+      worker_loop g
+    end
+
+  (* Workers are joined at process exit so a program that merely used a
+     kernel never exits with domains blocked in [Condition.wait]. *)
+  let shutdown () =
+    Mutex.lock lock;
+    quit := true;
+    Condition.broadcast work_cond;
+    Mutex.unlock lock;
+    List.iter Domain.join !domains;
+    domains := []
+
+  let ensure_spawned w =
+    let have = List.length !domains in
+    if have < w - 1 then begin
+      if have = 0 then at_exit shutdown;
+      Mutex.lock lock;
+      let g0 = !generation in
+      Mutex.unlock lock;
+      for _ = have + 1 to w - 1 do
+        domains :=
+          Domain.spawn (fun () ->
+              Domain.DLS.set inside_pool true;
+              worker_loop g0)
+          :: !domains
+      done
+    end
+
+  let run_tiles ntiles tf =
+    if ntiles < 0 then invalid_arg "Exec.Pool.run_tiles: ntiles must be >= 0";
+    (* Counters are charged before the engage decision, so metric
+       totals never depend on worker count or calling context. *)
+    Obs.Metrics.incr c_tile_plans;
+    Obs.Metrics.add c_tiles ntiles;
+    if ntiles > 0 then
+      if not (fan_out ntiles) then
+        for i = 0 to ntiles - 1 do
+          tf i
+        done
+      else begin
+        ensure_spawned (workers ());
+        let t =
+          {
+            tf;
+            ntiles;
+            cursor = Atomic.make 0;
+            inflight = Atomic.make 0;
+            failure = Atomic.make None;
+          }
+        in
+        Mutex.lock lock;
+        current := Some t;
+        incr generation;
+        Condition.broadcast work_cond;
+        Mutex.unlock lock;
+        (* Participate from the calling domain, marked [inside_pool] so
+           anything the tiles call degrades to sequential. *)
+        let saved = Domain.DLS.get inside_pool in
+        Domain.DLS.set inside_pool true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set inside_pool saved)
+          (fun () -> drain t);
+        Mutex.lock lock;
+        while not (finished t) do
+          Condition.wait done_cond lock
+        done;
+        current := None;
+        Mutex.unlock lock;
+        match Atomic.get t.failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+end

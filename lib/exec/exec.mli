@@ -255,3 +255,63 @@ val run : scheduler -> ('a, 'b) plan -> 'b
 
 val map : scheduler -> jobs:int -> (int -> 'a) -> 'a array
 (** [map s ~jobs f] is [run s (plan ~jobs ~job:f ~reduce:Fun.id)]. *)
+
+(** Intra-run tile parallelism: a persistent pool of worker domains
+    that kernels borrow for one fan-out call at a time.
+
+    {!run} parallelizes {e across} independent trials; [Pool] is the
+    complementary axis — it splits the inside of one large run
+    (flooding's tiled frontier scan, the partitioned off-heap edge-MEG
+    step) into independent tiles. Workers persist between calls,
+    sleeping on a condition variable, because tile tasks are issued per
+    kernel phase per round and per-call domain spawns would swamp the
+    work; they are joined automatically at process exit.
+
+    Determinism contract: [run_tiles n f] is semantically
+    [for i = 0 to n - 1 do f i done] provided the [f i] have disjoint
+    effects. Whether fan-out engages, and which domain runs which tile,
+    is unobservable — callers that merge per-tile output do so in
+    tile-index order, keeping results byte-identical at any worker
+    count. Calls made from inside a pool worker (either this pool or a
+    {!run} pool) always degrade to the sequential loop, so kernels can
+    be used freely under trial-level parallelism without
+    oversubscribing the machine. *)
+module Pool : sig
+  val set_workers : int -> unit
+  (** Target worker count for subsequent fan-outs, clamped like {!pool}.
+      Typically wired to [--jobs] by the hosting executable. Raises
+      [Invalid_argument] when [w < 1]. *)
+
+  val workers : unit -> int
+  (** The current target: the last {!set_workers} value, else
+      [DYNGRAPH_JOBS] (via {!default}), else 1. *)
+
+  val tile_min : unit -> int
+  (** Minimum tiles per worker before {!run_tiles} fans out (default 2):
+      below [tile_min () * workers ()] tiles, the call runs inline. From
+      the [DYNGRAPH_TILE_MIN] environment variable when set and
+      parsable (warned once otherwise), unless overridden by
+      {!set_tile_min}. *)
+
+  val set_tile_min : int option -> unit
+  (** Override {!tile_min} ([None] returns to the environment/default
+      value). Raises [Invalid_argument] on [Some m] with [m < 1]. *)
+
+  val fan_out : int -> bool
+  (** [fan_out ntiles] is whether [run_tiles ntiles f] would engage the
+      worker pool rather than run inline: more than one worker, at
+      least [tile_min () * workers ()] tiles, and the caller is not
+      itself a pool worker. Exposed so kernels with a cheaper fused
+      sequential path can branch before paying the parallel pipeline's
+      extra passes — the choice must never be observable in results. *)
+
+  val run_tiles : int -> (int -> unit) -> unit
+  (** [run_tiles ntiles f] runs [f 0 .. f (ntiles - 1)], possibly in
+      parallel on the persistent pool with the caller participating.
+      The [f i] must have pairwise-disjoint effects. If some [f i]
+      raises, remaining unclaimed tiles are skipped, the pool drains to
+      idle (and stays reusable), and the first exception observed is
+      re-raised with its backtrace. Charges [exec.tile_plans] /
+      [exec.tiles] counters identically whether or not fan-out
+      engages. Raises [Invalid_argument] when [ntiles < 0]. *)
+end

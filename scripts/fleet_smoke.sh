@@ -110,4 +110,42 @@ if ! cmp -s "$tmp/base_42.txt" "$tmp/resumed.txt"; then
 fi
 echo "ok: journal resume after SIGKILL reproduces the uninterrupted output"
 
+# --- 5. intra-run parallelism: large flood byte-identity --------------
+
+# The off-heap flood tier (DESIGN.md section 11) fans its tiles and
+# edge-MEG partitions over the domain pool; the claim JSON it writes
+# must be byte-identical at --jobs 1 and --jobs 4 modulo wall-clock
+# facts (seconds, date, topology/workers, provenance) and the gc.*
+# gauges (memory facts of one process run, not deterministic results).
+# n = 2^18 keeps the run in smoke territory while still crossing the
+# off-heap threshold where the parallel kernels engage.
+bench="_build/default/bench/main.exe"
+if [ ! -x "$bench" ]; then
+  dune build bench/main.exe
+fi
+for j in 1 4; do
+  BENCH_LARGE_N=262144 "$bench" --scale large --only-large --no-micro \
+    --jobs "$j" --json "$tmp/large_j$j.json" >/dev/null 2>&1
+done
+normalize_bench() {
+  sed -e 's/"seconds": [^,}]*/"seconds": _/g' \
+      -e 's/"date": "[^"]*"/"date": _/' \
+      -e 's/"git_rev": "[^"]*"/"git_rev": _/' \
+      -e 's/"hostname": "[^"]*"/"hostname": _/' \
+      -e 's/"topology": {[^}]*}/"topology": _/' \
+      -e 's/"workers": [0-9]*/"workers": _/' \
+      -e 's/"gc\.[a-z_]*": -\{0,1\}[0-9]*\(, \)\{0,1\}//g' \
+      "$1"
+}
+normalize_bench "$tmp/large_j1.json" >"$tmp/large_j1.norm"
+normalize_bench "$tmp/large_j4.json" >"$tmp/large_j4.norm"
+if ! cmp -s "$tmp/large_j1.norm" "$tmp/large_j4.norm"; then
+  echo "FAIL: large.flood_e2e claim JSON differs between --jobs 1 and --jobs 4" >&2
+  diff "$tmp/large_j1.norm" "$tmp/large_j4.norm" >&2 || true
+  exit 1
+fi
+grep -q '"large.flood_e2e"' "$tmp/large_j1.json" \
+  || { echo "FAIL: large.flood_e2e row missing from bench JSON" >&2; exit 1; }
+echo "ok: large flood claim JSON byte-identical at --jobs 1 vs 4 (modulo wall facts)"
+
 echo "fleet smoke passed"

@@ -7,6 +7,7 @@ let () =
        [
          Test_prng.suites;
          Test_exec.suites;
+         Test_parallel.suites;
          Test_fleet.suites;
          Test_obs.suites;
          Test_stats.suites;
