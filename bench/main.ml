@@ -29,6 +29,13 @@
    ns/run estimate of every micro-benchmark. Subsequent PRs regress
    against the recorded file.
 
+   Part 3 (opt-in with --serve) is the service tier: an in-process
+   Serve.Server on a private Unix socket, driven by Serve.Load at
+   1, 2 and 4 concurrent clients. Every request carries a distinct
+   seed (vary_seed) so the daemon's result cache never answers and
+   the rows measure execution throughput — requests/sec and p50/p99
+   latency land in the JSON baseline's "service" array (schema /6).
+
    --only-large (with --scale large) skips the registry claim phase
    and runs just the large tier — the cheap shape for smoke scripts
    that compare the large.flood_e2e row across --jobs counts. *)
@@ -216,6 +223,85 @@ let large_tier () =
         ];
     };
   ]
+
+(* --- service tier: the serve daemon under concurrent load --- *)
+
+(* One row of the JSON "service" array (schema 6): the serve daemon's
+   throughput and latency quantiles at one client-concurrency level. *)
+type service_row = {
+  svc_clients : int;
+  svc_per_client : int;
+  svc_completed : int;
+  svc_errors : int;
+  svc_rps : float;
+  svc_p50_ms : float;
+  svc_p99_ms : float;
+}
+
+(* Each level brings up an in-process Serve.Server on a private socket,
+   drives it with Serve.Load, and tears it down — the same code path as
+   the `dyngraph serve` / `dyngraph load` pair, minus the fork. The id
+   mix spans the protocol families (edge-MEG flood, push, gossip);
+   vary_seed defeats the result cache (the claim is execution
+   throughput, not cache hits) and the per-level seed bases are
+   disjoint so no level warms another's alias tables into a cache
+   hit. *)
+let service_tier () =
+  Printf.printf "\n==== Service tier (serve daemon, concurrent NDJSON clients) ====\n\n";
+  let ids = [ "E1"; "E11"; "E13" ] in
+  let per_client = 6 in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dyngraph-bench-%d.sock" (Unix.getpid ()))
+  in
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.Metrics.enable ();
+  let rows =
+    List.map
+      (fun clients ->
+        let server =
+          Serve.Server.create
+            {
+              Serve.Server.socket_path;
+              tcp_port = None;
+              jobs = Exec.workers (sched ());
+              cache_capacity = 64;
+            }
+        in
+        let connect () =
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          fd
+        in
+        let s =
+          Serve.Load.run ~connect ~clients ~per_client ~ids
+            ~seed:(42 + (clients * 100_000))
+            ~scale:Simulate.Runner.Quick ~render:Simulate.Registry.Full
+            ~vary_seed:true ()
+        in
+        Serve.Server.stop server;
+        Printf.printf "clients=%d: %d/%d ok, %.1f req/s, p50 %.1f ms, p99 %.1f ms%s\n"
+          clients s.Serve.Load.completed (clients * per_client) s.Serve.Load.rps
+          s.Serve.Load.p50_ms s.Serve.Load.p99_ms
+          (if s.Serve.Load.errors > 0 then
+             Printf.sprintf "  (%d ERRORS)" s.Serve.Load.errors
+           else "");
+        {
+          svc_clients = clients;
+          svc_per_client = per_client;
+          svc_completed = s.Serve.Load.completed;
+          svc_errors = s.Serve.Load.errors;
+          svc_rps = s.Serve.Load.rps;
+          svc_p50_ms = s.Serve.Load.p50_ms;
+          svc_p99_ms = s.Serve.Load.p99_ms;
+        })
+      [ 1; 2; 4 ]
+  in
+  Obs.Metrics.disable ();
+  rows
 
 (* --- micro-benchmarks --- *)
 
@@ -413,7 +499,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-(* Provenance for the dyngraph-bench/5 schema: which commit and which
+(* Provenance for the dyngraph-bench/6 schema: which commit and which
    machine produced the numbers, so baselines are attributable across
    PRs. Both fields degrade to "unknown" rather than fail. *)
 let git_rev () =
@@ -432,10 +518,10 @@ let metrics_json (ms : (string * int) list) =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) ms)
   ^ "}"
 
-let write_json path ~claims ~micro =
+let write_json path ~claims ~micro ~service =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/5\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/6\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
   Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
@@ -465,6 +551,20 @@ let write_json path ~claims ~micro =
         (json_escape name) (json_float ns) (json_float r2)
         (if i = List.length micro - 1 then "" else ","))
     micro;
+  (* Schema 6: the service tier's throughput/latency claims, one row
+     per client-concurrency level. Empty (not absent) when the run
+     skipped --serve, so readers can tell "not measured" from "older
+     schema". *)
+  Printf.fprintf oc "  ],\n  \"service\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"clients\": %d, \"per_client\": %d, \"completed\": %d, \"errors\": %d, \
+         \"rps\": %s, \"p50_ms\": %s, \"p99_ms\": %s}%s\n"
+        r.svc_clients r.svc_per_client r.svc_completed r.svc_errors (json_float r.svc_rps)
+        (json_float r.svc_p50_ms) (json_float r.svc_p99_ms)
+        (if i = List.length service - 1 then "" else ","))
+    service;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
@@ -496,8 +596,11 @@ let () =
   let micro =
     if Array.exists (( = ) "--no-micro") Sys.argv then [] else run_micro sc
   in
+  let service =
+    if Array.exists (( = ) "--serve") Sys.argv then service_tier () else []
+  in
   match json_path () with
   | None -> ()
   | Some path ->
-      write_json path ~claims:rows ~micro;
+      write_json path ~claims:rows ~micro ~service;
       Printf.printf "\nwrote %s\n" path

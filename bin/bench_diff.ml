@@ -4,9 +4,11 @@
      dune exec bin/bench_diff.exe -- OLD.json NEW.json \
        [--threshold PCT] [--gate NAME]...
 
-   Reads two BENCH_*.json files (schema dyngraph-bench/1 through /5;
+   Reads two BENCH_*.json files (schema dyngraph-bench/1 through /6;
    /5 adds a "topology" object — worker domains and processes of the
-   claim phase — shown in the header lines),
+   claim phase — shown in the header lines; /6 adds a "service" array
+   of serve-daemon throughput/latency rows, one per client-concurrency
+   level),
    prints per-claim wall-clock seconds and per-micro ns/run side by
    side with the delta as a percentage (positive = slower), and flags
    claim pass/fail transitions. Schema /3 baselines additionally carry
@@ -14,6 +16,9 @@
    either file has them, their per-counter totals are diffed in a
    report-only table (counter changes mean the computation itself
    changed, so they never trip --threshold, which is about time).
+   Service rows are likewise report-only — daemon throughput is too
+   load-sensitive to gate — and a concurrency level present only in
+   the NEW file renders as "new" with no delta.
    Without --threshold the run is report-only and always exits 0; with
    --threshold it exits 1 if any timing regression exceeds PCT percent
    or any claim flips from pass to fail.
@@ -193,6 +198,17 @@ type claim = { id : string; passed : bool; seconds : float; metrics : (string * 
 
 type micro = { name : string; ns_per_run : float; r_square : float }
 
+(* One serve-daemon load level (schema /6). Keyed by [clients]: levels
+   are compared across baselines at equal concurrency. *)
+type service = {
+  sv_clients : int;
+  sv_completed : int;
+  sv_errors : int;
+  sv_rps : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+}
+
 type baseline = {
   path : string;
   schema : string;
@@ -204,6 +220,7 @@ type baseline = {
          "-" for older baselines *)
   claims : claim list;
   micros : micro list;
+  services : service list;
 }
 
 let load path =
@@ -247,6 +264,22 @@ let load path =
           l
     | _ -> []
   in
+  let services =
+    match member "service" j with
+    | Some (Arr l) ->
+        List.map
+          (fun r ->
+            {
+              sv_clients = int_of_float (num_or nan (member "clients" r));
+              sv_completed = int_of_float (num_or 0. (member "completed" r));
+              sv_errors = int_of_float (num_or 0. (member "errors" r));
+              sv_rps = num_or nan (member "rps" r);
+              sv_p50_ms = num_or nan (member "p50_ms" r);
+              sv_p99_ms = num_or nan (member "p99_ms" r);
+            })
+          l
+    | _ -> []
+  in
   let topology =
     match member "topology" j with
     | Some t ->
@@ -264,6 +297,7 @@ let load path =
     topology;
     claims;
     micros;
+    services;
   }
 
 (* --- comparison --- *)
@@ -450,6 +484,45 @@ let () =
       sorted;
     print_newline ();
     print_string (Stats.Table.render metrics_table)
+  end;
+  (* Service tier (schema /6), report-only: daemon throughput depends
+     on machine load far more than the deterministic claim tables do,
+     so rps/latency deltas are for reading, never for --threshold.
+     First appearance of a concurrency level (including the whole
+     table, on the first /6 baseline) renders as "new". *)
+  if old_b.services <> [] || new_b.services <> [] then begin
+    let service_table =
+      Stats.Table.create ~title:"service tier (serve daemon, report-only)"
+        ~columns:
+          [ "clients"; "old rps"; "new rps"; "delta"; "old p99 ms"; "new p99 ms"; "delta"; "status" ]
+    in
+    let status (r : service) = if r.sv_errors > 0 then "ERRORS" else "ok" in
+    List.iter
+      (fun (os : service) ->
+        match
+          List.find_opt (fun (ns : service) -> ns.sv_clients = os.sv_clients) new_b.services
+        with
+        | None ->
+            Stats.Table.add_row service_table
+              [ Int os.sv_clients; Fixed (os.sv_rps, 1); Missing; Missing;
+                Fixed (os.sv_p99_ms, 1); Missing; Missing; Text "missing" ]
+        | Some ns ->
+            Stats.Table.add_row service_table
+              [ Int os.sv_clients; Fixed (os.sv_rps, 1); Fixed (ns.sv_rps, 1);
+                delta_cell (delta_pct os.sv_rps ns.sv_rps); Fixed (os.sv_p99_ms, 1);
+                Fixed (ns.sv_p99_ms, 1); delta_cell (delta_pct os.sv_p99_ms ns.sv_p99_ms);
+                Text (status ns) ])
+      old_b.services;
+    List.iter
+      (fun (ns : service) ->
+        if not (List.exists (fun (os : service) -> os.sv_clients = ns.sv_clients) old_b.services)
+        then
+          Stats.Table.add_row service_table
+            [ Int ns.sv_clients; Missing; Fixed (ns.sv_rps, 1); Missing; Missing;
+              Fixed (ns.sv_p99_ms, 1); Missing; Text ("new " ^ status ns) ])
+      new_b.services;
+    print_newline ();
+    print_string (Stats.Table.render service_table)
   end;
   if Float.is_finite !worst then
     Printf.printf "\nworst %sregression: %+.1f%%\n"

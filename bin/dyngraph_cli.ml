@@ -126,7 +126,7 @@ let obs_finish ~metrics ~trace =
    executable's `worker` subcommand, mirroring the parent's metrics and
    tracing switches so the deltas the workers ship back are complete.
    Returns the scheduler to use. *)
-let fleet_setup ~procs ~jobs ~journal ~metrics ~trace =
+let fleet_setup ~procs ~jobs ~journal ~metrics ~trace ~progress =
   (* --jobs also drives intra-run tile parallelism (Exec.Pool): the
      off-heap flood scan and partitioned edge-MEG step fan out inside a
      single trial, with results identical at every jobs count. *)
@@ -136,7 +136,11 @@ let fleet_setup ~procs ~jobs ~journal ~metrics ~trace =
       Array.of_list
         ([ Sys.executable_name; "worker" ]
         @ (if metrics then [ "--metrics" ] else [])
-        @ (if trace <> None then [ "--trace-mem" ] else []))
+        @ (if trace <> None then [ "--trace-mem" ] else [])
+        (* Workers never render progress themselves (their stderr is
+           shared); --progress-pipe makes them forward ticks as framed
+           'P' messages for the parent's single coherent line. *)
+        @ (if progress then [ "--progress-pipe" ] else []))
     in
     Exec.set_worker_command (Some cmd);
     Exec.set_journal journal;
@@ -176,7 +180,7 @@ let run_cmd =
   let run id seed scale_opt full jobs procs journal metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = resolve_scale scale_opt full in
-    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace in
+    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace ~progress in
     obs_setup ~metrics ~trace ~progress;
     let result =
       if String.lowercase_ascii id = "all" then begin
@@ -214,7 +218,7 @@ let verify_cmd =
   let run seed scale_opt full jobs procs journal metrics trace progress =
     let rng = Prng.Rng.of_seed seed in
     let scale = resolve_scale scale_opt full in
-    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace in
+    let sched = fleet_setup ~procs ~jobs ~journal ~metrics ~trace ~progress in
     obs_setup ~metrics ~trace ~progress;
     let spec =
       if procs > 0 then
@@ -300,16 +304,163 @@ let worker_cmd =
       & info [ "trace-mem" ]
           ~doc:"Record trace events in memory and ship them to the parent.")
   in
-  let run metrics trace_mem =
+  let progress_pipe_flag =
+    Arg.(
+      value & flag
+      & info [ "progress-pipe" ]
+          ~doc:
+            "Forward progress ticks to the parent as framed pipe messages \
+             (workers never write progress to the shared stderr).")
+  in
+  let run metrics trace_mem progress_pipe =
     Obs.Clock.set Unix.gettimeofday;
     if metrics then Obs.Metrics.enable ();
     if trace_mem then Obs.Trace.enable ();
-    Simulate.Fleet.serve ()
+    Simulate.Fleet.serve ~forward_progress:progress_pipe ()
   in
-  let term = Term.(const run $ metrics_flag $ trace_flag) in
+  let term = Term.(const run $ metrics_flag $ trace_flag $ progress_pipe_flag) in
   Cmd.v
     (Cmd.info "worker"
        ~doc:"Serve experiment shards over stdin/stdout (spawned by --procs)")
+    term
+
+let socket_arg =
+  let doc = "Unix socket path of the daemon." in
+  Arg.(value & opt string "dyngraph.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let tcp_arg =
+    let doc = "Also listen on loopback TCP port $(docv)." in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Warm result-cache capacity (entries keyed by id/seed/scale/render); 0 \
+       disables caching."
+    in
+    Arg.(value & opt int 64 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run socket tcp jobs cache =
+    (* The daemon always runs with a real clock and metrics: progress
+       throttling, latency measurement and the per-request
+       exec.procs_degraded surfacing all need them, and neither
+       perturbs rendered experiment bytes. *)
+    Obs.Clock.set Unix.gettimeofday;
+    Obs.Metrics.enable ();
+    let config =
+      { Serve.Server.socket_path = socket; tcp_port = tcp; jobs; cache_capacity = cache }
+    in
+    let t = Serve.Server.create config in
+    let stop _ = Serve.Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.eprintf "dyngraph serve: listening on %s%s (jobs %d, cache %d)\n%!" socket
+      (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "")
+      (max 1 jobs) cache;
+    Serve.Server.wait t
+  in
+  let term = Term.(const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived simulation daemon: concurrent NDJSON experiment \
+          requests over a Unix (and optional TCP) socket, fair per-connection \
+          scheduling, streamed progress frames, warm pool and result cache. \
+          Results are byte-identical to the batch $(b,run) command. SIGTERM \
+          shuts down cleanly.")
+    term
+
+let load_cmd =
+  let tcp_arg =
+    let doc = "Connect to the daemon on loopback TCP port $(docv) instead of the socket." in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 8 & info [ "requests" ] ~docv:"R" ~doc:"Requests issued per client.")
+  in
+  let ids_arg =
+    let doc =
+      "Comma-separated experiment ids to request, walked round-robin (client \
+       $(i,i) starts at offset $(i,i), so the fleet collectively covers all of \
+       them)."
+    in
+    Arg.(value & opt string "E1" & info [ "ids" ] ~docv:"IDS" ~doc)
+  in
+  let render_arg =
+    let doc = "Result rendering: $(b,full) tables or the $(b,scorecard) summary." in
+    let render_conv =
+      Arg.enum [ ("full", Simulate.Registry.Full); ("scorecard", Simulate.Registry.Scorecard) ]
+    in
+    Arg.(value & opt render_conv Simulate.Registry.Full & info [ "render" ] ~docv:"MODE" ~doc)
+  in
+  let vary_seed_arg =
+    let doc =
+      "Give every request a distinct seed (base seed + request index) so \
+       repeats miss the daemon's result cache — measures execution throughput \
+       rather than cache hits."
+    in
+    Arg.(value & flag & info [ "vary-seed" ] ~doc)
+  in
+  let dump_arg =
+    let doc =
+      "Write each result's output verbatim to $(docv)/c<client>_r<k>_<id>.out \
+       (for byte-identity checks against the batch CLI)."
+    in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"DIR" ~doc)
+  in
+  let run socket tcp clients requests ids_s seed scale_opt full render vary_seed dump =
+    let scale = resolve_scale scale_opt full in
+    let ids =
+      String.split_on_char ',' ids_s |> List.map String.trim |> List.filter (fun s -> s <> "")
+    in
+    let unknown = List.filter (fun id -> Simulate.Registry.find id = None) ids in
+    if ids = [] then Error "no experiment ids given"
+    else if unknown <> [] then
+      Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " unknown))
+    else begin
+      let connect () =
+        match tcp with
+        | Some port ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            fd
+        | None ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            fd
+      in
+      let s =
+        Serve.Load.run ~connect ~clients ~per_client:requests ~ids ~seed ~scale ~render
+          ~vary_seed ?dump ()
+      in
+      Printf.printf "serve load: %d clients x %d requests (%s, scale %s)\n" s.Serve.Load.clients
+        s.Serve.Load.per_client ids_s
+        (Serve.Protocol.scale_to_string scale);
+      Printf.printf "completed: %d  errors: %d  cached: %d  progress_frames: %d\n"
+        s.Serve.Load.completed s.Serve.Load.errors s.Serve.Load.cached
+        s.Serve.Load.progress_frames;
+      Printf.printf "wall: %.3fs  rps: %.2f  p50: %.1fms  p99: %.1fms  mean: %.1fms\n"
+        s.Serve.Load.seconds s.Serve.Load.rps s.Serve.Load.p50_ms s.Serve.Load.p99_ms
+        s.Serve.Load.mean_ms;
+      if s.Serve.Load.errors > 0 then
+        Error (Printf.sprintf "%d request(s) failed" s.Serve.Load.errors)
+      else Ok ()
+    end
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ socket_arg $ tcp_arg $ clients_arg $ requests_arg $ ids_arg $ seed_arg
+       $ scale_arg $ full_arg $ render_arg $ vary_seed_arg $ dump_arg))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a running $(b,dyngraph serve) daemon with synthetic many-client \
+          load and report throughput (requests/sec) and latency (p50/p99).")
     term
 
 let bounds_cmd =
@@ -365,4 +516,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; csv_cmd; verify_cmd; bounds_cmd; worker_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; csv_cmd; verify_cmd; bounds_cmd; worker_cmd; serve_cmd; load_cmd ]))

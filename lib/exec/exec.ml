@@ -410,6 +410,28 @@ let c_failed = Obs.Metrics.counter "exec.jobs_failed"
 
 let c_shard_reruns = Obs.Metrics.counter "exec.shard_reruns"
 
+let c_procs_degraded = Obs.Metrics.counter "exec.procs_degraded"
+
+(* [Procs _] was requested but the plan is about to run on the
+   in-process pool instead. Warn once per process (stderr, so batch
+   output stays byte-identical) and count every occurrence, so service
+   responses can surface the degradation per request. *)
+let procs_degraded_warned = ref false
+
+let last_degradation : string option ref = ref None
+
+let last_procs_degradation () = !last_degradation
+
+let note_procs_degraded reason =
+  Obs.Metrics.incr c_procs_degraded;
+  last_degradation := Some reason;
+  if not !procs_degraded_warned then begin
+    procs_degraded_warned := true;
+    Printf.eprintf
+      "dyngraph: warning: --procs requested but this plan runs on the in-process pool (%s)\n%!"
+      reason
+  end
+
 (* Per-worker heartbeat gauges, interned lazily (racy stores are benign:
    interning is keyed by name, so both racers get the same gauge). *)
 let heartbeats = Array.make 64 None
@@ -521,13 +543,32 @@ let trip_fault hook id action =
   | _ -> ()
 
 module Worker = struct
-  let serve ~dispatch =
+  let serve ?(forward_progress = false) ~dispatch () =
     in_worker_flag := true;
     let proto_in = Unix.dup Unix.stdin in
     let proto_out = Unix.dup Unix.stdout in
     (* Re-point fd 1 at stderr so a stray [print_string] anywhere in the
        experiment code cannot corrupt the framed protocol. *)
     Unix.dup2 Unix.stderr Unix.stdout;
+    (* Workers never write progress to the (shared) stderr — concurrent
+       shards would tear each other's \r lines. Either progress is off
+       entirely, or the parent asked for it to be forwarded as 'P'
+       frames over the pipe so it can render one coherent stream. *)
+    let current_job = ref 0 in
+    if forward_progress then begin
+      Obs.Progress.set_renderer
+        (Some
+           (fun (u : Obs.Progress.update) ->
+             let b = Buffer.create 32 in
+             Buffer.add_char b 'P';
+             Spec.Buf.add_int b !current_job;
+             Spec.Buf.add_int b u.Obs.Progress.completed;
+             Spec.Buf.add_int b u.Obs.Progress.total;
+             try write_frame proto_out (Buffer.contents b)
+             with Unix.Unix_error _ | Fleet_failure _ -> ()));
+      Obs.Progress.enable ()
+    end
+    else Obs.Progress.disable ();
     let crash = fault_hook "DYNGRAPH_FLEET_CRASH" in
     let hang = fault_hook "DYNGRAPH_FLEET_HANG" in
     let continue = ref true in
@@ -548,6 +589,7 @@ module Worker = struct
               done;
               let id = Spec.Buf.string r in
               let payload = Spec.Buf.string r in
+              current_job := job;
               trip_fault crash id (fun () -> Stdlib.exit 70);
               trip_fault hang id (fun () -> Unix.sleep 3600);
               (* Per-job observability window: counters and trace ring
@@ -590,6 +632,25 @@ module Worker = struct
 end
 
 (* --- the parent side: a crash-isolated worker fleet --- *)
+
+(* Hang-detection deadlines live on the monotonic clock
+   ([Obs.Clock.monotonic]), never the wall clock: an NTP step or a
+   suspend/resume must neither falsely SIGKILL a healthy shard nor let a
+   wedged one run forever. A deadline is an absolute monotonic instant;
+   [none] ([infinity]) means unarmed. *)
+module Deadline = struct
+  type t = float
+
+  let none = infinity
+
+  let arm seconds = Obs.Clock.monotonic () +. seconds
+
+  let armed d = d < infinity
+
+  let expired d = armed d && Obs.Clock.monotonic () >= d
+
+  let seconds_left d = if armed d then d -. Obs.Clock.monotonic () else infinity
+end
 
 type worker_proc = {
   pid : int;
@@ -674,7 +735,7 @@ let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_pat
     Unix.close resp_w;
     let wk =
       { pid; req_fd = req_w; resp_fd = resp_r; slot = !slot_counter; inflight = None;
-        deadline = infinity }
+        deadline = Deadline.none }
     in
     incr slot_counter;
     live := wk :: !live
@@ -722,8 +783,8 @@ let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_pat
     | () ->
         wk.inflight <- Some job;
         (match timeout with
-        | Some t -> wk.deadline <- Unix.gettimeofday () +. t
-        | None -> ())
+        | Some t -> wk.deadline <- Deadline.arm t
+        | None -> wk.deadline <- Deadline.none)
     | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
         (* Died before it ever saw the shard: not the shard's fault, so
            no attempt is charged — requeue and let the top-up respawn. *)
@@ -753,13 +814,13 @@ let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_pat
         if !completed < n then begin
           let fds = List.map (fun wk -> wk.resp_fd) !live in
           if fds = [] then raise (Fleet_failure "fleet drained with shards incomplete");
-          let now = Unix.gettimeofday () in
-          let next_deadline =
+          let next_wait =
             List.fold_left
-              (fun acc wk -> if wk.inflight <> None then min acc wk.deadline else acc)
+              (fun acc wk ->
+                if wk.inflight <> None then min acc (Deadline.seconds_left wk.deadline) else acc)
               infinity !live
           in
-          let tmo = if next_deadline = infinity then -1. else max 0.01 (next_deadline -. now) in
+          let tmo = if next_wait = infinity then -1. else max 0.01 next_wait in
           let ready, _, _ = retry_intr (fun () -> Unix.select fds [] [] tmo) in
           List.iter
             (fun fd ->
@@ -778,12 +839,25 @@ let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_pat
                           let job = Spec.Buf.int r in
                           if Obs.Metrics.enabled () then heartbeat wk.slot;
                           wk.inflight <- None;
-                          wk.deadline <- infinity;
+                          wk.deadline <- Deadline.none;
                           (match journal with
                           | Some t ->
                               Journal.append t ~job ~spec_id:specs.(job).Spec.id ~data:resp
                           | None -> ());
                           handle_success job resp
+                      | 'P' ->
+                          (* A worker forwarding its shard's own progress
+                             ticks. The shard is demonstrably alive, so
+                             its hang-detection deadline restarts. *)
+                          let job = Spec.Buf.int r in
+                          let c = Spec.Buf.int r in
+                          let t = Spec.Buf.int r in
+                          (match timeout with
+                          | Some secs when wk.inflight <> None ->
+                              wk.deadline <- Deadline.arm secs
+                          | _ -> ());
+                          if progress && job >= 0 && job < n then
+                            Obs.Progress.sub ~label:specs.(job).Spec.id ~completed:c ~total:t
                       | 'E' ->
                           let _job = Spec.Buf.int r in
                           let msg = Spec.Buf.string r in
@@ -791,10 +865,9 @@ let run_procs w ~(specs : _ Spec.t array) ~plan_ord ~path ~progress ~journal_pat
                           raise (Fleet_failure ("worker job raised: " ^ msg))
                       | _ -> raise (Fleet_failure "malformed response frame"))))
             ready;
-          let now = Unix.gettimeofday () in
           List.iter
             (fun wk ->
-              if wk.inflight <> None && wk.deadline <= now then crash wk "timed out")
+              if wk.inflight <> None && Deadline.expired wk.deadline then crash wk "timed out")
             (List.filter (fun _ -> true) !live)
         end
       done;
@@ -831,6 +904,19 @@ let run s p =
               Some spec
           | _ -> None
         in
+        (* Satellite of the fleet contract: [Procs _] requested at the
+           root of a parent process but not honoured — say so once and
+           count it, instead of silently running in-process. Workers
+           degrade by design (the parent already sharded), and nested
+           plans degrade as part of whatever their root chose. *)
+        (if fleet = None && root && not !in_worker_flag then
+           match (s, p.spec) with
+           | Procs _, None -> note_procs_degraded "the plan has no serialisable job spec"
+           | Procs _, Some _ when !worker_command_ref = None ->
+               note_procs_degraded "no worker command is configured"
+           | Procs _, Some _ when p.jobs <= 1 ->
+               note_procs_degraded "the plan has a single job"
+           | _ -> ());
         match fleet with
         | Some spec ->
             let path = (Obs.Ambient.frame ()).Obs.Ambient.path in

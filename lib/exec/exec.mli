@@ -177,10 +177,44 @@ val set_journal : string option -> unit
     journaled. *)
 
 val set_worker_timeout : float option -> unit
-(** Per-shard wall-clock budget in seconds. A worker that holds one
-    shard past the budget is SIGKILLed and its shard re-run on a fresh
-    worker. Defaults to the [DYNGRAPH_PROC_TIMEOUT] environment variable
-    when set and parsable (warned once otherwise), else no timeout. *)
+(** Per-shard budget in seconds, measured on the {e monotonic} clock
+    ({!Obs.Clock.monotonic}) so NTP steps and suspend/resume cannot
+    falsely fire — or indefinitely defer — hang detection. A worker that
+    holds one shard past the budget without signs of life is SIGKILLed
+    and its shard re-run on a fresh worker; a forwarded progress frame
+    ('P') counts as a sign of life and restarts the shard's deadline.
+    Defaults to the [DYNGRAPH_PROC_TIMEOUT] environment variable when
+    set and parsable (warned once otherwise), else no timeout. *)
+
+(** Deadline arithmetic for hang detection, on {!Obs.Clock.monotonic}.
+    Exposed so the conversion is unit-testable with an injected clock
+    (no real sleeps). *)
+module Deadline : sig
+  type t
+
+  val none : t
+  (** Unarmed: never {!expired}, waits forever. *)
+
+  val arm : float -> t
+  (** [arm seconds] is the deadline [seconds] from now on the monotonic
+      clock. *)
+
+  val armed : t -> bool
+
+  val expired : t -> bool
+  (** Whether the monotonic clock has reached an armed deadline.
+      [expired none] is always [false]. *)
+
+  val seconds_left : t -> float
+  (** Monotonic seconds until expiry ([infinity] when unarmed; may be
+      negative once expired). *)
+end
+
+val last_procs_degradation : unit -> string option
+(** The reason the most recent root-level [Procs _] plan in this process
+    degraded to the in-process pool, if any ever has. Each occurrence
+    also increments the [exec.procs_degraded] counter and the first one
+    warns on stderr. *)
 
 val in_worker : unit -> bool
 (** Whether this process is a fleet worker ({!Worker.serve} was
@@ -189,9 +223,20 @@ val in_worker : unit -> bool
 
 (** The worker side of the fleet protocol. *)
 module Worker : sig
-  val serve : dispatch:(id:string -> payload:string -> string) -> unit
+  val serve :
+    ?forward_progress:bool -> dispatch:(id:string -> payload:string -> string) -> unit -> unit
   (** Serve framed job requests from stdin, writing framed responses to
-      stdout, until EOF or an explicit shutdown frame. For each request,
+      stdout, until EOF or an explicit shutdown frame.
+
+      Workers never render progress to the shared stderr (concurrent
+      shards would tear each other's lines): {!Obs.Progress} is disabled
+      on entry unless [forward_progress] is set (the parent passed
+      [--progress-pipe]), in which case progress updates from the jobs
+      this worker runs are forwarded as framed 'P' messages for the
+      parent to render as one coherent stream — and to treat as liveness
+      for hang detection.
+
+      For each request,
       [dispatch ~id ~payload] executes the job and returns its encoded
       result; it runs inside the standard observability envelope with
       the parent-assigned plan/job coordinates, after resetting this

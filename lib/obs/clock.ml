@@ -1,10 +1,24 @@
-(* The one wall-clock source of the observability layer. The library
-   itself takes no clock dependency: the default source returns 0., so
-   timestamps are inert (and trace output is bit-reproducible) until an
-   executable installs a real clock. *)
+(* The clock sources of the observability layer.
+
+   Wall clock: the library itself takes no clock dependency — the
+   default source returns 0., so timestamps are inert (and trace output
+   is bit-reproducible) until an executable installs a real clock.
+
+   Monotonic clock: deadline and timeout arithmetic must not move when
+   NTP steps the wall clock or the host suspends/resumes, so it gets a
+   separate source backed by CLOCK_MONOTONIC via a tiny C stub. Tests
+   inject a fake with [set_monotonic] and restore [monotonic_raw]. *)
 
 let source : (unit -> float) Atomic.t = Atomic.make (fun () -> 0.)
 
 let set f = Atomic.set source f
 
 let now () = (Atomic.get source) ()
+
+external monotonic_raw : unit -> float = "dyngraph_clock_monotonic"
+
+let monotonic_source : (unit -> float) Atomic.t = Atomic.make monotonic_raw
+
+let set_monotonic f = Atomic.set monotonic_source f
+
+let monotonic () = (Atomic.get monotonic_source) ()

@@ -1,14 +1,33 @@
-(** Wall-clock source for timers, heartbeats and trace timestamps.
+(** Clock sources for the observability layer.
 
-    Defaults to a constant [0.] so the library stays zero-dependency and
-    trace output is bit-reproducible out of the box; executables that
-    want real timestamps install one (e.g.
-    [Obs.Clock.set Unix.gettimeofday]). Timestamps are annotations only:
-    no deterministic output may depend on them. *)
+    {b Wall clock} — timers, heartbeats and trace timestamps. Defaults
+    to a constant [0.] so the library stays zero-dependency and trace
+    output is bit-reproducible out of the box; executables that want
+    real timestamps install one (e.g. [Obs.Clock.set Unix.gettimeofday]).
+    Timestamps are annotations only: no deterministic output may depend
+    on them.
+
+    {b Monotonic clock} — deadline/timeout arithmetic (worker
+    hang-detection, service latency measurement). Defaults to a real
+    [CLOCK_MONOTONIC] reading via a C stub, because timeouts must not
+    fire (or fail to fire) when NTP steps the wall clock or the host
+    suspends. Tests may inject a fake with {!set_monotonic}; restore
+    with [set_monotonic Obs.Clock.monotonic_raw]. *)
 
 val set : (unit -> float) -> unit
-(** Install a clock. Safe to call from any domain; takes effect for
+(** Install a wall clock. Safe to call from any domain; takes effect for
     subsequent {!now} calls. *)
 
 val now : unit -> float
-(** Current time according to the installed clock (seconds). *)
+(** Current time according to the installed wall clock (seconds). *)
+
+val set_monotonic : (unit -> float) -> unit
+(** Install a monotonic-clock source (tests only, normally). *)
+
+val monotonic : unit -> float
+(** Seconds on the installed monotonic clock. Only differences are
+    meaningful; the epoch is arbitrary (typically host boot). *)
+
+val monotonic_raw : unit -> float
+(** The real [CLOCK_MONOTONIC] reading, bypassing any injected source —
+    the default source for {!monotonic}. *)

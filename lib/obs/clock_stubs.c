@@ -1,0 +1,14 @@
+/* Monotonic clock for deadline arithmetic. CLOCK_MONOTONIC is immune
+   to NTP steps and wall-clock adjustments, which is exactly what
+   timeout math needs; see Obs.Clock.monotonic. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value dyngraph_clock_monotonic(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

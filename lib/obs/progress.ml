@@ -1,7 +1,20 @@
-(* Optional stderr progress line for long sweeps, ticked by the
-   execution engine as root-plan jobs complete. Writes only to stderr
-   (never stdout), so enabling it cannot perturb byte-identical result
-   output. Throttled to at most ~10 lines a second. *)
+(* Optional progress reporting for long sweeps, ticked by the
+   execution engine as root-plan jobs complete. The default renderer
+   writes a throttled single line to stderr (never stdout), so enabling
+   progress cannot perturb byte-identical result output. A custom
+   renderer can be installed to reroute updates — fleet workers forward
+   them as framed pipe messages, the serve daemon as per-request JSON
+   frames. Throttled to at most ~10 updates a second. *)
+
+type update = {
+  label : string;
+  completed : int;
+  total : int;
+  final : bool;
+  sub : (string * int * int) option;
+}
+
+type renderer = update -> unit
 
 let mutex = Mutex.create ()
 
@@ -13,9 +26,20 @@ let total = ref 0
 
 let completed = ref 0
 
+(* Finer-grained progress inside the job currently being worked on —
+   e.g. a fleet shard forwarding its own trial ticks. *)
+let current_sub : (string * int * int) option ref = ref None
+
 let last_printed = ref neg_infinity
 
 let min_interval = 0.1
+
+let custom_renderer : renderer option ref = ref None
+
+let set_renderer r =
+  Mutex.lock mutex;
+  custom_renderer := r;
+  Mutex.unlock mutex
 
 let enabled () = Atomic.get active
 
@@ -24,21 +48,53 @@ let enable ?(label = "jobs") () =
   current_label := label;
   total := 0;
   completed := 0;
+  current_sub := None;
   last_printed := neg_infinity;
   Mutex.unlock mutex;
   Atomic.set active true
 
 let disable () = Atomic.set active false
 
-let print_line final =
-  Printf.eprintf "\r%s: %d/%d jobs%s%!" !current_label !completed !total
-    (if final then "\n" else "")
+let default_render u =
+  let subtxt =
+    match u.sub with
+    | Some (l, c, t) -> Printf.sprintf " [%s %d/%d]" l c t
+    | None -> ""
+  in
+  Printf.eprintf "\r%s: %d/%d jobs%s%s%!" u.label u.completed u.total subtxt
+    (if u.final then "\n" else "")
+
+(* Callers hold [mutex]. *)
+let render final =
+  let u =
+    {
+      label = !current_label;
+      completed = !completed;
+      total = !total;
+      final;
+      sub = !current_sub;
+    }
+  in
+  match !custom_renderer with Some r -> r u | None -> default_render u
+
+(* Callers hold [mutex]. Final updates always render; intermediate ones
+   are throttled on the wall clock. *)
+let render_throttled final =
+  if final then render true
+  else begin
+    let now = Clock.now () in
+    if now -. !last_printed >= min_interval then begin
+      last_printed := now;
+      render false
+    end
+  end
 
 let begin_plan ~jobs =
   if enabled () then begin
     Mutex.lock mutex;
     total := jobs;
     completed := 0;
+    current_sub := None;
     last_printed := neg_infinity;
     Mutex.unlock mutex
   end
@@ -47,17 +103,24 @@ let tick () =
   if enabled () then begin
     Mutex.lock mutex;
     incr completed;
-    let now = Clock.now () in
-    if now -. !last_printed >= min_interval then begin
-      last_printed := now;
-      print_line false
-    end;
+    (* The job whose sub-progress we were showing just finished. *)
+    current_sub := None;
+    render_throttled false;
+    Mutex.unlock mutex
+  end
+
+let sub ~label ~completed:c ~total:t =
+  if enabled () then begin
+    Mutex.lock mutex;
+    current_sub := Some (label, c, t);
+    render_throttled false;
     Mutex.unlock mutex
   end
 
 let end_plan () =
   if enabled () then begin
     Mutex.lock mutex;
-    if !total > 0 then print_line true;
+    current_sub := None;
+    if !total > 0 then render_throttled true;
     Mutex.unlock mutex
   end

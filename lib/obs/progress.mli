@@ -1,11 +1,35 @@
-(** Optional stderr progress reporting for long sweeps.
+(** Optional progress reporting for long sweeps.
 
     When enabled, {!Exec.run} registers each root-level plan with
     {!begin_plan} and calls {!tick} as its jobs complete (on whichever
-    domain finished them); a throttled [\r label: k/n jobs] line goes to
-    stderr. Stdout is never touched, so progress can be enabled without
-    perturbing byte-identical result output. Timestamps come from
-    {!Clock}, so install a real clock for useful throttling. *)
+    domain finished them). By default a throttled [\r label: k/n jobs]
+    line goes to stderr; stdout is never touched, so progress can be
+    enabled without perturbing byte-identical result output. Timestamps
+    come from {!Clock}, so install a real wall clock for useful
+    throttling.
+
+    The renderer is pluggable: fleet worker processes replace it with
+    one that forwards updates over the framed pipe protocol (so the
+    parent renders one coherent stream instead of shards tearing each
+    other's stderr lines), and the serve daemon replaces it with one
+    that emits per-request JSON progress frames. *)
+
+type update = {
+  label : string;  (** the plan label passed to {!enable} *)
+  completed : int;
+  total : int;
+  final : bool;  (** true for the end-of-plan update *)
+  sub : (string * int * int) option;
+      (** finer-grained [(label, completed, total)] progress inside the
+          current job, e.g. a fleet shard's own ticks *)
+}
+
+type renderer = update -> unit
+
+val set_renderer : renderer option -> unit
+(** Install a custom renderer, or [None] to restore the default stderr
+    line. Updates are delivered under the module's mutex, one at a
+    time. *)
 
 val enable : ?label:string -> unit -> unit
 
@@ -17,8 +41,15 @@ val begin_plan : jobs:int -> unit
 (** Called by the execution engine when a root plan starts. *)
 
 val tick : unit -> unit
-(** Called by the execution engine as each root-plan job completes. *)
+(** Called by the execution engine as each root-plan job completes.
+    Clears any {!sub} state (the job it described just finished). *)
+
+val sub : label:string -> completed:int -> total:int -> unit
+(** Report finer-grained progress inside the currently running job —
+    used by the fleet parent when a worker forwards its shard's own
+    ticks. Rendered as a suffix of the main line by the default
+    renderer. *)
 
 val end_plan : unit -> unit
-(** Called by the execution engine when a root plan finishes; prints the
-    final count with a newline. *)
+(** Called by the execution engine when a root plan finishes; renders a
+    final update (newline-terminated on the default renderer). *)

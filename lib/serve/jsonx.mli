@@ -1,0 +1,35 @@
+(** Minimal JSON values: the wire format of the serve protocol.
+
+    The parser is strict — truncated input, unterminated strings, bad
+    escapes, raw control characters and trailing garbage are all
+    rejected with a positioned error — because it reads bytes off
+    sockets. The renderer is compact and newline-free (control
+    characters are escaped), so one rendered value is always exactly
+    one NDJSON line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+(** Compact single-line rendering; [parse (to_string v)] round-trips
+    for every [v] whose strings are valid UTF-8. Integral numbers
+    render without a decimal point. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val str_opt : t -> string option
+
+val num_opt : t -> float option
+
+val int_opt : t -> int option
+(** [Some] only for integral [Num]s within exact-float range. *)
+
+val bool_opt : t -> bool option

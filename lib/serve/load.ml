@@ -1,0 +1,131 @@
+(* Synthetic many-client load generator for the serve daemon
+   (`dyngraph load`, and the bench service tier). Spawns [clients]
+   threads, each with its own connection, each issuing [per_client]
+   requests back-to-back over a mixed id list (client i starts at
+   offset i, so the fleet collectively covers every id). Latency is
+   measured per request on the monotonic clock, first byte of the
+   request line to the result frame; the summary reports throughput
+   and p50/p99 over the merged latencies.
+
+   With [dump] set, every result's output field is written verbatim to
+   "<dump>/c<client>_r<k>_<id>.out" — the byte-identity hook the serve
+   smoke compares against batch CLI output. [vary_seed] gives every
+   request a distinct seed (seed + global request index), defeating
+   the server's result cache when the point is to measure execution
+   throughput rather than cache hits. *)
+
+type summary = {
+  clients : int;
+  per_client : int;
+  completed : int;
+  errors : int;
+  cached : int;
+  progress_frames : int;
+  seconds : float;
+  rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+}
+
+type client_stats = {
+  mutable c_completed : int;
+  mutable c_errors : int;
+  mutable c_cached : int;
+  mutable c_progress : int;
+  mutable c_latencies : float list;  (* seconds *)
+}
+
+let run ~connect ~clients ~per_client ~ids ~seed ~scale ~render ?(vary_seed = false)
+    ?dump () =
+  if clients < 1 then invalid_arg "Load.run: clients must be >= 1";
+  if ids = [] then invalid_arg "Load.run: ids must be non-empty";
+  (match dump with
+  | Some dir -> (
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
+  let ids = Array.of_list ids in
+  let nids = Array.length ids in
+  let stats =
+    Array.init clients (fun _ ->
+        { c_completed = 0; c_errors = 0; c_cached = 0; c_progress = 0; c_latencies = [] })
+  in
+  let client ci () =
+    let st = stats.(ci) in
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        for k = 0 to per_client - 1 do
+          let id = ids.((ci + k) mod nids) in
+          let req_seed = if vary_seed then seed + (ci * per_client) + k else seed in
+          let line =
+            Protocol.encode_request ~req:k
+              (Protocol.Run { id; seed = req_seed; scale; render })
+            ^ "\n"
+          in
+          let t0 = Obs.Clock.monotonic () in
+          let data = Bytes.of_string line in
+          let len = Bytes.length data in
+          let off = ref 0 in
+          while !off < len do
+            let n = Unix.write fd data !off (len - !off) in
+            off := !off + n
+          done;
+          (* Drain frames until this request's result (or error). *)
+          let rec await () =
+            let reply = input_line ic in
+            match Protocol.decode_msg reply with
+            | Ok (Protocol.Progress p) when p.req = k ->
+                st.c_progress <- st.c_progress + 1;
+                await ()
+            | Ok (Protocol.Result r) when r.req = k ->
+                let dt = Obs.Clock.monotonic () -. t0 in
+                st.c_completed <- st.c_completed + 1;
+                if r.cached then st.c_cached <- st.c_cached + 1;
+                st.c_latencies <- dt :: st.c_latencies;
+                (match dump with
+                | Some dir ->
+                    let path = Filename.concat dir (Printf.sprintf "c%d_r%d_%s.out" ci k id) in
+                    let oc = open_out_bin path in
+                    output_string oc r.output;
+                    close_out oc
+                | None -> ())
+            | Ok (Protocol.Error _) -> st.c_errors <- st.c_errors + 1
+            | Ok _ -> await ()
+            | Result.Error _ -> st.c_errors <- st.c_errors + 1
+          in
+          try await () with End_of_file | Sys_error _ -> st.c_errors <- st.c_errors + 1
+        done)
+  in
+  let t0 = Obs.Clock.monotonic () in
+  let threads = List.init clients (fun ci -> Thread.create (client ci) ()) in
+  List.iter Thread.join threads;
+  let seconds = Obs.Clock.monotonic () -. t0 in
+  let completed = Array.fold_left (fun a s -> a + s.c_completed) 0 stats in
+  let errors = Array.fold_left (fun a s -> a + s.c_errors) 0 stats in
+  let cached = Array.fold_left (fun a s -> a + s.c_cached) 0 stats in
+  let progress_frames = Array.fold_left (fun a s -> a + s.c_progress) 0 stats in
+  let latencies =
+    Array.of_list (List.concat_map (fun s -> s.c_latencies) (Array.to_list stats))
+  in
+  let ms x = x *. 1000. in
+  let p q = if Array.length latencies = 0 then Float.nan else Stats.Quantile.quantile latencies q in
+  let mean =
+    if Array.length latencies = 0 then Float.nan
+    else Array.fold_left ( +. ) 0. latencies /. float_of_int (Array.length latencies)
+  in
+  {
+    clients;
+    per_client;
+    completed;
+    errors;
+    cached;
+    progress_frames;
+    seconds;
+    rps = (if seconds > 0. then float_of_int completed /. seconds else Float.nan);
+    p50_ms = ms (p 0.5);
+    p99_ms = ms (p 0.99);
+    mean_ms = ms mean;
+  }

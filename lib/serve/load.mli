@@ -1,0 +1,44 @@
+(** Synthetic many-client load generator for the serve daemon — the
+    measurement half of the service story ([dyngraph load] and the
+    bench service tier).
+
+    [clients] threads each open one connection via [connect] and issue
+    [per_client] run requests back-to-back, walking the [ids] list from
+    offset = client index (so the fleet collectively covers every id).
+    Per-request latency is measured on the monotonic clock from request
+    write to result frame; progress frames are counted along the way. *)
+
+type summary = {
+  clients : int;
+  per_client : int;
+  completed : int;
+  errors : int;
+  cached : int;  (** results served from the daemon's warm cache *)
+  progress_frames : int;
+  seconds : float;  (** wall duration of the whole load *)
+  rps : float;  (** completed / seconds *)
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+}
+
+val run :
+  connect:(unit -> Unix.file_descr) ->
+  clients:int ->
+  per_client:int ->
+  ids:string list ->
+  seed:int ->
+  scale:Simulate.Runner.scale ->
+  render:Simulate.Registry.render ->
+  ?vary_seed:bool ->
+  ?dump:string ->
+  unit ->
+  summary
+(** [vary_seed] (default false) gives every request a distinct seed
+    ([seed] + global request index) so repeated ids miss the server's
+    result cache — use it when measuring execution throughput. [dump]
+    writes each result's output verbatim to
+    [<dump>/c<client>_r<k>_<id>.out] (creating the directory), the
+    hook the serve smoke uses to check byte identity against the batch
+    CLI. Raises [Invalid_argument] on [clients < 1] or empty [ids];
+    connection failures propagate from [connect]. *)

@@ -1,0 +1,57 @@
+(** The long-lived simulation daemon behind [dyngraph serve].
+
+    Accepts concurrent clients on a Unix socket (and optionally
+    loopback TCP) speaking the NDJSON {!Protocol}. One reader thread
+    per connection answers [list]/[ping] inline and enqueues [run]
+    requests per connection; a single executor thread drains the
+    queues round-robin across connections — fair scheduling — while
+    parallelism lives {e inside} each request (the trial plans run on
+    the in-process Domain pool sized by [jobs], and the persistent
+    {!Exec.Pool} tile workers, per-domain scratch and interned alias
+    tables stay warm across requests). A bounded result cache keyed by
+    [(id, seed, scale, render)] answers repeats instantly with
+    [cached = true].
+
+    A [run] request's [output] is byte-identical to the batch CLI
+    [dyngraph run <id> --seed S] stdout for the same parameters (both
+    execute {!Simulate.Registry.single_outcome}).
+
+    The hosting executable should install a real wall clock and enable
+    metrics before {!create}; [serve.requests], [serve.cache_hits] and
+    [serve.errors] count traffic, and each result frame carries the
+    request-scoped [exec.procs_degraded] count. *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** bound on loopback when set *)
+  jobs : int;  (** in-process Domain pool size per request *)
+  cache_capacity : int;  (** warm result-cache entries; 0 disables *)
+}
+
+val default_config : config
+(** [dyngraph.sock], no TCP, 1 job, 64 cache entries. *)
+
+type t
+
+val create : config -> t
+(** Bind the sockets (unlinking a stale socket file first), start the
+    accept and executor threads, and return immediately. Raises
+    [Unix.Unix_error] if a socket cannot be bound. Ignores SIGPIPE. *)
+
+val request_stop : t -> unit
+(** Begin shutdown; safe to call from a signal handler (one atomic
+    store plus a self-pipe write). Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server has shut down: the executor finishes its
+    current request, queued requests are failed with
+    ["server shutting down"], client sockets are shut down, listener
+    fds are closed and the Unix socket path is unlinked. *)
+
+val stop : t -> unit
+(** [request_stop] then [wait] — for in-process servers (tests,
+    bench). *)
+
+val run : config -> unit
+(** [create] then [wait]: the daemon main loop. Install signal
+    handlers around this (see [dyngraph serve]). *)

@@ -85,4 +85,4 @@ let dispatch ~id ~payload =
   B.add_pairs b metrics;
   Buffer.contents b
 
-let serve () = Exec.Worker.serve ~dispatch
+let serve ?forward_progress () = Exec.Worker.serve ?forward_progress ~dispatch ()

@@ -27,7 +27,9 @@ val specs :
 val dispatch : id:string -> payload:string -> string
 (** Execute one spec payload (worker side) and encode its outcome. *)
 
-val serve : unit -> unit
+val serve : ?forward_progress:bool -> unit -> unit
 (** Run the fleet worker loop ({!Exec.Worker.serve} with {!dispatch}).
     The hosting executable should install a real {!Obs.Clock} and mirror
-    the parent's metrics/tracing enablement before calling this. *)
+    the parent's metrics/tracing enablement before calling this;
+    [forward_progress] mirrors the parent's [--progress] (workers never
+    write progress to stderr — see {!Exec.Worker.serve}). *)

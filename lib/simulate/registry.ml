@@ -108,6 +108,15 @@ let rendered_outcome ?clock ~render ~sched ~rng ~scale e =
     Obs.Trace.emit "exp.end" [ ("id", Str e.id); ("ok", Int (if ok then 1 else 0)) ];
   (output, ok, now () -. started, metrics)
 
+(* The one seeding scheme for *single-experiment* entry points: the CLI
+   [run <id> --seed S] seeds the generator as [Prng.Rng.of_seed seed]
+   directly (no registry substream), and a serve [run] request must do
+   exactly the same, or service responses would not be byte-identical
+   to the batch CLI. Keeping both on this helper makes that contract a
+   single point of truth. *)
+let single_outcome ?clock ?(render = Full) ?(sched = Exec.sequential) ~seed ~scale e =
+  rendered_outcome ?clock ~render ~sched ~rng:(Prng.Rng.of_seed seed) ~scale e
+
 let run_each ?(render = Full) ?(sched = Exec.sequential) ?clock ?spec ~rng ~scale () =
   let exps = Array.of_list all in
   (* The substream split happens inside the job, not up front: on the

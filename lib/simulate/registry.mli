@@ -75,6 +75,21 @@ val rendered_outcome :
     keeps counters and trace output identical across process
     boundaries. *)
 
+val single_outcome :
+  ?clock:(unit -> float) ->
+  ?render:render ->
+  ?sched:Exec.scheduler ->
+  seed:int ->
+  scale:Runner.scale ->
+  experiment ->
+  string * bool * float * (string * int) list
+(** {!rendered_outcome} with the single-experiment seeding scheme:
+    the generator is [Prng.Rng.of_seed seed] directly, exactly as the
+    CLI [run <id> --seed S] seeds it. The serve daemon executes [run]
+    requests through this helper, which is what makes a service
+    response byte-identical to the equivalent batch CLI invocation.
+    [render] defaults to [Full], [sched] to [Exec.sequential]. *)
+
 val run_each :
   ?render:render ->
   ?sched:Exec.scheduler ->

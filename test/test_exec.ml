@@ -158,6 +158,79 @@ let test_single_experiment_bytes () =
   Alcotest.(check string) "E12 pool 4 = sequential" (render Exec.sequential)
     (render (Exec.pool 4))
 
+(* --- deadlines on the monotonic clock --- *)
+
+(* No sleeps: the monotonic source is injected, so expiry is a pure
+   function of the fake clock. Restoring the real source in [finally]
+   keeps the other suites honest. *)
+let with_fake_monotonic f () =
+  let t = ref 100. in
+  Obs.Clock.set_monotonic (fun () -> !t);
+  Fun.protect
+    ~finally:(fun () -> Obs.Clock.set_monotonic Obs.Clock.monotonic_raw)
+    (fun () -> f t)
+
+let test_deadline_unarmed =
+  with_fake_monotonic (fun t ->
+      check_true "none is unarmed" (not (Exec.Deadline.armed Exec.Deadline.none));
+      check_true "none never expires" (not (Exec.Deadline.expired Exec.Deadline.none));
+      check_true "none waits forever"
+        (Exec.Deadline.seconds_left Exec.Deadline.none = infinity);
+      t := 1e12;
+      check_true "still never expires" (not (Exec.Deadline.expired Exec.Deadline.none)))
+
+let test_deadline_expiry =
+  with_fake_monotonic (fun t ->
+      let d = Exec.Deadline.arm 5. in
+      check_true "armed" (Exec.Deadline.armed d);
+      check_true "not expired yet" (not (Exec.Deadline.expired d));
+      check_close ~eps:1e-9 "full time left" 5. (Exec.Deadline.seconds_left d);
+      t := 104.9;
+      check_true "still not expired" (not (Exec.Deadline.expired d));
+      check_close ~eps:1e-9 "tenth of a second left" 0.1 (Exec.Deadline.seconds_left d);
+      t := 105.;
+      check_true "expires exactly on time" (Exec.Deadline.expired d);
+      t := 107.;
+      check_close ~eps:1e-9 "negative once past" (-2.) (Exec.Deadline.seconds_left d))
+
+(* The bug the sweep fixes: hang deadlines used to sit on the wall
+   clock, so an NTP step (or any Clock.set) could fire or starve them.
+   Arming and expiry must be invariant under wall-clock jumps. *)
+let test_deadline_ignores_wall_clock =
+  with_fake_monotonic (fun t ->
+      let d = Exec.Deadline.arm 10. in
+      Obs.Clock.set (fun () -> 1e9);
+      check_true "wall jump forward does not expire" (not (Exec.Deadline.expired d));
+      Obs.Clock.set (fun () -> -1e9);
+      check_true "wall jump backward does not extend"
+        (Exec.Deadline.seconds_left d = 10.);
+      Obs.Clock.set (fun () -> 0.);
+      t := 110.;
+      check_true "monotonic progress alone expires it" (Exec.Deadline.expired d))
+
+(* --- --procs degradation is loud --- *)
+
+(* A [procs] request that cannot shard (here: the plan carries no
+   serialisable spec) must fall back to the in-process pool, still
+   return the right answer, and say so: counter + recorded reason. *)
+let test_procs_degradation_counted () =
+  Exec.set_worker_command None;
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ())
+    (fun () ->
+      let expect = List.init 20 (fun i -> i * i) in
+      Alcotest.(check (list int)) "degraded run still correct" expect
+        (Exec.run (Exec.procs 2) (square_plan 20));
+      Alcotest.(check int) "exec.procs_degraded counted" 1
+        (Obs.Metrics.value (Obs.Metrics.counter "exec.procs_degraded"));
+      match Exec.last_procs_degradation () with
+      | Some reason -> check_true "reason mentions the spec" (String.length reason > 0)
+      | None -> Alcotest.fail "no degradation reason recorded")
+
 let suites =
   [
     ( "exec.scheduler",
@@ -184,5 +257,16 @@ let suites =
         Alcotest.test_case "run all bytes, 2 workers, seed 7" `Slow
           test_run_all_bytes_workers_seed7;
         Alcotest.test_case "single experiment bytes" `Slow test_single_experiment_bytes;
+      ] );
+    ( "exec.deadline",
+      [
+        Alcotest.test_case "unarmed never expires" `Quick test_deadline_unarmed;
+        Alcotest.test_case "arms and expires on the fake clock" `Quick test_deadline_expiry;
+        Alcotest.test_case "ignores wall-clock jumps" `Quick test_deadline_ignores_wall_clock;
+      ] );
+    ( "exec.degradation",
+      [
+        Alcotest.test_case "--procs fallback is counted and explained" `Quick
+          test_procs_degradation_counted;
       ] );
   ]

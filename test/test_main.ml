@@ -29,4 +29,5 @@ let () =
          Test_adversarial.suites;
          Test_integration.suites;
          Test_simulate.suites;
+         Test_serve.suites;
        ])

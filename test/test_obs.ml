@@ -129,6 +129,81 @@ let test_timer_and_gauge () =
   check_true "snapshot never contains wall-clock metrics"
     (not (List.mem_assoc "test.timer" (Obs.Metrics.snapshot ())))
 
+(* --- progress --- *)
+
+(* Capture updates through a custom renderer — the same hook the fleet
+   parent and the serve daemon use — with the wall clock under test
+   control so throttling is deterministic. *)
+let with_captured_progress f () =
+  clean_slate ();
+  let seen = ref [] in
+  Obs.Progress.set_renderer (Some (fun u -> seen := u :: !seen));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Progress.set_renderer None;
+      Obs.Progress.disable ();
+      clean_slate ())
+    (fun () -> f seen)
+
+let test_progress_disabled_is_silent =
+  with_captured_progress (fun seen ->
+      Obs.Progress.begin_plan ~jobs:5;
+      Obs.Progress.tick ();
+      Obs.Progress.sub ~label:"E1" ~completed:1 ~total:2;
+      Obs.Progress.end_plan ();
+      check_true "nothing rendered while disabled" (!seen = []))
+
+let test_progress_updates_and_sub =
+  with_captured_progress (fun seen ->
+      let t = ref 0. in
+      Obs.Clock.set (fun () -> !t);
+      Obs.Progress.enable ~label:"verify" ();
+      Obs.Progress.begin_plan ~jobs:3;
+      t := 1.;
+      Obs.Progress.tick ();
+      t := 2.;
+      Obs.Progress.sub ~label:"E7" ~completed:40 ~total:105;
+      t := 3.;
+      Obs.Progress.tick ();
+      t := 4.;
+      Obs.Progress.tick ();
+      Obs.Progress.end_plan ();
+      match List.rev !seen with
+      | [ u1; u2; u3; u4; ufinal ] ->
+          Alcotest.(check int) "first tick" 1 u1.Obs.Progress.completed;
+          Alcotest.(check string) "label carried" "verify" u1.Obs.Progress.label;
+          Alcotest.(check int) "total carried" 3 u1.Obs.Progress.total;
+          check_true "sub rides the update"
+            (u2.Obs.Progress.sub = Some ("E7", 40, 105));
+          check_true "tick clears sub state" (u3.Obs.Progress.sub = None);
+          Alcotest.(check int) "last tick" 3 u4.Obs.Progress.completed;
+          check_true "only the end-of-plan update is final"
+            (ufinal.Obs.Progress.final
+            && not (u1.Obs.Progress.final || u2.Obs.Progress.final || u3.Obs.Progress.final
+                   || u4.Obs.Progress.final))
+      | us -> Alcotest.failf "expected 5 updates, got %d" (List.length us))
+
+let test_progress_throttles_on_clock =
+  with_captured_progress (fun seen ->
+      let t = ref 10. in
+      Obs.Clock.set (fun () -> !t);
+      Obs.Progress.enable ();
+      Obs.Progress.begin_plan ~jobs:100;
+      (* 50 ticks at one instant: only the first renders. *)
+      for _ = 1 to 50 do
+        Obs.Progress.tick ()
+      done;
+      Alcotest.(check int) "burst collapses to one line" 1 (List.length !seen);
+      t := 10.2;
+      Obs.Progress.tick ();
+      Alcotest.(check int) "renders again once the clock moves" 2 (List.length !seen);
+      Obs.Progress.end_plan ();
+      match !seen with
+      | ufinal :: _ ->
+          check_true "final update skips the throttle" ufinal.Obs.Progress.final;
+          Alcotest.(check int) "three renders total" 3 (List.length !seen)
+      | [] -> Alcotest.fail "no updates")
+
 (* --- trace --- *)
 
 (* Run [f] under a fresh child frame so trace coordinates restart from a
@@ -204,6 +279,12 @@ let suites =
         Alcotest.test_case "scope under pool" `Quick (with_clean test_with_scope_under_pool);
         Alcotest.test_case "scope shadowing" `Quick (with_clean test_scope_shadowing);
         Alcotest.test_case "timer and gauge" `Quick (with_clean test_timer_and_gauge);
+      ] );
+    ( "obs.progress",
+      [
+        Alcotest.test_case "disabled is silent" `Quick test_progress_disabled_is_silent;
+        Alcotest.test_case "updates, sub state, final" `Quick test_progress_updates_and_sub;
+        Alcotest.test_case "throttles on the wall clock" `Quick test_progress_throttles_on_clock;
       ] );
     ( "obs.trace",
       [
