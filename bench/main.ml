@@ -34,7 +34,7 @@
    1, 2 and 4 concurrent clients. Every request carries a distinct
    seed (vary_seed) so the daemon's result cache never answers and
    the rows measure execution throughput — requests/sec and p50/p99
-   latency land in the JSON baseline's "service" array (schema /6).
+   latency land in the JSON baseline's "service" array (schema /7).
 
    --only-large (with --scale large) skips the registry claim phase
    and runs just the large tier — the cheap shape for smoke scripts
@@ -108,9 +108,20 @@ let json_path () =
   match from_argv 1 with
   | Some "auto" ->
       let tm = Unix.localtime (Unix.gettimeofday ()) in
-      Some
-        (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
-           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+      let date =
+        Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+          tm.Unix.tm_mday
+      in
+      (* Never clobber a committed baseline from earlier the same day:
+         probe BENCH_<date>.json, then b..z suffixes. *)
+      let rec fresh k =
+        let suffix =
+          if k = 0 then "" else String.make 1 (Char.chr (Char.code 'a' + k))
+        in
+        let path = Printf.sprintf "BENCH_%s%s.json" date suffix in
+        if Sys.file_exists path && k < 25 then fresh (k + 1) else path
+      in
+      Some (fresh 0)
   | p -> p
 
 let claim_tables () =
@@ -226,9 +237,11 @@ let large_tier () =
 
 (* --- service tier: the serve daemon under concurrent load --- *)
 
-(* One row of the JSON "service" array (schema 6): the serve daemon's
-   throughput and latency quantiles at one client-concurrency level. *)
+(* One row of the JSON "service" array (schema 7): the serve daemon's
+   throughput and latency quantiles at one executor-count ×
+   client-concurrency level. *)
 type service_row = {
+  svc_executors : int;
   svc_clients : int;
   svc_per_client : int;
   svc_completed : int;
@@ -256,48 +269,51 @@ let service_tier () =
   in
   Obs.Clock.set Unix.gettimeofday;
   Obs.Metrics.enable ();
-  let rows =
-    List.map
-      (fun clients ->
-        let server =
-          Serve.Server.create
-            {
-              Serve.Server.socket_path;
-              tcp_port = None;
-              jobs = Exec.workers (sched ());
-              cache_capacity = 64;
-            }
-        in
-        let connect () =
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
-           with e ->
-             (try Unix.close fd with Unix.Unix_error _ -> ());
-             raise e);
-          fd
-        in
-        let s =
-          Serve.Load.run ~connect ~clients ~per_client ~ids
-            ~seed:(42 + (clients * 100_000))
-            ~scale:Simulate.Runner.Quick ~render:Simulate.Registry.Full
-            ~vary_seed:true ()
-        in
-        Serve.Server.stop server;
-        Printf.printf "clients=%d: %d/%d ok, %.1f req/s, p50 %.1f ms, p99 %.1f ms%s\n"
-          clients s.Serve.Load.completed (clients * per_client) s.Serve.Load.rps
-          s.Serve.Load.p50_ms s.Serve.Load.p99_ms
-          (if s.Serve.Load.errors > 0 then
-             Printf.sprintf "  (%d ERRORS)" s.Serve.Load.errors
-           else "");
+  let level ~executors ~clients =
+    let server =
+      Serve.Server.create
         {
-          svc_clients = clients;
-          svc_per_client = per_client;
-          svc_completed = s.Serve.Load.completed;
-          svc_errors = s.Serve.Load.errors;
-          svc_rps = s.Serve.Load.rps;
-          svc_p50_ms = s.Serve.Load.p50_ms;
-          svc_p99_ms = s.Serve.Load.p99_ms;
-        })
+          Serve.Server.socket_path;
+          tcp_port = None;
+          jobs = Exec.workers (sched ());
+          executors;
+          procs = 0;
+          cache_capacity = 64;
+        }
+    in
+    let connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    in
+    let s =
+      Serve.Load.run ~connect ~clients ~per_client ~ids
+        ~seed:(42 + (executors * 1_000_000) + (clients * 100_000))
+        ~scale:Simulate.Runner.Quick ~render:Simulate.Registry.Full ~vary_seed:true ()
+    in
+    Serve.Server.stop server;
+    Printf.printf "executors=%d clients=%d: %d/%d ok, %.1f req/s, p50 %.1f ms, p99 %s%s\n"
+      executors clients s.Serve.Load.completed (clients * per_client) s.Serve.Load.rps
+      s.Serve.Load.p50_ms (Serve.Load.p99_to_string s)
+      (if s.Serve.Load.errors > 0 then Printf.sprintf "  (%d ERRORS)" s.Serve.Load.errors
+       else "");
+    {
+      svc_executors = executors;
+      svc_clients = clients;
+      svc_per_client = per_client;
+      svc_completed = s.Serve.Load.completed;
+      svc_errors = s.Serve.Load.errors;
+      svc_rps = s.Serve.Load.rps;
+      svc_p50_ms = s.Serve.Load.p50_ms;
+      svc_p99_ms = s.Serve.Load.p99_ms;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun executors -> List.map (fun clients -> level ~executors ~clients) [ 1; 2; 4 ])
       [ 1; 2; 4 ]
   in
   Obs.Metrics.disable ();
@@ -499,7 +515,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-(* Provenance for the dyngraph-bench/6 schema: which commit and which
+(* Provenance for the dyngraph-bench/7 schema: which commit and which
    machine produced the numbers, so baselines are attributable across
    PRs. Both fields degrade to "unknown" rather than fail. *)
 let git_rev () =
@@ -521,7 +537,7 @@ let metrics_json (ms : (string * int) list) =
 let write_json path ~claims ~micro ~service =
   let oc = open_out path in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/6\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"dyngraph-bench/7\",\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
   Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
@@ -551,18 +567,18 @@ let write_json path ~claims ~micro ~service =
         (json_escape name) (json_float ns) (json_float r2)
         (if i = List.length micro - 1 then "" else ","))
     micro;
-  (* Schema 6: the service tier's throughput/latency claims, one row
-     per client-concurrency level. Empty (not absent) when the run
-     skipped --serve, so readers can tell "not measured" from "older
-     schema". *)
+  (* Schema 7: the service tier's throughput/latency claims, one row
+     per executor-count × client-concurrency level. Empty (not absent)
+     when the run skipped --serve, so readers can tell "not measured"
+     from "older schema". *)
   Printf.fprintf oc "  ],\n  \"service\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    {\"clients\": %d, \"per_client\": %d, \"completed\": %d, \"errors\": %d, \
-         \"rps\": %s, \"p50_ms\": %s, \"p99_ms\": %s}%s\n"
-        r.svc_clients r.svc_per_client r.svc_completed r.svc_errors (json_float r.svc_rps)
-        (json_float r.svc_p50_ms) (json_float r.svc_p99_ms)
+        "    {\"executors\": %d, \"clients\": %d, \"per_client\": %d, \"completed\": %d, \
+         \"errors\": %d, \"rps\": %s, \"p50_ms\": %s, \"p99_ms\": %s}%s\n"
+        r.svc_executors r.svc_clients r.svc_per_client r.svc_completed r.svc_errors
+        (json_float r.svc_rps) (json_float r.svc_p50_ms) (json_float r.svc_p99_ms)
         (if i = List.length service - 1 then "" else ","))
     service;
   Printf.fprintf oc "  ]\n}\n";

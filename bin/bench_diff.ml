@@ -198,9 +198,12 @@ type claim = { id : string; passed : bool; seconds : float; metrics : (string * 
 
 type micro = { name : string; ns_per_run : float; r_square : float }
 
-(* One serve-daemon load level (schema /6). Keyed by [clients]: levels
-   are compared across baselines at equal concurrency. *)
+(* One serve-daemon load level. Keyed by [(executors, clients)]: levels
+   are compared across baselines at equal executor count and
+   concurrency. Baselines older than schema /7 carry no executor
+   field; those rows load as executors = 1 (what they measured). *)
 type service = {
+  sv_executors : int;
   sv_clients : int;
   sv_completed : int;
   sv_errors : int;
@@ -270,6 +273,7 @@ let load path =
         List.map
           (fun r ->
             {
+              sv_executors = int_of_float (num_or 1. (member "executors" r));
               sv_clients = int_of_float (num_or nan (member "clients" r));
               sv_completed = int_of_float (num_or 0. (member "completed" r));
               sv_errors = int_of_float (num_or 0. (member "errors" r));
@@ -485,41 +489,42 @@ let () =
     print_newline ();
     print_string (Stats.Table.render metrics_table)
   end;
-  (* Service tier (schema /6), report-only: daemon throughput depends
-     on machine load far more than the deterministic claim tables do,
-     so rps/latency deltas are for reading, never for --threshold.
-     First appearance of a concurrency level (including the whole
-     table, on the first /6 baseline) renders as "new". *)
+  (* Service tier, report-only: daemon throughput depends on machine
+     load far more than the deterministic claim tables do, so
+     rps/latency deltas are for reading, never for --threshold. First
+     appearance of an (executors, clients) level (including the whole
+     table, on the first service-carrying baseline) renders as "new". *)
   if old_b.services <> [] || new_b.services <> [] then begin
     let service_table =
       Stats.Table.create ~title:"service tier (serve daemon, report-only)"
         ~columns:
-          [ "clients"; "old rps"; "new rps"; "delta"; "old p99 ms"; "new p99 ms"; "delta"; "status" ]
+          [ "exec"; "clients"; "old rps"; "new rps"; "delta"; "old p99 ms"; "new p99 ms";
+            "delta"; "status" ]
     in
     let status (r : service) = if r.sv_errors > 0 then "ERRORS" else "ok" in
+    let same_level (a : service) (b : service) =
+      a.sv_executors = b.sv_executors && a.sv_clients = b.sv_clients
+    in
     List.iter
       (fun (os : service) ->
-        match
-          List.find_opt (fun (ns : service) -> ns.sv_clients = os.sv_clients) new_b.services
-        with
+        match List.find_opt (fun (ns : service) -> same_level ns os) new_b.services with
         | None ->
             Stats.Table.add_row service_table
-              [ Int os.sv_clients; Fixed (os.sv_rps, 1); Missing; Missing;
-                Fixed (os.sv_p99_ms, 1); Missing; Missing; Text "missing" ]
+              [ Int os.sv_executors; Int os.sv_clients; Fixed (os.sv_rps, 1); Missing;
+                Missing; Fixed (os.sv_p99_ms, 1); Missing; Missing; Text "missing" ]
         | Some ns ->
             Stats.Table.add_row service_table
-              [ Int os.sv_clients; Fixed (os.sv_rps, 1); Fixed (ns.sv_rps, 1);
-                delta_cell (delta_pct os.sv_rps ns.sv_rps); Fixed (os.sv_p99_ms, 1);
-                Fixed (ns.sv_p99_ms, 1); delta_cell (delta_pct os.sv_p99_ms ns.sv_p99_ms);
-                Text (status ns) ])
+              [ Int os.sv_executors; Int os.sv_clients; Fixed (os.sv_rps, 1);
+                Fixed (ns.sv_rps, 1); delta_cell (delta_pct os.sv_rps ns.sv_rps);
+                Fixed (os.sv_p99_ms, 1); Fixed (ns.sv_p99_ms, 1);
+                delta_cell (delta_pct os.sv_p99_ms ns.sv_p99_ms); Text (status ns) ])
       old_b.services;
     List.iter
       (fun (ns : service) ->
-        if not (List.exists (fun (os : service) -> os.sv_clients = ns.sv_clients) old_b.services)
-        then
+        if not (List.exists (fun (os : service) -> same_level os ns) old_b.services) then
           Stats.Table.add_row service_table
-            [ Int ns.sv_clients; Missing; Fixed (ns.sv_rps, 1); Missing; Missing;
-              Fixed (ns.sv_p99_ms, 1); Missing; Text ("new " ^ status ns) ])
+            [ Int ns.sv_executors; Int ns.sv_clients; Missing; Fixed (ns.sv_rps, 1);
+              Missing; Missing; Fixed (ns.sv_p99_ms, 1); Missing; Text ("new " ^ status ns) ])
       new_b.services;
     print_newline ();
     print_string (Stats.Table.render service_table)

@@ -195,8 +195,9 @@ let run_cmd =
       else
         match resolve id with
         | Ok e ->
-            (* Single experiments have no shardable outer plan: a procs
-               scheduler degrades to the domain pool inside Exec. *)
+            (* Planned experiments (Registry.plan) shard their trial
+               bags across the fleet under a procs scheduler; the rest
+               still degrade (loudly) to the domain pool inside Exec. *)
             let ok = Simulate.Registry.run_one ~sched ~rng ~scale e in
             if ok then Ok () else Error (Printf.sprintf "%s: some checks failed" e.id)
         | Error m -> Error m
@@ -340,26 +341,62 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run socket tcp jobs cache =
+  let executors_arg =
+    let doc =
+      "Concurrent executor threads draining the request queues. With one \
+       executor, per-request progress frames are streamed; with more, \
+       requests from different connections execute concurrently and \
+       progress frames are suppressed."
+    in
+    Arg.(value & opt int 1 & info [ "executors" ] ~docv:"E" ~doc)
+  in
+  let serve_procs_arg =
+    let doc =
+      "Shard each request's trial plan across $(docv) worker processes \
+       (experiments with serialisable trial plans; others fall back to the \
+       in-process pool)."
+    in
+    Arg.(value & opt int 0 & info [ "procs" ] ~docv:"W" ~doc)
+  in
+  let run socket tcp jobs executors procs cache =
     (* The daemon always runs with a real clock and metrics: progress
        throttling, latency measurement and the per-request
        exec.procs_degraded surfacing all need them, and neither
        perturbs rendered experiment bytes. *)
     Obs.Clock.set Unix.gettimeofday;
     Obs.Metrics.enable ();
+    if procs > 0 then
+      (* Workers mirror the daemon's metrics and forward progress ticks
+         as framed messages (liveness for hang detection). *)
+      Exec.set_worker_command
+        (Some [| Sys.executable_name; "worker"; "--metrics"; "--progress-pipe" |]);
     let config =
-      { Serve.Server.socket_path = socket; tcp_port = tcp; jobs; cache_capacity = cache }
+      {
+        Serve.Server.socket_path = socket;
+        tcp_port = tcp;
+        jobs;
+        executors;
+        procs;
+        cache_capacity = cache;
+      }
     in
     let t = Serve.Server.create config in
     let stop _ = Serve.Server.request_stop t in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Printf.eprintf "dyngraph serve: listening on %s%s (jobs %d, cache %d)\n%!" socket
+    Printf.eprintf
+      "dyngraph serve: listening on %s%s (jobs %d, executors %d%s, cache %d)\n%!" socket
       (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "")
-      (max 1 jobs) cache;
+      (max 1 jobs) (max 1 executors)
+      (if procs > 0 then Printf.sprintf ", procs %d" procs else "")
+      cache;
     Serve.Server.wait t
   in
-  let term = Term.(const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg) in
+  let term =
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ executors_arg $ serve_procs_arg
+      $ cache_arg)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -442,9 +479,9 @@ let load_cmd =
       Printf.printf "completed: %d  errors: %d  cached: %d  progress_frames: %d\n"
         s.Serve.Load.completed s.Serve.Load.errors s.Serve.Load.cached
         s.Serve.Load.progress_frames;
-      Printf.printf "wall: %.3fs  rps: %.2f  p50: %.1fms  p99: %.1fms  mean: %.1fms\n"
-        s.Serve.Load.seconds s.Serve.Load.rps s.Serve.Load.p50_ms s.Serve.Load.p99_ms
-        s.Serve.Load.mean_ms;
+      Printf.printf "wall: %.3fs  rps: %.2f  p50: %.1fms  p99: %s  mean: %.1fms\n"
+        s.Serve.Load.seconds s.Serve.Load.rps s.Serve.Load.p50_ms
+        (Serve.Load.p99_to_string s) s.Serve.Load.mean_ms;
       if s.Serve.Load.errors > 0 then
         Error (Printf.sprintf "%d request(s) failed" s.Serve.Load.errors)
       else Ok ()

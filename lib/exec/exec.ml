@@ -306,6 +306,51 @@ module Journal = struct
     | v -> v
     | exception Spec.Buf.Corrupt _ -> None
 
+  let c_compactions = Obs.Metrics.counter "exec.journal_compactions"
+
+  let record_payload ~job ~spec_id ~data =
+    let b = Buffer.create (String.length data + 32) in
+    Buffer.add_char b 'C';
+    Spec.Buf.add_int b job;
+    Spec.Buf.add_string b spec_id;
+    Spec.Buf.add_string b data;
+    Buffer.contents b
+
+  (* The live entries of a resumed journal: parseable 'C' records whose
+     job is in the plan's range, first write per job wins (re-runs of a
+     shard after a worker crash can append duplicates; the first one
+     was already durable and is the one a resumed run would have
+     used). *)
+  let live_entries ~jobs payloads =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun e ->
+        e.job >= 0 && e.job < jobs
+        && not (Hashtbl.mem seen e.job)
+        && (Hashtbl.add seen e.job (); true))
+      (List.filter_map parse_record payloads)
+
+  (* Rewrite the journal to exactly header + live entries: a long sweep
+     resumed many times accumulates duplicate and torn frames without
+     bound, and the rewrite is also what reclaims the truncated tail's
+     disk. Written to a sibling temp file (checksummed frames, fsynced)
+     and renamed over the original, so a crash mid-compaction leaves
+     the old journal intact. *)
+  let compact ~path ~header entries =
+    let tmp = path ^ ".compact.tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    write_journal_frame fd header;
+    List.iter
+      (fun e ->
+        write_journal_frame fd (record_payload ~job:e.job ~spec_id:e.spec_id ~data:e.data))
+      entries;
+    Unix.close fd;
+    Unix.rename tmp path;
+    Obs.Metrics.incr c_compactions;
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    fd
+
   let open_ ~path ~jobs ~digest =
     let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
     let size = (Unix.fstat fd).Unix.st_size in
@@ -315,9 +360,18 @@ module Journal = struct
     let header = header_payload ~jobs ~digest in
     match frames with
     | h :: rest when h = header ->
-        Unix.ftruncate fd good;
-        ignore (Unix.lseek fd good Unix.SEEK_SET);
-        ({ fd }, List.filter_map parse_record rest)
+        let entries = live_entries ~jobs rest in
+        (* Clean resume: compact when the file holds anything beyond
+           the live frames — a torn tail, duplicate shards, malformed
+           or out-of-range records. *)
+        if good < size || List.length entries < List.length rest then begin
+          Unix.close fd;
+          ({ fd = compact ~path ~header entries }, entries)
+        end
+        else begin
+          ignore (Unix.lseek fd good Unix.SEEK_SET);
+          ({ fd }, entries)
+        end
     | _ ->
         (* Fresh journal, or one for a different plan (other seed,
            scale, experiment set): start over rather than mix shards. *)
@@ -327,12 +381,7 @@ module Journal = struct
         ({ fd }, [])
 
   let append t ~job ~spec_id ~data =
-    let b = Buffer.create (String.length data + 32) in
-    Buffer.add_char b 'C';
-    Spec.Buf.add_int b job;
-    Spec.Buf.add_string b spec_id;
-    Spec.Buf.add_string b data;
-    write_journal_frame t.fd (Buffer.contents b)
+    write_journal_frame t.fd (record_payload ~job ~spec_id ~data)
 
   let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 end

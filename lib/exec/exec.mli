@@ -144,6 +144,15 @@ end
     checksum and truncated away on resume. A header that does not match
     the current plan discards the journal and starts fresh.
 
+    Clean resume also compacts: when the file holds anything beyond the
+    live frames — a torn tail, duplicate shards re-run after a worker
+    crash, malformed or out-of-range records — it is rewritten as
+    header + first-write-wins live entries (checksummed frames, fsynced)
+    to a sibling temp file and atomically renamed over the original, so
+    a long sweep's journal cannot grow without bound across resumes and
+    a crash mid-compaction leaves the old journal intact. Compactions
+    are counted by the [exec.journal_compactions] metric.
+
     Exposed for the test-suite; {!run} drives it via {!set_journal}. *)
 module Journal : sig
   type entry = { job : int; spec_id : string; data : string }
@@ -153,8 +162,10 @@ module Journal : sig
   val open_ : path:string -> jobs:int -> digest:string -> t * entry list
   (** Open (creating or resuming) the journal at [path] for a plan of
       [jobs] shards identified by [digest]. Returns the journal plus the
-      valid completed-shard entries already on disk (empty after a fresh
-      create or a header mismatch). *)
+      live completed-shard entries already on disk — in-range, first
+      write per job — empty after a fresh create or a header mismatch.
+      A resume that found any dead bytes (torn tail, duplicates,
+      malformed records) compacts the file first; see above.*)
 
   val append : t -> job:int -> spec_id:string -> data:string -> unit
   (** Record a completed shard (durable before return). *)

@@ -27,6 +27,14 @@ let of_seed s = { state = mix64 (Int64.of_int s); gamma = golden_gamma }
 
 let copy t = { state = t.state; gamma = t.gamma }
 
+(* The whole generator is two words, which is what makes trial plans
+   serialisable: a worker process rebuilds an experiment's generator
+   from these bits and derives the exact same substreams. Not a draw
+   and not a stream derivation, so neither function meters anything. *)
+let state_bits t = (t.state, t.gamma)
+
+let of_state_bits (state, gamma) = { state; gamma = Int64.logor gamma 1L }
+
 let next_raw t =
   t.state <- Int64.add t.state t.gamma;
   t.state

@@ -18,6 +18,17 @@ val of_seed : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state_bits : t -> int64 * int64
+(** [state_bits t] is the generator's complete state (counter, gamma) —
+    two words, suitable for a serialisable job spec. Pure observation:
+    nothing advances and nothing is metered. *)
+
+val of_state_bits : int64 * int64 -> t
+(** Rebuild a generator from {!state_bits}. The round trip is exact, so
+    a process that receives the bits derives the same substreams as the
+    sender. The gamma word is forced odd (the SplitMix invariant), which
+    is the identity on any genuine [state_bits] output. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)

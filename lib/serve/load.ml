@@ -28,6 +28,17 @@ type summary = {
   mean_ms : float;
 }
 
+(* A p99 interpolated from fewer than 100 samples is dominated by the
+   single slowest request, not the tail shape — flag it rather than
+   print a bare number that reads like a measured tail. *)
+let p99_low_sample s = s.completed < 100
+
+let p99_to_string s =
+  if Float.is_nan s.p99_ms then "nan"
+  else if p99_low_sample s then
+    Printf.sprintf "%.1fms (low sample: n=%d < 100)" s.p99_ms s.completed
+  else Printf.sprintf "%.1fms" s.p99_ms
+
 type client_stats = {
   mutable c_completed : int;
   mutable c_errors : int;

@@ -22,6 +22,14 @@ type summary = {
   mean_ms : float;
 }
 
+val p99_low_sample : summary -> bool
+(** Whether too few requests completed (< 100) for the p99 to describe
+    a tail rather than the single slowest request. *)
+
+val p99_to_string : summary -> string
+(** The p99 rendered for display: ["12.3ms"], or
+    ["12.3ms (low sample: n=24 < 100)"] when {!p99_low_sample}. *)
+
 val run :
   connect:(unit -> Unix.file_descr) ->
   clients:int ->

@@ -2,15 +2,16 @@
 
    Concurrency model: one reader thread per connection parses request
    lines and answers the cheap ops (list/ping) inline; run requests are
-   enqueued per connection and drained by a single executor thread that
-   picks connections round-robin, so one greedy client cannot starve
-   the rest. Parallelism comes from *inside* each request — the trial
-   plans run on the in-process Domain pool, and the persistent
-   Exec.Pool tile workers (plus per-domain DLS scratch and the Rng.Geo
-   alias tables interned by the kernels) stay warm across requests.
-   That warm state, plus a bounded result cache keyed by the full
-   request parameters, is the daemon's reason to exist over re-execing
-   the batch CLI.
+   enqueued per connection and drained by [executors] executor threads
+   that pick connections round-robin, so one greedy client cannot
+   starve the rest. Parallelism also comes from *inside* each request —
+   the trial plans run on the in-process Domain pool (or, with [procs],
+   shard across a fleet of worker processes now that single experiments
+   have serialisable trial plans), and the persistent Exec.Pool tile
+   workers (plus per-domain DLS scratch and the Rng.Geo alias tables
+   interned by the kernels) stay warm across requests. That warm state,
+   plus a bounded result cache keyed by the full request parameters, is
+   the daemon's reason to exist over re-execing the batch CLI.
 
    Byte identity: a run request executes through
    Registry.single_outcome, the same seeding scheme as the batch
@@ -18,8 +19,8 @@
    frame is byte-identical to that CLI invocation's stdout.
 
    Shutdown: request_stop (called from a SIGTERM/SIGINT handler) sets a
-   flag and pokes a self-pipe; the accept loop wakes, the executor
-   finishes its current request and fails the rest, sockets are shut
+   flag and pokes a self-pipe; the accept loop wakes, the executors
+   finish their current requests and fail the rest, sockets are shut
    down so reader threads see EOF, and the Unix socket path is
    unlinked. *)
 
@@ -27,11 +28,88 @@ type config = {
   socket_path : string;
   tcp_port : int option;
   jobs : int;
+  executors : int;
+  procs : int;
   cache_capacity : int;
 }
 
 let default_config =
-  { socket_path = "dyngraph.sock"; tcp_port = None; jobs = 1; cache_capacity = 64 }
+  {
+    socket_path = "dyngraph.sock";
+    tcp_port = None;
+    jobs = 1;
+    executors = 1;
+    procs = 0;
+    cache_capacity = 64;
+  }
+
+(* Cost-weighted LRU (the GreedyDual-style ageing scheme): every entry
+   carries its measured compute cost in seconds, and the cache keeps a
+   rising level L — the credit of the last evicted entry. A hit or
+   insert sets the entry's credit to L + cost, so recency raises
+   everyone equally while cost decides how many rounds of eviction an
+   idle entry survives: one `full`-scale result worth tens of seconds
+   outlives hundreds of millisecond `quick` entries, instead of being
+   pushed out by them as under plain FIFO. Eviction is an O(n) scan for
+   the minimum credit — fine at the default capacity of 64. *)
+module Cache = struct
+  type entry = { output : string; ok : bool; cost : float; mutable credit : float }
+
+  type t = {
+    capacity : int;
+    m : Mutex.t;
+    tbl : (string, entry) Hashtbl.t;
+    mutable level : float;
+  }
+
+  (* Floor on an entry's cost: even a cache hit served in "zero"
+     measured seconds must age out eventually, not instantly. *)
+  let min_cost = 0.001
+
+  let create capacity = { capacity; m = Mutex.create (); tbl = Hashtbl.create 64; level = 0. }
+
+  let length t = Hashtbl.length t.tbl
+
+  let find t key =
+    Mutex.lock t.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.m)
+      (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some e ->
+            e.credit <- t.level +. e.cost;
+            Some (e.output, e.ok))
+
+  (* Called under t.m. *)
+  let evict_min t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, c) when c <= e.credit -> ()
+        | _ -> victim := Some (k, e.credit))
+      t.tbl;
+    match !victim with
+    | None -> ()
+    | Some (k, credit) ->
+        Hashtbl.remove t.tbl k;
+        if credit > t.level then t.level <- credit
+
+  let store t key ~output ~ok ~seconds =
+    if t.capacity > 0 then begin
+      Mutex.lock t.m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.m)
+        (fun () ->
+          let cost = Float.max seconds min_cost in
+          if not (Hashtbl.mem t.tbl key) then
+            while Hashtbl.length t.tbl >= t.capacity do
+              evict_min t
+            done;
+          Hashtbl.replace t.tbl key { output; ok; cost; credit = t.level +. cost })
+    end
+end
 
 let c_requests = Obs.Metrics.counter "serve.requests"
 
@@ -67,10 +145,9 @@ type t = {
   mutable rr : int;  (* round-robin cursor over conns *)
   mutable listeners : Unix.file_descr list;
   mutable accept_thread : Thread.t option;
-  mutable executor_thread : Thread.t option;
+  mutable executor_threads : Thread.t list;
   mutable reader_threads : Thread.t list;
-  cache : (string * int * string * string, string * bool) Hashtbl.t;
-  cache_order : (string * int * string * string) Queue.t;
+  cache : Cache.t;
 }
 
 (* --- connection output --- *)
@@ -123,51 +200,47 @@ let take_job t =
   end
 
 let cache_key (job : job) =
-  (job.exp.Simulate.Registry.id, job.seed, Protocol.scale_to_string job.scale,
-   Protocol.render_to_string job.render)
+  Printf.sprintf "%s|%d|%s|%s" job.exp.Simulate.Registry.id job.seed
+    (Protocol.scale_to_string job.scale)
+    (Protocol.render_to_string job.render)
 
-let cache_find t key = Hashtbl.find_opt t.cache key
-
-let cache_store t key v =
-  if t.config.cache_capacity > 0 then begin
-    if not (Hashtbl.mem t.cache key) then begin
-      Queue.add key t.cache_order;
-      while Queue.length t.cache_order > t.config.cache_capacity do
-        Hashtbl.remove t.cache (Queue.take t.cache_order)
-      done
-    end;
-    Hashtbl.replace t.cache key v
-  end
-
-(* Execute one run request and stream its frames. Only the executor
-   thread calls this, so the global Obs.Progress state is single-user
-   and a per-request renderer is safe to install. *)
+(* Execute one run request and stream its frames. Per-request progress
+   frames require installing a renderer in the process-global
+   Obs.Progress state, which is only single-user when there is exactly
+   one executor thread — with more, progress is left alone (a
+   concurrent executor's frames would be attributed to the wrong
+   request). *)
 let execute t conn (job : job) =
   Obs.Metrics.incr c_requests;
   let id = job.exp.Simulate.Registry.id in
   let key = cache_key job in
-  match cache_find t key with
+  match Cache.find t.cache key with
   | Some (output, ok) ->
       Obs.Metrics.incr c_cache_hits;
       send_msg conn
         (Result { req = job.req; id; ok; cached = true; seconds = 0.; degraded = 0; output })
   | None ->
-      let renderer (u : Obs.Progress.update) =
-        send_msg conn
-          (Progress
-             {
-               req = job.req;
-               id;
-               completed = u.Obs.Progress.completed;
-               total = u.Obs.Progress.total;
-               sub = u.Obs.Progress.sub;
-             })
-      in
-      Obs.Progress.set_renderer (Some renderer);
-      Obs.Progress.enable ();
+      let progress = t.config.executors <= 1 in
+      if progress then begin
+        let renderer (u : Obs.Progress.update) =
+          send_msg conn
+            (Progress
+               {
+                 req = job.req;
+                 id;
+                 completed = u.Obs.Progress.completed;
+                 total = u.Obs.Progress.total;
+                 sub = u.Obs.Progress.sub;
+               })
+        in
+        Obs.Progress.set_renderer (Some renderer);
+        Obs.Progress.enable ()
+      end;
       let finish () =
-        Obs.Progress.disable ();
-        Obs.Progress.set_renderer None
+        if progress then begin
+          Obs.Progress.disable ();
+          Obs.Progress.set_renderer None
+        end
       in
       (match
          Simulate.Registry.single_outcome ~clock:Obs.Clock.monotonic ~render:job.render
@@ -178,7 +251,7 @@ let execute t conn (job : job) =
           let degraded =
             match List.assoc_opt "exec.procs_degraded" metrics with Some k -> k | None -> 0
           in
-          cache_store t key (output, ok);
+          Cache.store t.cache key ~output ~ok ~seconds;
           send_msg conn
             (Result { req = job.req; id; ok; cached = false; seconds; degraded; output })
       | exception e ->
@@ -319,7 +392,12 @@ let create config =
   let t =
     {
       config;
-      sched = Exec.of_int (max 1 config.jobs);
+      (* With [procs] the request's trial plan shards across a worker
+         fleet (the hosting executable must have called
+         Exec.set_worker_command); otherwise the in-process pool. *)
+      sched =
+        (if config.procs > 0 then Exec.procs config.procs
+         else Exec.of_int (max 1 config.jobs));
       stop = Atomic.make false;
       stop_r;
       stop_w;
@@ -329,14 +407,14 @@ let create config =
       rr = 0;
       listeners = !listeners;
       accept_thread = None;
-      executor_thread = None;
+      executor_threads = [];
       reader_threads = [];
-      cache = Hashtbl.create 64;
-      cache_order = Queue.create ();
+      cache = Cache.create config.cache_capacity;
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
-  t.executor_thread <- Some (Thread.create (executor t) ());
+  t.executor_threads <-
+    List.init (max 1 config.executors) (fun _ -> Thread.create (executor t) ());
   t
 
 let request_stop t =
@@ -354,12 +432,12 @@ let wait t =
     Thread.delay 0.2
   done;
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
-  (* Wake the executor (the accept loop is gone, so conns is stable
+  (* Wake the executors (the accept loop is gone, so conns is stable
      modulo reader-thread retirement). *)
   Mutex.lock t.m;
   Condition.broadcast t.cv;
   Mutex.unlock t.m;
-  (match t.executor_thread with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join t.executor_threads;
   (* Fail whatever is still queued, then push EOF at the readers:
      shutdown (not close) interrupts their blocking reads. *)
   Mutex.lock t.m;

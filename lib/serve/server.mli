@@ -3,12 +3,13 @@
     Accepts concurrent clients on a Unix socket (and optionally
     loopback TCP) speaking the NDJSON {!Protocol}. One reader thread
     per connection answers [list]/[ping] inline and enqueues [run]
-    requests per connection; a single executor thread drains the
+    requests per connection; [executors] executor threads drain the
     queues round-robin across connections — fair scheduling — while
-    parallelism lives {e inside} each request (the trial plans run on
-    the in-process Domain pool sized by [jobs], and the persistent
-    {!Exec.Pool} tile workers, per-domain scratch and interned alias
-    tables stay warm across requests). A bounded result cache keyed by
+    parallelism also lives {e inside} each request (the trial plans run
+    on the in-process Domain pool sized by [jobs], or shard across a
+    [procs]-sized worker fleet, and the persistent {!Exec.Pool} tile
+    workers, per-domain scratch and interned alias tables stay warm
+    across requests). A bounded cost-weighted result cache keyed by
     [(id, seed, scale, render)] answers repeats instantly with
     [cached = true].
 
@@ -16,20 +17,52 @@
     [dyngraph run <id> --seed S] stdout for the same parameters (both
     execute {!Simulate.Registry.single_outcome}).
 
+    Concurrent executors share the process-global observability state:
+    per-request progress frames are only emitted when [executors = 1]
+    (the renderer slot is single-user), and metric *attribution* (the
+    [degraded] field) can blur between concurrently-executing requests
+    — totals stay correct, outputs stay deterministic.
+
     The hosting executable should install a real wall clock and enable
     metrics before {!create}; [serve.requests], [serve.cache_hits] and
-    [serve.errors] count traffic, and each result frame carries the
-    request-scoped [exec.procs_degraded] count. *)
+    [serve.errors] count traffic. With [procs > 0] it must also have
+    configured {!Exec.set_worker_command}. *)
 
 type config = {
   socket_path : string;
   tcp_port : int option;  (** bound on loopback when set *)
   jobs : int;  (** in-process Domain pool size per request *)
+  executors : int;  (** concurrent executor threads (>= 1) *)
+  procs : int;  (** worker-fleet size per request; 0 = in-process *)
   cache_capacity : int;  (** warm result-cache entries; 0 disables *)
 }
 
 val default_config : config
-(** [dyngraph.sock], no TCP, 1 job, 64 cache entries. *)
+(** [dyngraph.sock], no TCP, 1 job, 1 executor, no fleet, 64 cache
+    entries. *)
+
+(** The daemon's result cache: cost-weighted LRU (GreedyDual ageing).
+    Every entry carries its measured compute seconds as its cost; a hit
+    or insert sets the entry's credit to [level + cost], where [level]
+    rises to the evicted credit on each eviction — so one expensive
+    [full]/[large]-scale result survives hundreds of cheap [quick]
+    insertions instead of being pushed out FIFO-style. Thread-safe.
+    Exposed for the eviction tests. *)
+module Cache : sig
+  type t
+
+  val create : int -> t
+  (** [create capacity]; capacity 0 disables storage. *)
+
+  val length : t -> int
+
+  val find : t -> string -> (string * bool) option
+  (** Lookup; a hit refreshes the entry's credit. *)
+
+  val store : t -> string -> output:string -> ok:bool -> seconds:float -> unit
+  (** Insert or refresh, evicting minimum-credit entries as needed.
+      [seconds] is floored at 1ms so even "free" entries age out. *)
+end
 
 type t
 
@@ -43,8 +76,8 @@ val request_stop : t -> unit
     store plus a self-pipe write). Idempotent. *)
 
 val wait : t -> unit
-(** Block until the server has shut down: the executor finishes its
-    current request, queued requests are failed with
+(** Block until the server has shut down: the executors finish their
+    current requests, queued requests are failed with
     ["server shutting down"], client sockets are shut down, listener
     fds are closed and the Unix socket path is unlinked. *)
 

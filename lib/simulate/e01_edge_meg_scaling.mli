@@ -7,7 +7,12 @@
 val id : string
 val title : string
 val claim : string
-val run : sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list
+
+val plan : rng:Prng.Rng.t -> scale:Runner.scale -> Trial_plan.t
+(** The experiment's trial bags as data (sweep bags in (config, n)
+    order, then the exact-anchor bags — the historical rng-split
+    order), so a single E1 run can shard across a fleet — see
+    {!Trial_plan}. *)
 
 val assess : Stats.Table.t list -> Assess.check list
-(** Shape checks over the tables produced by [run]. *)
+(** Shape checks over the tables produced by the plan's render. *)

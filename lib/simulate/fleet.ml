@@ -31,8 +31,11 @@ let decode_scale = function
   | 2 -> Runner.Large
   | _ -> raise (B.Corrupt "scale")
 
+(* Whole-experiment payloads are tagged 'X' (trial-shard payloads from
+   Registry are tagged 'T'); [dispatch] routes on the first byte. *)
 let encode_request ~render ~seed ~scale ~jobs ~index =
   let b = Buffer.create 48 in
+  Buffer.add_char b 'X';
   B.add_int b (encode_render render);
   B.add_int b seed;
   B.add_int b (encode_scale scale);
@@ -61,8 +64,11 @@ let specs ~render ~seed ~scale ~jobs i =
         { Registry.experiment = e; output; ok; seconds; metrics });
   }
 
-let dispatch ~id ~payload =
+let dispatch_experiment ~id ~payload =
   let r = B.reader payload in
+  (match B.char r with
+  | 'X' -> ()
+  | c -> raise (B.Corrupt (Printf.sprintf "experiment payload: bad tag %C" c)));
   let render = decode_render (B.int r) in
   let seed = B.int r in
   let scale = decode_scale (B.int r) in
@@ -84,5 +90,14 @@ let dispatch ~id ~payload =
   B.add_float b seconds;
   B.add_pairs b metrics;
   Buffer.contents b
+
+(* One dispatcher serves both granularities: whole experiments (the
+   run-all fleet path) and single-experiment trial shards. *)
+let dispatch ~id ~payload =
+  if String.length payload = 0 then failwith "Fleet.dispatch: empty payload";
+  match payload.[0] with
+  | 'X' -> dispatch_experiment ~id ~payload
+  | 'T' -> Registry.dispatch_trial ~spec_id:id ~payload
+  | c -> failwith (Printf.sprintf "Fleet.dispatch: unknown payload tag %C" c)
 
 let serve ?forward_progress () = Exec.Worker.serve ?forward_progress ~dispatch ()

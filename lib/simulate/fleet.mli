@@ -25,7 +25,10 @@ val specs :
     applied as the [?spec] argument of the registry entry points. *)
 
 val dispatch : id:string -> payload:string -> string
-(** Execute one spec payload (worker side) and encode its outcome. *)
+(** Execute one spec payload (worker side) and encode its result.
+    Routes on the payload's first byte: ['X'] whole-experiment requests
+    (above), ['T'] trial-shard requests ({!Registry.dispatch_trial}) —
+    one worker loop serves both granularities. *)
 
 val serve : ?forward_progress:bool -> unit -> unit
 (** Run the fleet worker loop ({!Exec.Worker.serve} with {!dispatch}).

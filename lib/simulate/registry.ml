@@ -3,6 +3,7 @@ type experiment = {
   title : string;
   claim : string;
   run : sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  plan : (rng:Prng.Rng.t -> scale:Runner.scale -> Trial_plan.t) option;
   assess : Stats.Table.t list -> Assess.check list;
 }
 
@@ -15,17 +16,103 @@ module type EXPERIMENT = sig
   val assess : Stats.Table.t list -> Assess.check list
 end
 
+module type PLANNED = sig
+  val id : string
+  val title : string
+  val claim : string
+  val plan : rng:Prng.Rng.t -> scale:Runner.scale -> Trial_plan.t
+  val assess : Stats.Table.t list -> Assess.check list
+end
+
 let wrap (module E : EXPERIMENT) =
-  { id = E.id; title = E.title; claim = E.claim; run = E.run; assess = E.assess }
+  { id = E.id; title = E.title; claim = E.claim; run = E.run; plan = None; assess = E.assess }
+
+(* ---- trial shards over the wire ------------------------------------- *)
+
+module B = Exec.Spec.Buf
+
+(* A trial-shard payload carries what a worker needs to rebuild the
+   plan and locate the shard: the experiment id, the experiment
+   generator's state bits (captured *before* plan construction, so the
+   worker's rebuilt generator performs the same splits), the scale, and
+   the shard index into the deterministic [Trial_plan.shards] list.
+   The leading 'T' distinguishes it from whole-experiment payloads
+   (tagged 'X' by Fleet) on the shared worker dispatcher. *)
+let encode_trial_payload ~id ~bits ~scale ~shard =
+  let state, gamma = bits in
+  let b = Buffer.create 48 in
+  Buffer.add_char b 'T';
+  B.add_string b id;
+  B.add_int64 b state;
+  B.add_int64 b gamma;
+  B.add_int b (Runner.scale_to_int scale);
+  B.add_int b shard;
+  Buffer.contents b
+
+let decode_trial_payload payload =
+  let r = B.reader payload in
+  (match B.char r with
+  | 'T' -> ()
+  | c -> raise (B.Corrupt (Printf.sprintf "trial payload: bad tag %C" c)));
+  let id = B.string r in
+  let state = B.int64 r in
+  let gamma = B.int64 r in
+  let scale =
+    match B.int r with
+    | 0 -> Runner.Quick
+    | 1 -> Runner.Full
+    | 2 -> Runner.Large
+    | n -> raise (B.Corrupt (Printf.sprintf "trial payload: bad scale %d" n))
+  in
+  let shard = B.int r in
+  if not (B.at_end r) then raise (B.Corrupt "trial payload: trailing bytes");
+  (id, (state, gamma), scale, shard)
+
+let trial_spec ~id ~bits ~scale shard =
+  {
+    Exec.Spec.id = Printf.sprintf "%s.t%d" id shard;
+    payload = encode_trial_payload ~id ~bits ~scale ~shard;
+    decode = Trial_plan.decode_result;
+  }
+
+(* Run [f] with the metric counters suppressed, restoring the previous
+   state. Worker-side plan *reconstruction* runs under this: the parent
+   already charged the construction-time work (rng splits, sizing
+   builds) when it built the plan once, so charging it again in every
+   worker would make --procs metrics diverge from --jobs. *)
+let without_metrics f =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.disable ();
+  Fun.protect ~finally:(fun () -> if was then Obs.Metrics.enable ()) f
+
+(* The run derived for a planned experiment: capture the generator's
+   bits, build the plan (advancing the generator exactly as the
+   closure-based run would), and execute it as one spec'd Exec plan
+   over the shards — which is what lets a *single* experiment shard
+   across a --procs fleet instead of degrading to the domain pool. *)
+let planned_run ~id ~make_plan ~sched ~rng ~scale =
+  let bits = Prng.Rng.state_bits rng in
+  let p = make_plan ~rng ~scale in
+  Trial_plan.execute ~spec:(trial_spec ~id ~bits ~scale) ~sched p
+
+let wrap_planned (module P : PLANNED) =
+  {
+    id = P.id;
+    title = P.title;
+    claim = P.claim;
+    run = (fun ~sched ~rng ~scale -> planned_run ~id:P.id ~make_plan:P.plan ~sched ~rng ~scale);
+    plan = Some P.plan;
+    assess = P.assess;
+  }
 
 let all =
   [
-    wrap (module E01_edge_meg_scaling);
+    wrap_planned (module E01_edge_meg_scaling);
     wrap (module E02_edge_meg_crossover);
     wrap (module E03_stationarity_conditions);
     wrap (module E04_node_meg);
     wrap (module E05_waypoint_density);
-    wrap (module E06_waypoint_flooding);
+    wrap_planned (module E06_waypoint_flooding);
     wrap (module E07_waypoint_mixing);
     wrap (module E08_random_paths);
     wrap (module E09_augmented_grid);
@@ -43,6 +130,32 @@ let all =
 let find id =
   let target = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+(* Worker side of a trial shard: rebuild the plan from the payload and
+   run just the named shard. The trial work itself (substream
+   derivations, flooding counters) runs with metrics live — those
+   deltas are this shard's contribution, absorbed by the parent — while
+   reconstruction is suppressed (see [without_metrics]). *)
+let dispatch_trial ~spec_id ~payload =
+  let id, bits, scale, shard = decode_trial_payload payload in
+  let expected = Printf.sprintf "%s.t%d" id shard in
+  if spec_id <> expected then
+    failwith
+      (Printf.sprintf "Registry.dispatch_trial: spec id %S names shard %S" spec_id expected);
+  match find id with
+  | None -> failwith (Printf.sprintf "Registry.dispatch_trial: unknown experiment %S" id)
+  | Some { plan = None; _ } ->
+      failwith (Printf.sprintf "Registry.dispatch_trial: %S has no trial plan" id)
+  | Some { plan = Some make_plan; _ } ->
+      let p =
+        without_metrics (fun () -> make_plan ~rng:(Prng.Rng.of_state_bits bits) ~scale)
+      in
+      let shards = Trial_plan.shards p in
+      if shard < 0 || shard >= Array.length shards then
+        failwith
+          (Printf.sprintf "Registry.dispatch_trial: shard %d out of range (%d shards)" shard
+             (Array.length shards));
+      Trial_plan.encode_result (Trial_plan.run_shard p shards.(shard))
 
 (* The one experiment-seeding scheme, shared by [run_each] (hence
    run_all / verify / Export.export_all): experiment [i] always draws

@@ -16,6 +16,11 @@ type experiment = {
   claim : string;
   run :
     sched:Exec.scheduler -> rng:Prng.Rng.t -> scale:Runner.scale -> Stats.Table.t list;
+  plan : (rng:Prng.Rng.t -> scale:Runner.scale -> Trial_plan.t) option;
+      (** the experiment's trial bags as data, when it has been
+          converted ({!wrap_planned}); [run] is then derived from the
+          plan and a single experiment can shard across an
+          {!Exec.procs} fleet instead of degrading to the domain pool *)
   assess : Stats.Table.t list -> Assess.check list;
       (** shape checks over the tables produced by [run] *)
 }
@@ -25,6 +30,30 @@ val all : experiment list
 
 val find : string -> experiment option
 (** Case-insensitive lookup by id. *)
+
+(** {2 Trial shards over the wire}
+
+    A planned experiment's {!Trial_plan.t} executes as one spec'd
+    {!Exec} plan over its shards. Each shard's job spec payload —
+    tagged with a leading ['T'] so {!Fleet.dispatch} can route it —
+    carries the experiment id, the experiment generator's
+    {!Prng.Rng.state_bits} captured before plan construction, the
+    scale, and the shard index; a worker rebuilds the identical plan
+    and runs just that shard. Codec exposed for the round-trip tests. *)
+
+val encode_trial_payload :
+  id:string -> bits:int64 * int64 -> scale:Runner.scale -> shard:int -> string
+
+val decode_trial_payload : string -> string * (int64 * int64) * Runner.scale * int
+(** Inverse of {!encode_trial_payload}; raises [Exec.Spec.Buf.Corrupt]
+    on truncated, tagless or oversized input. *)
+
+val dispatch_trial : spec_id:string -> payload:string -> string
+(** Worker side of one trial shard: decode the payload, rebuild the
+    experiment's plan (with construction-time metrics suppressed — the
+    parent already charged them once), run the shard, and encode its
+    result with {!Trial_plan.encode_result}. [spec_id] must be the
+    ["<id>.t<shard>"] name the parent generated. *)
 
 val experiment_rng : Prng.Rng.t -> int -> Prng.Rng.t
 (** [experiment_rng rng i] is the generator for the [i]-th registry

@@ -1,0 +1,89 @@
+(* A trial plan is an experiment's bag structure made first-class: each
+   bag is an independent batch of seeded trials producing one float per
+   trial, and rendering is a pure function of the per-bag result arrays.
+   Expressing the bags as data instead of closed-over loops is what lets
+   one experiment shard across worker processes — a worker rebuilds the
+   same plan from (experiment id, rng state bits, scale) and runs just
+   its shard, and the parent merges by (bag, trial) index so the bytes
+   are identical at every --jobs / --procs setting.
+
+   Shard geometry is a function of the plan alone (never of the worker
+   count): shards split bags into runs of at most [max_shard_trials]
+   consecutive trials and never cross a bag boundary, so the shard list
+   the parent enumerates is exactly the shard list any worker derives. *)
+
+type bag = {
+  label : string;  (** names the bag in shard spec ids and errors *)
+  trials : int;
+  rng : Prng.Rng.t;
+  run_trial : Prng.Rng.t -> float;
+}
+
+type t = {
+  bags : bag array;
+  render : float array array -> Stats.Table.t list;
+}
+
+type shard = { bag : int; lo : int; hi : int }
+
+let max_shard_trials = 8
+
+let shards p =
+  let acc = ref [] in
+  Array.iteri
+    (fun bi b ->
+      if b.trials < 1 then
+        invalid_arg (Printf.sprintf "Trial_plan: bag %S has %d trials" b.label b.trials);
+      let lo = ref 0 in
+      while !lo < b.trials do
+        let hi = min b.trials (!lo + max_shard_trials) in
+        acc := { bag = bi; lo = !lo; hi } :: !acc;
+        lo := hi
+      done)
+    p.bags;
+  Array.of_list (List.rev !acc)
+
+(* Trial [i] of a bag always draws from substream [i] of the bag's
+   generator — the same derivation Flooding.mean_time uses — so a
+   trial's randomness depends only on its index, never on which shard,
+   domain or process runs it. *)
+let run_shard p s =
+  let b = p.bags.(s.bag) in
+  Array.init (s.hi - s.lo) (fun k -> b.run_trial (Prng.Rng.substream b.rng (s.lo + k)))
+
+module B = Exec.Spec.Buf
+
+let encode_result values =
+  let b = Buffer.create (8 + (8 * Array.length values)) in
+  B.add_int b (Array.length values);
+  Array.iter (B.add_float b) values;
+  Buffer.contents b
+
+let decode_result data =
+  let r = B.reader data in
+  let n = B.int r in
+  if n < 0 then raise (B.Corrupt "trial result: negative count");
+  let values = Array.init n (fun _ -> B.float r) in
+  if not (B.at_end r) then raise (B.Corrupt "trial result: trailing bytes");
+  values
+
+let execute ?spec ~sched p =
+  let ss = shards p in
+  let jobs = Array.length ss in
+  let job i = run_shard p ss.(i) in
+  let reduce parts =
+    let per_bag = Array.map (fun b -> Array.make b.trials 0.) p.bags in
+    Array.iteri
+      (fun i part ->
+        let s = ss.(i) in
+        if Array.length part <> s.hi - s.lo then
+          failwith
+            (Printf.sprintf "Trial_plan: shard %d returned %d results, expected %d" i
+               (Array.length part) (s.hi - s.lo));
+        Array.blit part 0 per_bag.(s.bag) s.lo (s.hi - s.lo))
+      parts;
+    p.render per_bag
+  in
+  match spec with
+  | None -> Exec.run sched (Exec.plan ~jobs ~job ~reduce)
+  | Some spec -> Exec.run sched (Exec.plan_spec ~jobs ~job ~spec ~reduce)

@@ -1,0 +1,56 @@
+(** Serialisable trial plans: an experiment's trial bags as data.
+
+    A plan is an array of {!bag}s — independent batches of seeded
+    trials, each producing one float — plus a pure [render] function
+    from the per-bag result arrays to the experiment's tables. Because
+    the bags (and therefore the {!shards} cut from them) are a function
+    of the plan alone, a worker process that rebuilds the plan from the
+    experiment's id, rng state bits and scale derives exactly the shard
+    list the parent enumerated, and the parent's merge by (bag, trial)
+    index keeps rendered output byte-identical at every [--jobs] /
+    [--procs] setting. See DESIGN.md §13. *)
+
+type bag = {
+  label : string;  (** names the bag in shard spec ids and errors *)
+  trials : int;    (** must be >= 1 *)
+  rng : Prng.Rng.t;
+      (** the bag's generator; trial [i] draws from [substream rng i] *)
+  run_trial : Prng.Rng.t -> float;  (** one seeded trial *)
+}
+
+type t = {
+  bags : bag array;
+  render : float array array -> Stats.Table.t list;
+      (** pure function of the per-bag trial results, in bag order *)
+}
+
+type shard = { bag : int; lo : int; hi : int }
+(** Trials [lo, hi) of bag [bag] — bag-local trial coordinates. *)
+
+val max_shard_trials : int
+(** Upper bound on trials per shard (8). *)
+
+val shards : t -> shard array
+(** The plan's shard list: every bag split into runs of at most
+    {!max_shard_trials} consecutive trials, never crossing a bag
+    boundary, in (bag, trial) order. Deterministic in the plan — never
+    a function of worker count. Raises [Invalid_argument] on a bag
+    with fewer than one trial. *)
+
+val run_shard : t -> shard -> float array
+(** Execute one shard's trials in index order. *)
+
+val encode_result : float array -> string
+(** Binary codec for a shard's result (length-prefixed IEEE-754 bit
+    patterns, {!Exec.Spec.Buf} conventions). *)
+
+val decode_result : string -> float array
+(** Inverse of {!encode_result}. Raises [Exec.Spec.Buf.Corrupt] on
+    truncated or oversized input. *)
+
+val execute :
+  ?spec:(int -> float array Exec.Spec.t) -> sched:Exec.scheduler -> t -> Stats.Table.t list
+(** Run the whole plan as one {!Exec} plan over its shards and render.
+    With [spec] (see {!Registry}) the plan is serialisable, so an
+    {!Exec.procs} scheduler shards it across worker processes; every
+    other scheduler runs the shards in-process. *)

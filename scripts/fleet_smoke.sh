@@ -148,4 +148,29 @@ grep -q '"large.flood_e2e"' "$tmp/large_j1.json" \
   || { echo "FAIL: large.flood_e2e row missing from bench JSON" >&2; exit 1; }
 echo "ok: large flood claim JSON byte-identical at --jobs 1 vs 4 (modulo wall facts)"
 
+# --- 6. single-experiment trial sharding ------------------------------
+
+# A planned experiment (DESIGN.md section 13) shards its own trial bag
+# over the fleet: `run E6 --procs 4` must match `--procs 1` byte for
+# byte on stdout AND on --metrics work totals, and the degradation
+# counter must stay silent — the single-experiment path no longer
+# falls back to the domain pool.
+for id in E6 E1; do
+  "$cli" run "$id" --seed 42 --procs 1 --metrics >"$tmp/one_p1.txt" 2>/dev/null
+  "$cli" run "$id" --seed 42 --procs 4 --metrics >"$tmp/one_p4.txt" 2>/dev/null
+  if ! cmp -s "$tmp/one_p1.txt" "$tmp/one_p4.txt"; then
+    echo "FAIL: run $id stdout+metrics differ between --procs 1 and --procs 4" >&2
+    diff "$tmp/one_p1.txt" "$tmp/one_p4.txt" >&2 || true
+    exit 1
+  fi
+  if grep "exec\.procs_degraded" "$tmp/one_p4.txt" | grep -qv " 0$"; then
+    echo "FAIL: run $id --procs 4 degraded instead of sharding trials" >&2
+    grep "exec\.procs_degraded" "$tmp/one_p4.txt" >&2
+    exit 1
+  fi
+  grep -q "exec\.plans" "$tmp/one_p4.txt" \
+    || { echo "FAIL: no exec metrics in run $id --metrics output" >&2; exit 1; }
+  echo "ok: run $id trial-shards across --procs 4, byte-identical to --procs 1, no degradation"
+done
+
 echo "fleet smoke passed"

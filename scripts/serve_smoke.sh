@@ -10,7 +10,9 @@
 #   2. repeated (id, seed, scale, render) requests are answered from
 #      the warm result cache;
 #   3. progress frames stream to clients while requests execute;
-#   4. SIGTERM shuts the daemon down cleanly: exit 0, socket unlinked.
+#   4. SIGTERM shuts the daemon down cleanly: exit 0, socket unlinked;
+#   5. a 2-executor daemon (concurrent request execution) still returns
+#      results byte-identical to the batch CLI.
 #
 # Usage: scripts/serve_smoke.sh
 set -eu
@@ -98,5 +100,62 @@ pid=""
 [ "$status" -eq 0 ] || { echo "FAIL: daemon exited $status after SIGTERM" >&2; cat "$tmp/serve.err" >&2; exit 1; }
 [ ! -e "$sock" ] || { echo "FAIL: socket file not unlinked on shutdown" >&2; exit 1; }
 echo "ok: SIGTERM shutdown clean (exit 0, socket unlinked)"
+
+# --- 4. multi-executor byte identity ---------------------------------
+
+# A daemon draining its queue with 2 executor threads runs requests
+# concurrently; every result must still match the batch CLI byte for
+# byte. --vary-seed defeats the result cache so both executors really
+# execute, and the fresh seeds need fresh batch references.
+sock2="$tmp/dyngraph2.sock"
+"$cli" serve --socket "$sock2" --executors 2 --jobs 1 2>"$tmp/serve2.err" &
+pid=$!
+tries=0
+until [ -S "$sock2" ]; do
+  kill -0 "$pid" 2>/dev/null || { echo "FAIL: 2-executor daemon died on startup" >&2; cat "$tmp/serve2.err" >&2; exit 1; }
+  tries=$((tries + 1))
+  [ "$tries" -lt 100 ] || { echo "FAIL: 2-executor daemon never bound $sock2" >&2; exit 1; }
+  sleep 0.1
+done
+
+"$cli" load --socket "$sock2" --clients 2 --requests 2 --ids E2,E3 \
+  --seed 100 --vary-seed --dump "$tmp/dump2" >"$tmp/load2.out" 2>/dev/null \
+  || { echo "FAIL: load against 2-executor daemon reported errors" >&2; cat "$tmp/load2.out" >&2; exit 1; }
+cat "$tmp/load2.out"
+
+found=0
+for f in "$tmp"/dump2/*.out; do
+  [ -e "$f" ] || { echo "FAIL: no dump files from the 2-executor daemon" >&2; exit 1; }
+  base="${f##*/}"
+  id="${base##*_}"
+  id="${id%.out}"
+  # --vary-seed gives request k of client c seed 100 + global index;
+  # recover it from the dump name (c<client>_r<k>_<id>.out, 2 per client).
+  c="${base#c}"; c="${c%%_*}"
+  k="${base#*_r}"; k="${k%%_*}"
+  seed=$((100 + c * 2 + k))
+  "$cli" run "$id" --seed "$seed" >"$tmp/ref2.txt" 2>/dev/null
+  if ! cmp -s "$tmp/ref2.txt" "$f"; then
+    echo "FAIL: $f differs from batch 'run $id --seed $seed' stdout" >&2
+    diff "$tmp/ref2.txt" "$f" >&2 || true
+    exit 1
+  fi
+  found=$((found + 1))
+done
+[ "$found" -eq 4 ] || { echo "FAIL: expected 4 results from the 2-executor daemon, got $found" >&2; exit 1; }
+echo "ok: 2-executor daemon results byte-identical to the batch CLI"
+
+kill -TERM "$pid"
+tries=0
+while kill -0 "$pid" 2>/dev/null; do
+  tries=$((tries + 1))
+  [ "$tries" -lt 100 ] || { echo "FAIL: 2-executor daemon still running after SIGTERM" >&2; exit 1; }
+  sleep 0.1
+done
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "FAIL: 2-executor daemon exited $status" >&2; cat "$tmp/serve2.err" >&2; exit 1; }
+echo "ok: 2-executor daemon shutdown clean"
 
 echo "serve smoke passed"

@@ -111,6 +111,48 @@ let test_journal_torn_tail () =
   Exec.Journal.close t;
   Alcotest.(check int) "both entries after recovery" 2 (List.length entries)
 
+(* Clean resume compacts: duplicate shard frames (worker crash re-runs)
+   and torn tails are rewritten away, first write per job wins, and the
+   rewritten file both shrinks and still resumes. *)
+let test_journal_compaction () =
+  with_temp_journal @@ fun path ->
+  let t, _ = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"first-write";
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"duplicate-after-crash";
+  Exec.Journal.append t ~job:7 ~spec_id:"E9" ~data:"out-of-range";
+  Exec.Journal.append t ~job:1 ~spec_id:"E2" ~data:"second";
+  Exec.Journal.close t;
+  let dirty_size = (Unix.stat path).Unix.st_size in
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.close t;
+  Alcotest.(check (list (triple int string string)))
+    "only live entries survive"
+    [ (0, "E1", "first-write"); (1, "E2", "second") ]
+    (entry_triples entries);
+  let compact_size = (Unix.stat path).Unix.st_size in
+  check_true "compaction reclaimed dead frames" (compact_size < dirty_size);
+  (* The rewritten file is a well-formed journal: resuming again finds
+     the same entries and, being clean now, rewrites nothing. *)
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.close t;
+  Alcotest.(check int) "compacted journal resumes" 2 (List.length entries);
+  Alcotest.(check int) "clean resume left the file alone" compact_size
+    (Unix.stat path).Unix.st_size
+
+let test_journal_compaction_torn_tail () =
+  with_temp_journal @@ fun path ->
+  let t, _ = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.append t ~job:0 ~spec_id:"E1" ~data:"good";
+  Exec.Journal.close t;
+  let clean_size = (Unix.stat path).Unix.st_size in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x00\x00\x00\x00\x00\x00\x00\x29torn-frame-with";
+  close_out oc;
+  let t, entries = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
+  Exec.Journal.close t;
+  Alcotest.(check int) "good frame kept" 1 (List.length entries);
+  Alcotest.(check int) "torn tail compacted away" clean_size ((Unix.stat path).Unix.st_size)
+
 let test_journal_plan_mismatch () =
   with_temp_journal @@ fun path ->
   let t, _ = Exec.Journal.open_ ~path ~jobs:2 ~digest:"d1" in
@@ -234,6 +276,9 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
         Alcotest.test_case "torn tail recovery" `Quick test_journal_torn_tail;
+        Alcotest.test_case "compaction on clean resume" `Quick test_journal_compaction;
+        Alcotest.test_case "compaction reclaims torn tail" `Quick
+          test_journal_compaction_torn_tail;
         Alcotest.test_case "plan mismatch discards" `Quick test_journal_plan_mismatch;
       ] );
     ( "fleet.procs",

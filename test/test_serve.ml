@@ -193,7 +193,7 @@ let with_server f =
   in
   let server =
     Serve.Server.create
-      { Serve.Server.socket_path; tcp_port = None; jobs = 1; cache_capacity = 8 }
+      { Serve.Server.socket_path; tcp_port = None; jobs = 1; executors = 1; procs = 0; cache_capacity = 8 }
   in
   Fun.protect
     ~finally:(fun () -> Serve.Server.stop server)
@@ -305,6 +305,55 @@ let test_server_concurrent_clients () =
       check_true "repeats hit the warm cache" (s.Serve.Load.cached >= 1);
       check_true "progress frames streamed" (s.Serve.Load.progress_frames >= 1))
 
+(* --- cost-weighted result cache --- *)
+
+module Cache = Serve.Server.Cache
+
+let store c key seconds = Cache.store c key ~output:("out:" ^ key) ~ok:true ~seconds
+
+let test_cache_cost_weighted_eviction () =
+  let c = Cache.create 4 in
+  (* One expensive full-scale result among cheap quick ones. *)
+  store c "E1|1|full|42" 30.0;
+  for i = 0 to 2 do
+    store c (Printf.sprintf "E2|1|quick|%d" i) 0.01
+  done;
+  Alcotest.(check int) "at capacity" 4 (Cache.length c);
+  (* A burst of fresh cheap entries: each insertion evicts the
+     minimum-credit entry, which must always be a cheap one — the
+     measured-compute credit keeps the expensive result resident. *)
+  for i = 3 to 40 do
+    store c (Printf.sprintf "E2|1|quick|%d" i) 0.01
+  done;
+  Alcotest.(check int) "capacity held" 4 (Cache.length c);
+  check_true "expensive entry survived the cheap burst"
+    (Cache.find c "E1|1|full|42" <> None);
+  check_true "earliest cheap entries evicted" (Cache.find c "E2|1|quick|0" = None)
+
+let test_cache_hit_refreshes_credit () =
+  let c = Cache.create 3 in
+  store c "a" 0.10;
+  store c "b" 0.30;
+  store c "c" 0.31;
+  (* Fill past capacity once so the cache's inflation level is above
+     zero — "a" (cheapest) evicts, level rises to its credit. *)
+  store c "d" 0.32;
+  check_true "cheapest entry evicted first" (Cache.find c "a" = None);
+  (* "b" is now the minimum-credit survivor; a hit lifts its credit to
+     level + cost, above the untouched "c". The next eviction must
+     therefore take "c", not the refreshed "b" — pure recency (or pure
+     cost) ordering would pick the other victim. *)
+  ignore (Cache.find c "b");
+  store c "e" 0.05;
+  check_true "hit-refreshed entry survived" (Cache.find c "b" <> None);
+  check_true "untouched entry evicted" (Cache.find c "c" = None)
+
+let test_cache_zero_capacity () =
+  let c = Cache.create 0 in
+  store c "k" 1.0;
+  Alcotest.(check int) "capacity 0 stores nothing" 0 (Cache.length c);
+  check_true "no phantom hits" (Cache.find c "k" = None)
+
 let suites =
   [
     ( "serve.jsonx",
@@ -321,6 +370,12 @@ let suites =
         Alcotest.test_case "request rejects bad lines" `Quick test_protocol_request_rejects;
         Alcotest.test_case "msg round-trip" `Quick test_protocol_msg_roundtrip;
         Alcotest.test_case "msg rejects bad lines" `Quick test_protocol_msg_rejects;
+      ] );
+    ( "serve.cache",
+      [
+        Alcotest.test_case "cost-weighted eviction" `Quick test_cache_cost_weighted_eviction;
+        Alcotest.test_case "hits refresh credit" `Quick test_cache_hit_refreshes_credit;
+        Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
       ] );
     ( "serve.server",
       [
